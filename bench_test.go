@@ -1,0 +1,488 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the paper's evaluation under testing.B, one benchmark per artifact,
+// plus ablation benchmarks for the design choices DESIGN.md calls out
+// (learning threshold, prefetch/overlap, the future-work extensions).
+//
+//	go test -bench=. -benchmem                 # everything, quick sizes
+//	go test -bench=BenchmarkFig6 -paper        # one figure at paper size
+//
+// Reported custom metrics: GFLOP/s (figures 6/9), seconds (figure 12) and
+// transferred gigabytes (figures 7/10/13).
+package repro
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/harness"
+	"repro/ompss"
+)
+
+var paperSizes = flag.Bool("paper", false, "run benchmarks at full paper sizes instead of quick sizes")
+
+func opts() harness.Options {
+	return harness.Options{Quick: !*paperSizes}
+}
+
+// benchExperiment runs a whole harness experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := harness.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	var rep *harness.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = e.Run(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if rep != nil {
+		b.ReportMetric(float64(len(rep.Rows)), "rows")
+	}
+}
+
+// BenchmarkTableI regenerates Table I (the TaskVersionSet structure).
+func BenchmarkTableI(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFig5Decision regenerates the Figure 5 earliest-executor
+// scenario.
+func BenchmarkFig5Decision(b *testing.B) { benchExperiment(b, "fig5") }
+
+// --- Figure 6/7/8: matrix multiplication ---
+
+func matmulBench(b *testing.B, variant apps.MatmulVariant, sched string, smp, gpus int) ompss.Result {
+	n := 8192
+	if *paperSizes {
+		n = 16384
+	}
+	var res ompss.Result
+	for i := 0; i < b.N; i++ {
+		r, err := ompss.NewRuntime(ompss.Config{Scheduler: sched, SMPWorkers: smp, GPUs: gpus})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := apps.BuildMatmul(r, apps.MatmulConfig{N: n, BS: 1024, Variant: variant}); err != nil {
+			b.Fatal(err)
+		}
+		res = r.Execute()
+	}
+	return res
+}
+
+// BenchmarkFig6MatmulPerf regenerates Figure 6: achieved GFLOP/s per
+// series; sub-benchmarks are the paper's series x resource grid.
+func BenchmarkFig6MatmulPerf(b *testing.B) {
+	for _, s := range []struct {
+		label   string
+		variant apps.MatmulVariant
+		sched   string
+	}{
+		{"mm-gpu-dep", apps.MatmulGPU, "dep"},
+		{"mm-gpu-aff", apps.MatmulGPU, "affinity"},
+		{"mm-hyb-ver", apps.MatmulHybrid, "versioning"},
+	} {
+		for _, gpus := range []int{1, 2} {
+			for _, smp := range []int{1, 8} {
+				b.Run(fmt.Sprintf("%s/gpus=%d/smp=%d", s.label, gpus, smp), func(b *testing.B) {
+					res := matmulBench(b, s.variant, s.sched, smp, gpus)
+					b.ReportMetric(res.GFlops, "GFLOP/s")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig7MatmulTransfers regenerates Figure 7: transferred bytes by
+// category for the GA/GD/HV configurations.
+func BenchmarkFig7MatmulTransfers(b *testing.B) {
+	for _, c := range []struct {
+		label   string
+		variant apps.MatmulVariant
+		sched   string
+	}{
+		{"GA", apps.MatmulGPU, "affinity"},
+		{"GD", apps.MatmulGPU, "dep"},
+		{"HV", apps.MatmulHybrid, "versioning"},
+	} {
+		b.Run(c.label, func(b *testing.B) {
+			res := matmulBench(b, c.variant, c.sched, 8, 2)
+			b.ReportMetric(float64(res.InputTxBytes)/1e9, "inGB")
+			b.ReportMetric(float64(res.OutputTxBytes)/1e9, "outGB")
+			b.ReportMetric(float64(res.DeviceTxBytes)/1e9, "devGB")
+		})
+	}
+}
+
+// BenchmarkFig8MatmulTaskStats regenerates Figure 8: the per-version task
+// shares under the versioning scheduler.
+func BenchmarkFig8MatmulTaskStats(b *testing.B) {
+	for _, gpus := range []int{1, 2} {
+		b.Run(fmt.Sprintf("gpus=%d", gpus), func(b *testing.B) {
+			res := matmulBench(b, apps.MatmulHybrid, "versioning", 8, gpus)
+			b.ReportMetric(100*res.VersionShare(apps.MatmulTaskType, "matmul_tile_smp"), "smp%")
+			b.ReportMetric(100*res.VersionShare(apps.MatmulTaskType, "matmul_tile_cuda"), "cuda%")
+			b.ReportMetric(100*res.VersionShare(apps.MatmulTaskType, "matmul_tile_cublas"), "cublas%")
+		})
+	}
+}
+
+// --- Figure 9/10/11: Cholesky ---
+
+func choleskyBench(b *testing.B, variant apps.CholeskyVariant, sched string, smp, gpus int) ompss.Result {
+	n := 16384
+	if *paperSizes {
+		n = 32768
+	}
+	var res ompss.Result
+	for i := 0; i < b.N; i++ {
+		r, err := ompss.NewRuntime(ompss.Config{Scheduler: sched, SMPWorkers: smp, GPUs: gpus})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := apps.BuildCholesky(r, apps.CholeskyConfig{N: n, BS: 2048, Variant: variant}); err != nil {
+			b.Fatal(err)
+		}
+		res = r.Execute()
+	}
+	return res
+}
+
+// BenchmarkFig9CholeskyPerf regenerates Figure 9: GFLOP/s per series.
+func BenchmarkFig9CholeskyPerf(b *testing.B) {
+	for _, s := range []struct {
+		label   string
+		variant apps.CholeskyVariant
+		sched   string
+	}{
+		{"potrf-smp-dep", apps.CholeskyPotrfSMP, "dep"},
+		{"potrf-gpu-dep", apps.CholeskyPotrfGPU, "dep"},
+		{"potrf-gpu-aff", apps.CholeskyPotrfGPU, "affinity"},
+		{"potrf-hyb-ver", apps.CholeskyPotrfHybrid, "versioning"},
+	} {
+		for _, gpus := range []int{1, 2} {
+			b.Run(fmt.Sprintf("%s/gpus=%d", s.label, gpus), func(b *testing.B) {
+				res := choleskyBench(b, s.variant, s.sched, 8, gpus)
+				b.ReportMetric(res.GFlops, "GFLOP/s")
+			})
+		}
+	}
+}
+
+// BenchmarkFig10CholeskyTransfers regenerates Figure 10.
+func BenchmarkFig10CholeskyTransfers(b *testing.B) {
+	for _, c := range []struct {
+		label   string
+		variant apps.CholeskyVariant
+		sched   string
+	}{
+		{"GA", apps.CholeskyPotrfGPU, "affinity"},
+		{"GD", apps.CholeskyPotrfGPU, "dep"},
+		{"HV", apps.CholeskyPotrfHybrid, "versioning"},
+	} {
+		b.Run(c.label, func(b *testing.B) {
+			res := choleskyBench(b, c.variant, c.sched, 8, 2)
+			b.ReportMetric(float64(res.InputTxBytes)/1e9, "inGB")
+			b.ReportMetric(float64(res.OutputTxBytes)/1e9, "outGB")
+			b.ReportMetric(float64(res.DeviceTxBytes)/1e9, "devGB")
+		})
+	}
+}
+
+// BenchmarkFig11CholeskyTaskStats regenerates Figure 11: potrf version
+// shares under the versioning scheduler.
+func BenchmarkFig11CholeskyTaskStats(b *testing.B) {
+	for _, gpus := range []int{1, 2} {
+		b.Run(fmt.Sprintf("gpus=%d", gpus), func(b *testing.B) {
+			res := choleskyBench(b, apps.CholeskyPotrfHybrid, "versioning", 8, gpus)
+			b.ReportMetric(100*res.VersionShare(apps.CholPotrfType, "potrf_cblas"), "smp%")
+			b.ReportMetric(100*res.VersionShare(apps.CholPotrfType, "potrf_magma"), "gpu%")
+		})
+	}
+}
+
+// --- Figure 12/13/14/15: PBPI ---
+
+func pbpiBench(b *testing.B, variant apps.PBPIVariant, sched string, smp, gpus int) ompss.Result {
+	gens := 25
+	if *paperSizes {
+		gens = 120
+	}
+	var res ompss.Result
+	for i := 0; i < b.N; i++ {
+		r, err := ompss.NewRuntime(ompss.Config{Scheduler: sched, SMPWorkers: smp, GPUs: gpus})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := apps.BuildPBPI(r, apps.PBPIConfig{Generations: gens, Variant: variant}); err != nil {
+			b.Fatal(err)
+		}
+		res = r.Execute()
+	}
+	return res
+}
+
+// BenchmarkFig12PBPIPerf regenerates Figure 12: total execution time.
+func BenchmarkFig12PBPIPerf(b *testing.B) {
+	for _, s := range []struct {
+		label   string
+		variant apps.PBPIVariant
+		sched   string
+		gpus    int
+	}{
+		{"pbpi-smp", apps.PBPISMP, "dep", 0},
+		{"pbpi-gpu", apps.PBPIGPU, "dep", 2},
+		{"pbpi-hyb", apps.PBPIHybrid, "versioning", 2},
+	} {
+		for _, smp := range []int{1, 8} {
+			b.Run(fmt.Sprintf("%s/smp=%d", s.label, smp), func(b *testing.B) {
+				res := pbpiBench(b, s.variant, s.sched, smp, s.gpus)
+				b.ReportMetric(res.Elapsed.Seconds(), "sim-s")
+			})
+		}
+	}
+}
+
+// BenchmarkFig13PBPITransfers regenerates Figure 13.
+func BenchmarkFig13PBPITransfers(b *testing.B) {
+	for _, s := range []struct {
+		label   string
+		variant apps.PBPIVariant
+		sched   string
+		gpus    int
+	}{
+		{"pbpi-smp", apps.PBPISMP, "dep", 0},
+		{"pbpi-gpu", apps.PBPIGPU, "dep", 2},
+		{"pbpi-hyb", apps.PBPIHybrid, "versioning", 2},
+	} {
+		b.Run(s.label, func(b *testing.B) {
+			res := pbpiBench(b, s.variant, s.sched, 8, s.gpus)
+			b.ReportMetric(float64(res.InputTxBytes)/1e9, "inGB")
+			b.ReportMetric(float64(res.OutputTxBytes)/1e9, "outGB")
+			b.ReportMetric(float64(res.DeviceTxBytes)/1e9, "devGB")
+		})
+	}
+}
+
+// BenchmarkFig14PBPILoop1Stats regenerates Figure 14.
+func BenchmarkFig14PBPILoop1Stats(b *testing.B) {
+	res := pbpiBench(b, apps.PBPIHybrid, "versioning", 8, 2)
+	b.ReportMetric(100*res.VersionShare(apps.PBPILoop1Type, "loop1_smp"), "smp%")
+	b.ReportMetric(100*res.VersionShare(apps.PBPILoop1Type, "loop1_gpu"), "gpu%")
+}
+
+// BenchmarkFig15PBPILoop2Stats regenerates Figure 15.
+func BenchmarkFig15PBPILoop2Stats(b *testing.B) {
+	res := pbpiBench(b, apps.PBPIHybrid, "versioning", 8, 2)
+	b.ReportMetric(100*res.VersionShare(apps.PBPILoop2Type, "loop2_smp"), "smp%")
+	b.ReportMetric(100*res.VersionShare(apps.PBPILoop2Type, "loop2_gpu"), "gpu%")
+}
+
+// --- Ablations: the design knobs DESIGN.md calls out ---
+
+// BenchmarkAblationLambda sweeps the learning threshold on Cholesky,
+// where the paper observes the learning phase hurting (few potrf
+// instances).
+func BenchmarkAblationLambda(b *testing.B) {
+	for _, lambda := range []int{1, 3, 5} {
+		b.Run(fmt.Sprintf("lambda=%d", lambda), func(b *testing.B) {
+			var res ompss.Result
+			for i := 0; i < b.N; i++ {
+				r, err := ompss.NewRuntime(ompss.Config{
+					Scheduler: "versioning", SMPWorkers: 8, GPUs: 2, Lambda: lambda,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := apps.BuildCholesky(r, apps.CholeskyConfig{N: 16384, Variant: apps.CholeskyPotrfHybrid}); err != nil {
+					b.Fatal(err)
+				}
+				res = r.Execute()
+			}
+			b.ReportMetric(res.GFlops, "GFLOP/s")
+		})
+	}
+}
+
+// BenchmarkAblationPrefetch compares transfer/compute overlap on and off
+// (the evaluation enables it for all schedulers; this shows why).
+func BenchmarkAblationPrefetch(b *testing.B) {
+	for _, prefetch := range []bool{true, false} {
+		b.Run(fmt.Sprintf("prefetch=%v", prefetch), func(b *testing.B) {
+			var res ompss.Result
+			for i := 0; i < b.N; i++ {
+				r, err := ompss.NewRuntime(ompss.Config{
+					Scheduler: "dep", SMPWorkers: 1, GPUs: 2, NoPrefetch: !prefetch,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := apps.BuildMatmul(r, apps.MatmulConfig{N: 8192, Variant: apps.MatmulGPU}); err != nil {
+					b.Fatal(err)
+				}
+				res = r.Execute()
+			}
+			b.ReportMetric(res.GFlops, "GFLOP/s")
+		})
+	}
+}
+
+// BenchmarkAblationLocality compares the paper-faithful versioning
+// scheduler against the Section VII locality extension on Cholesky
+// transfers.
+func BenchmarkAblationLocality(b *testing.B) {
+	for _, locality := range []bool{false, true} {
+		b.Run(fmt.Sprintf("locality=%v", locality), func(b *testing.B) {
+			var res ompss.Result
+			for i := 0; i < b.N; i++ {
+				r, err := ompss.NewRuntime(ompss.Config{
+					Scheduler: "versioning", SMPWorkers: 8, GPUs: 2, LocalityAware: locality,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := apps.BuildCholesky(r, apps.CholeskyConfig{N: 16384, Variant: apps.CholeskyPotrfHybrid}); err != nil {
+					b.Fatal(err)
+				}
+				res = r.Execute()
+			}
+			b.ReportMetric(float64(res.DeviceTxBytes)/1e9, "devGB")
+			b.ReportMetric(res.GFlops, "GFLOP/s")
+		})
+	}
+}
+
+// BenchmarkAblationPotrfPriority compares Cholesky with and without the
+// OmpSs priority clause on potrf. Section V-B2: potrf "acts like a
+// bottleneck and if it is not run as soon as its data dependencies are
+// satisfied, there is less parallelism to exploit".
+func BenchmarkAblationPotrfPriority(b *testing.B) {
+	for _, prio := range []bool{false, true} {
+		b.Run(fmt.Sprintf("priority=%v", prio), func(b *testing.B) {
+			var res ompss.Result
+			for i := 0; i < b.N; i++ {
+				r, err := ompss.NewRuntime(ompss.Config{
+					Scheduler: "dep", SMPWorkers: 1, GPUs: 2,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := apps.BuildCholesky(r, apps.CholeskyConfig{
+					N: 16384, Variant: apps.CholeskyPotrfGPU, PotrfPriority: prio,
+				}); err != nil {
+					b.Fatal(err)
+				}
+				res = r.Execute()
+			}
+			b.ReportMetric(res.GFlops, "GFLOP/s")
+		})
+	}
+}
+
+// BenchmarkAblationHints compares a cold run against a hints-warmed run
+// (Section VII external hints) on a serial chain, where learning cost is
+// unhidden.
+func BenchmarkAblationHints(b *testing.B) {
+	dir := b.TempDir()
+	hintsPath := dir + "/hints.xml"
+	build := func(r *ompss.Runtime) {
+		work := r.DeclareTaskType("kernel")
+		work.AddVersion("kernel_gpu", ompss.CUDA, ompss.Throughput{GFlops: 300, Overhead: 20 * time.Microsecond}, nil)
+		work.AddVersion("kernel_smp", ompss.SMP, ompss.Throughput{GFlops: 5}, nil)
+		obj := r.Register("chain", 8<<20)
+		r.Main(func(m *ompss.Master) {
+			for i := 0; i < 50; i++ {
+				m.Submit(work, []ompss.Access{ompss.InOut(obj)}, ompss.Work{Flops: 2e9}, nil)
+			}
+			m.Taskwait()
+		})
+	}
+	// Produce the hints once.
+	{
+		r, err := ompss.NewRuntime(ompss.Config{SMPWorkers: 2, GPUs: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		build(r)
+		r.Execute()
+		if err := r.SaveHints(hintsPath); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, warm := range []bool{false, true} {
+		b.Run(fmt.Sprintf("warm=%v", warm), func(b *testing.B) {
+			var res ompss.Result
+			for i := 0; i < b.N; i++ {
+				cfg := ompss.Config{SMPWorkers: 2, GPUs: 1}
+				if warm {
+					cfg.HintsFile = hintsPath
+				}
+				r, err := ompss.NewRuntime(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				build(r)
+				res = r.Execute()
+			}
+			b.ReportMetric(res.Elapsed.Seconds(), "sim-s")
+		})
+	}
+}
+
+// BenchmarkAblationSizeTolerance compares exact-size grouping against the
+// Section VII range-bucketing extension on a workload whose task sizes
+// vary slightly call to call.
+func BenchmarkAblationSizeTolerance(b *testing.B) {
+	for _, tol := range []float64{0, 0.10} {
+		b.Run(fmt.Sprintf("tolerance=%.2f", tol), func(b *testing.B) {
+			var res ompss.Result
+			for i := 0; i < b.N; i++ {
+				r, err := ompss.NewRuntime(ompss.Config{
+					Scheduler: "versioning", SMPWorkers: 2, GPUs: 1, SizeTolerance: tol,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				work := r.DeclareTaskType("kernel")
+				work.AddVersion("kernel_gpu", ompss.CUDA, ompss.Throughput{GFlops: 300, Overhead: 20 * time.Microsecond}, nil)
+				work.AddVersion("kernel_smp", ompss.SMP, ompss.Throughput{GFlops: 5}, nil)
+				obj := r.Register("chain", 8<<20)
+				r.Main(func(m *ompss.Master) {
+					for j := 0; j < 60; j++ {
+						// Sizes jitter by a few bytes call to call: exact
+						// matching opens a new learning phase every time.
+						o := r.Register(fmt.Sprintf("x%d", j), 8<<20+int64(j%7))
+						m.Submit(work, []ompss.Access{ompss.In(o), ompss.InOut(obj)}, ompss.Work{Flops: 2e9}, nil)
+					}
+					m.Taskwait()
+				})
+				res = r.Execute()
+			}
+			b.ReportMetric(res.Elapsed.Seconds(), "sim-s")
+		})
+	}
+}
+
+// BenchmarkEngineThroughput measures raw simulator performance: events
+// processed per wall-clock second on the matmul workload.
+func BenchmarkEngineThroughput(b *testing.B) {
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		r, err := ompss.NewRuntime(ompss.Config{Scheduler: "versioning", SMPWorkers: 8, GPUs: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := apps.BuildMatmul(r, apps.MatmulConfig{N: 8192, Variant: apps.MatmulHybrid}); err != nil {
+			b.Fatal(err)
+		}
+		r.Execute()
+		events = r.Engine().EventCount
+	}
+	b.ReportMetric(float64(events), "events/run")
+}

@@ -1,0 +1,131 @@
+// Command ompss-trace runs one application configuration with tracing and
+// exports the result for inspection:
+//
+//   - chrome:  Chrome trace-event JSON (chrome://tracing, ui.perfetto.dev)
+//   - paraver: Paraver .prv + .pcf (the BSC tool chain the paper's group
+//     uses; view with wxparaver)
+//   - gantt:   ASCII timeline on stdout
+//
+// It can also print the run's critical path and validate the trace with
+// the independent consistency oracle.
+//
+// Usage:
+//
+//	ompss-trace -app cholesky -variant potrf-hyb -format chrome -o cholesky.json
+//	ompss-trace -app matmul -format paraver -o mm.prv
+//	ompss-trace -app stencil -format gantt -critpath -validate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/ompss"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "matmul", "application: matmul | cholesky | pbpi | stencil | nbody | randdag")
+		variant  = flag.String("variant", "", "application variant")
+		schedF   = flag.String("sched", "versioning", "scheduler name")
+		smp      = flag.Int("smp", 4, "SMP worker threads")
+		gpus     = flag.Int("gpus", 2, "GPU workers")
+		format   = flag.String("format", "chrome", "export format: chrome | paraver | gantt")
+		out      = flag.String("o", "trace.json", "output file (chrome/paraver)")
+		width    = flag.Int("width", 100, "gantt width in columns")
+		critpath = flag.Bool("critpath", false, "print the critical path")
+		validate = flag.Bool("validate", false, "run the trace-consistency oracle")
+		seed     = flag.Int64("seed", 1, "seed (noise; randdag shape)")
+	)
+	flag.Parse()
+
+	r, err := ompss.NewRuntime(ompss.Config{
+		Scheduler:  *schedF,
+		SMPWorkers: *smp,
+		GPUs:       *gpus,
+		Seed:       *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch *app {
+	case "matmul":
+		_, err = apps.BuildMatmul(r, apps.MatmulConfig{N: 8192, Variant: apps.MatmulVariant(or(*variant, "hyb"))})
+	case "cholesky":
+		_, err = apps.BuildCholesky(r, apps.CholeskyConfig{N: 16384, Variant: apps.CholeskyVariant(or(*variant, "potrf-hyb"))})
+	case "pbpi":
+		_, err = apps.BuildPBPI(r, apps.PBPIConfig{Generations: 10, Variant: apps.PBPIVariant(or(*variant, "hyb"))})
+	case "stencil":
+		_, err = apps.BuildStencil(r, apps.StencilConfig{N: 4096, Sweeps: 6, Variant: apps.StencilVariant(or(*variant, "hyb"))})
+	case "nbody":
+		_, err = apps.BuildNBody(r, apps.NBodyConfig{Variant: apps.NBodyVariant(or(*variant, "hyb"))})
+	case "randdag":
+		_, err = apps.BuildRandDAG(r, apps.RandDAGConfig{Seed: *seed})
+	default:
+		log.Fatalf("unknown app %q", *app)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := r.Execute()
+	fmt.Println(res)
+
+	switch *format {
+	case "chrome":
+		writeTo(*out, r.Tracer().WriteChromeTrace)
+		fmt.Printf("%d task records, %d transfer records -> %s\n",
+			len(r.Tracer().Tasks), len(r.Tracer().Transfers), *out)
+	case "paraver":
+		prv := *out
+		if !strings.HasSuffix(prv, ".prv") {
+			prv += ".prv"
+		}
+		writeTo(prv, r.WriteParaver)
+		pcf := strings.TrimSuffix(prv, ".prv") + ".pcf"
+		writeTo(pcf, r.WriteParaverPCF)
+		fmt.Printf("%d task records, %d transfer records -> %s + %s\n",
+			len(r.Tracer().Tasks), len(r.Tracer().Transfers), prv, pcf)
+	case "gantt":
+		fmt.Print(r.Timeline(*width))
+	default:
+		log.Fatalf("unknown format %q", *format)
+	}
+
+	if *critpath {
+		fmt.Print(r.CriticalPath().Format())
+	}
+	if *validate {
+		if problems := r.ValidateTrace(); len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintln(os.Stderr, "INVALID:", p)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("trace consistent")
+	}
+}
+
+func writeTo(path string, fn func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fn(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func or(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
+}

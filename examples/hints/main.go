@@ -1,0 +1,70 @@
+// External hints (the paper's Section VII future work): the versioning
+// scheduler's profiles can be written to an XML file after a run and
+// loaded before the next one, skipping the initial learning phase
+// entirely — the warm-started run never executes the slow version beyond
+// what the earliest-executor policy chooses.
+//
+// Run: go run ./examples/hints
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/ompss"
+)
+
+func buildApp(r *ompss.Runtime) {
+	work := r.DeclareTaskType("kernel")
+	work.AddVersion("kernel_gpu", ompss.CUDA, ompss.Throughput{GFlops: 300, Overhead: 20_000}, nil)
+	work.AddVersion("kernel_smp", ompss.SMP, ompss.Throughput{GFlops: 5}, nil)
+	obj := r.Register("chain", 8<<20)
+	r.Main(func(m *ompss.Master) {
+		for i := 0; i < 50; i++ {
+			m.Submit(work, []ompss.Access{ompss.InOut(obj)}, ompss.Work{Flops: 2e9}, nil)
+		}
+		m.Taskwait()
+	})
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "ompss-hints")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	hintsPath := filepath.Join(dir, "profiles.xml")
+
+	// Cold run: the learning phase forces the slow SMP version lambda
+	// times on this serial dependence chain, costing real time.
+	cold, err := ompss.NewRuntime(ompss.Config{SMPWorkers: 2, GPUs: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	buildApp(cold)
+	coldRes := cold.Execute()
+	if err := cold.SaveHints(hintsPath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cold run (learning online):   %8.3f s   %v\n",
+		coldRes.Elapsed.Seconds(), coldRes.VersionCounts["kernel"])
+
+	// Warm run: profiles loaded from XML, so every size group starts in
+	// the reliable-information phase.
+	warm, err := ompss.NewRuntime(ompss.Config{SMPWorkers: 2, GPUs: 1, HintsFile: hintsPath})
+	if err != nil {
+		log.Fatal(err)
+	}
+	buildApp(warm)
+	warmRes := warm.Execute()
+	fmt.Printf("warm run (hints from XML):    %8.3f s   %v\n",
+		warmRes.Elapsed.Seconds(), warmRes.VersionCounts["kernel"])
+
+	data, err := os.ReadFile(hintsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhints file contents:\n%s", data)
+}

@@ -1,0 +1,251 @@
+package apps_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/stats"
+	"repro/ompss"
+)
+
+func newVerifyRuntime(t *testing.T, scheduler string, smp, gpus int) *ompss.Runtime {
+	t.Helper()
+	r, err := ompss.NewRuntime(ompss.Config{
+		Scheduler:   scheduler,
+		SMPWorkers:  smp,
+		GPUs:        gpus,
+		RealCompute: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestStencilVerifiesHybrid(t *testing.T) {
+	r := newVerifyRuntime(t, "versioning", 2, 1)
+	app, err := apps.BuildStencil(r, apps.StencilConfig{N: 32, BS: 8, Sweeps: 3, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Execute()
+	if res.Tasks != app.TaskCount() {
+		t.Errorf("ran %d tasks, want %d", res.Tasks, app.TaskCount())
+	}
+	if err := app.Check(); err != nil {
+		t.Error(err)
+	}
+	if problems := stats.Validate(r.Tracer()); len(problems) > 0 {
+		t.Error(problems)
+	}
+	if app.ResidualNorm() <= 0 {
+		t.Error("residual should be positive while unconverged")
+	}
+}
+
+func TestStencilVerifiesOnEverySchedulerIdentically(t *testing.T) {
+	for _, s := range []string{"bf", "dep", "affinity", "wf", "versioning"} {
+		r := newVerifyRuntime(t, s, 2, 1)
+		app, err := apps.BuildStencil(r, apps.StencilConfig{N: 16, BS: 8, Sweeps: 2, Verify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Execute()
+		if err := app.Check(); err != nil {
+			t.Errorf("%s: %v", s, err)
+		}
+	}
+}
+
+func TestStencilGPUOnlyUsesOnlyCUDA(t *testing.T) {
+	r := newVerifyRuntime(t, "bf", 1, 1)
+	app, err := apps.BuildStencil(r, apps.StencilConfig{N: 16, BS: 8, Sweeps: 2, Variant: apps.StencilGPUOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Execute()
+	counts := res.VersionCounts[apps.StencilTaskType]
+	if counts["jacobi_tile_cuda"] != app.TaskCount() || counts["jacobi_tile_smp"] != 0 {
+		t.Errorf("version counts = %v", counts)
+	}
+}
+
+func TestStencilRejectsBadTiling(t *testing.T) {
+	r := newVerifyRuntime(t, "bf", 1, 0)
+	if _, err := apps.BuildStencil(r, apps.StencilConfig{N: 30, BS: 8, Variant: apps.StencilSMPOnly}); err == nil {
+		t.Error("want error for N not divisible by BS")
+	}
+}
+
+func TestStencilCheckRequiresVerify(t *testing.T) {
+	r := newVerifyRuntime(t, "bf", 1, 0)
+	app, err := apps.BuildStencil(r, apps.StencilConfig{N: 16, BS: 8, Sweeps: 1, Variant: apps.StencilSMPOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Execute()
+	if err := app.Check(); err == nil {
+		t.Error("Check without Verify should error")
+	}
+}
+
+func TestNBodyVerifies(t *testing.T) {
+	r := newVerifyRuntime(t, "versioning", 2, 1)
+	app, err := apps.BuildNBody(r, apps.NBodyConfig{N: 64, BS: 16, Steps: 2, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Execute()
+	if res.Tasks != app.TaskCount() {
+		t.Errorf("ran %d tasks, want %d", res.Tasks, app.TaskCount())
+	}
+	if err := app.Check(); err != nil {
+		t.Error(err)
+	}
+	if problems := stats.Validate(r.Tracer()); len(problems) > 0 {
+		t.Error(problems)
+	}
+}
+
+func TestNBodyDeterministicAcrossSchedulers(t *testing.T) {
+	proxy := func(s string) float64 {
+		r := newVerifyRuntime(t, s, 2, 1)
+		app, err := apps.BuildNBody(r, apps.NBodyConfig{N: 32, BS: 8, Steps: 3, Verify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Execute()
+		return app.TotalEnergyProxy()
+	}
+	a, b := proxy("bf"), proxy("versioning")
+	if a != b {
+		t.Errorf("numerics diverge across schedulers: %g vs %g", a, b)
+	}
+	if a == 0 {
+		t.Error("proxy unexpectedly zero")
+	}
+}
+
+func TestNBodyCommutativeVerifies(t *testing.T) {
+	// With commutative accumulation the j-blocks may execute in any
+	// order; mutual exclusion keeps the result correct (within float
+	// reassociation tolerance, which Check allows).
+	r := newVerifyRuntime(t, "versioning", 2, 1)
+	app, err := apps.BuildNBody(r, apps.NBodyConfig{N: 64, BS: 16, Steps: 2, Commutative: true, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Execute()
+	if res.Tasks != app.TaskCount() {
+		t.Errorf("ran %d tasks, want %d", res.Tasks, app.TaskCount())
+	}
+	if err := app.Check(); err != nil {
+		t.Error(err)
+	}
+	if problems := stats.Validate(r.Tracer()); len(problems) > 0 {
+		t.Error(problems)
+	}
+}
+
+func TestNBodyCommutativeNotSlowerThanChain(t *testing.T) {
+	run := func(comm bool) float64 {
+		r := newVerifyRuntime(t, "bf", 4, 2)
+		if _, err := apps.BuildNBody(r, apps.NBodyConfig{N: 4096, BS: 512, Steps: 2, Variant: apps.NBodyGPU, Commutative: comm}); err != nil {
+			t.Fatal(err)
+		}
+		return r.Execute().Elapsed.Seconds()
+	}
+	chain, comm := run(false), run(true)
+	// Reordering freedom can only help (or tie) under an exact model.
+	if comm > chain*1.05 {
+		t.Errorf("commutative %v noticeably slower than inout chain %v", comm, chain)
+	}
+}
+
+func TestNBodyGPUVariantKeepsUpdatesOnSMP(t *testing.T) {
+	r := newVerifyRuntime(t, "bf", 1, 1)
+	app, err := apps.BuildNBody(r, apps.NBodyConfig{N: 32, BS: 16, Steps: 2, Variant: apps.NBodyGPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Execute()
+	if res.Tasks != app.TaskCount() {
+		t.Fatalf("ran %d of %d tasks", res.Tasks, app.TaskCount())
+	}
+	if n := res.VersionCounts[apps.NBodyUpdateTaskType]["nbody_update_smp"]; n != 2*2 {
+		t.Errorf("updates on SMP = %d, want 4", n)
+	}
+	if n := res.VersionCounts[apps.NBodyForceTaskType]["nbody_force_cuda"]; n != 2*4 {
+		t.Errorf("forces on CUDA = %d, want 8", n)
+	}
+}
+
+func TestRandDAGDeterministicShape(t *testing.T) {
+	build := func() *apps.RandDAG {
+		r := newVerifyRuntime(t, "bf", 2, 1)
+		app, err := apps.BuildRandDAG(r, apps.RandDAGConfig{Seed: 7, Layers: 5, Width: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Execute()
+		return app
+	}
+	a, b := build(), build()
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) == 0 || len(ea) != len(eb) {
+		t.Fatalf("edges %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestRandDAGRunsEveryTaskOnceAndRespectsEdges(t *testing.T) {
+	r := newVerifyRuntime(t, "versioning", 3, 1)
+	app, err := apps.BuildRandDAG(r, apps.RandDAGConfig{Seed: 11, Layers: 6, Width: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Execute()
+	if res.Tasks != app.TaskCount() {
+		t.Fatalf("ran %d tasks, want %d", res.Tasks, app.TaskCount())
+	}
+	// Trace IDs are 1-based submission order.
+	byID := make(map[int64]struct{ start, end int64 })
+	for _, rec := range r.Tracer().Tasks {
+		byID[rec.TaskID] = struct{ start, end int64 }{int64(rec.Start), int64(rec.End)}
+	}
+	if len(byID) != app.TaskCount() {
+		t.Fatalf("trace has %d distinct tasks", len(byID))
+	}
+	for _, e := range app.Edges() {
+		p, c := byID[int64(e.From+1)], byID[int64(e.To+1)]
+		if c.start < p.end {
+			t.Fatalf("edge %v violated: consumer starts %d before producer ends %d", e, c.start, p.end)
+		}
+	}
+	if problems := stats.Validate(r.Tracer()); len(problems) > 0 {
+		t.Error(problems)
+	}
+}
+
+func TestRandDAGMixedDeviceTypes(t *testing.T) {
+	r := newVerifyRuntime(t, "versioning", 2, 2)
+	app, err := apps.BuildRandDAG(r, apps.RandDAGConfig{Seed: 3, Layers: 6, Width: 9, Types: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Execute()
+	if res.Tasks != app.TaskCount() {
+		t.Fatalf("ran %d tasks", res.Tasks)
+	}
+	kinds := map[string]bool{}
+	for _, rec := range r.Tracer().Tasks {
+		kinds[rec.DeviceKind.String()] = true
+	}
+	if !kinds["smp"] || !kinds["cuda"] {
+		t.Errorf("device kinds used = %v, want both", kinds)
+	}
+}

@@ -1,0 +1,161 @@
+package apps_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/apps"
+	"repro/internal/stats"
+	"repro/ompss"
+)
+
+// The scheduler-correctness oracle: any scheduling policy, fed any task
+// graph, must (1) run every task exactly once, (2) respect every
+// dependence edge, (3) produce a physically consistent trace, and (4) be
+// deterministic for a fixed seed. Random layered DAGs across many seeds
+// exercise the policies' queueing, stealing and version-selection code
+// far off the happy paths of the regular applications.
+
+var oracleSchedulers = []string{"versioning", "bf", "dep", "affinity", "wf", "random"}
+
+// runRandDAG builds and executes one random DAG under one policy.
+func runRandDAG(t *testing.T, scheduler string, cfg apps.RandDAGConfig) (*ompss.Runtime, *apps.RandDAG) {
+	t.Helper()
+	r, err := ompss.NewRuntime(ompss.Config{
+		Scheduler:  scheduler,
+		SMPWorkers: 3,
+		GPUs:       2,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := apps.BuildRandDAG(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Execute()
+	return r, app
+}
+
+func checkOracle(t *testing.T, scheduler string, r *ompss.Runtime, app *apps.RandDAG) {
+	t.Helper()
+	tr := r.Tracer()
+	// (1) exactly once.
+	seen := make(map[int64]int)
+	for _, rec := range tr.Tasks {
+		seen[rec.TaskID]++
+	}
+	if len(seen) != app.TaskCount() || len(tr.Tasks) != app.TaskCount() {
+		t.Fatalf("%s: %d records over %d distinct tasks, want %d exactly-once",
+			scheduler, len(tr.Tasks), len(seen), app.TaskCount())
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("%s: task %d ran %d times", scheduler, id, n)
+		}
+	}
+	// (2) every edge ordered.
+	times := make(map[int64][2]int64)
+	for _, rec := range tr.Tasks {
+		times[rec.TaskID] = [2]int64{int64(rec.Start), int64(rec.End)}
+	}
+	for _, e := range app.Edges() {
+		p, c := times[int64(e.From+1)], times[int64(e.To+1)]
+		if c[0] < p[1] {
+			t.Fatalf("%s: edge %v violated (consumer start %d < producer end %d)",
+				scheduler, e, c[0], p[1])
+		}
+	}
+	// (3) physical consistency.
+	if problems := stats.Validate(tr); len(problems) > 0 {
+		t.Fatalf("%s: %v", scheduler, problems)
+	}
+}
+
+func TestOracleAllSchedulersManySeeds(t *testing.T) {
+	for _, s := range oracleSchedulers {
+		for seed := int64(1); seed <= 6; seed++ {
+			cfg := apps.RandDAGConfig{
+				Seed:     seed,
+				Layers:   4 + int(seed)%4,
+				Width:    5 + int(seed*3)%7,
+				EdgeProb: 0.15 * float64(1+seed%3),
+			}
+			t.Run(fmt.Sprintf("%s/seed%d", s, seed), func(t *testing.T) {
+				r, app := runRandDAG(t, s, cfg)
+				checkOracle(t, s, r, app)
+			})
+		}
+	}
+}
+
+func TestOracleSameSeedSameSchedule(t *testing.T) {
+	for _, s := range oracleSchedulers {
+		cfg := apps.RandDAGConfig{Seed: 42, Layers: 6, Width: 8}
+		r1, _ := runRandDAG(t, s, cfg)
+		r2, _ := runRandDAG(t, s, cfg)
+		a, b := r1.Tracer().Tasks, r2.Tracer().Tasks
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d vs %d tasks", s, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].TaskID != b[i].TaskID || a[i].Worker != b[i].Worker ||
+				a[i].Start != b[i].Start || a[i].Version != b[i].Version {
+				t.Fatalf("%s: record %d differs: %+v vs %+v", s, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestOracleMakespanNeverBelowCriticalPath(t *testing.T) {
+	// The critical path is a lower bound on any correct schedule.
+	for _, s := range oracleSchedulers {
+		r, _ := runRandDAG(t, s, apps.RandDAGConfig{Seed: 5, Layers: 7, Width: 6})
+		cp := stats.ComputeCriticalPath(r.Tracer())
+		if cp.Length > cp.Makespan {
+			t.Errorf("%s: critical path %v exceeds makespan %v", s, cp.Length, cp.Makespan)
+		}
+		if cp.Ratio() <= 0 || cp.Ratio() > 1 {
+			t.Errorf("%s: ratio %v out of (0,1]", s, cp.Ratio())
+		}
+	}
+}
+
+// TestRandDAGGeneratorProperties quick-checks structural invariants of
+// the generator itself over arbitrary seeds.
+func TestRandDAGGeneratorProperties(t *testing.T) {
+	prop := func(seed int64, layersRaw, widthRaw uint8) bool {
+		layers := 2 + int(layersRaw)%5
+		width := 1 + int(widthRaw)%8
+		r, err := ompss.NewRuntime(ompss.Config{Scheduler: "bf", SMPWorkers: 2, GPUs: 1})
+		if err != nil {
+			return false
+		}
+		cfg := apps.RandDAGConfig{Seed: seed, Layers: layers, Width: width}
+		app, err := apps.BuildRandDAG(r, cfg)
+		if err != nil {
+			return false
+		}
+		r.Execute()
+		// Every edge spans exactly one layer, forward.
+		hasPred := make(map[int]bool)
+		for _, e := range app.Edges() {
+			if e.To/width != e.From/width+1 {
+				return false
+			}
+			hasPred[e.To] = true
+		}
+		// Every non-root task has at least one predecessor.
+		for id := width; id < layers*width; id++ {
+			if !hasPred[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

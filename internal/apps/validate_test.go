@@ -1,0 +1,82 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/ompss"
+)
+
+// TestTraceInvariantsAllAppsAllSchedulers runs every application under
+// every scheduler and validates the execution trace with the independent
+// stats oracle: no worker ever executes two tasks at once, no link
+// carries two transfers at once, and every task's timeline is monotonic.
+func TestTraceInvariantsAllAppsAllSchedulers(t *testing.T) {
+	type buildFn func(r *ompss.Runtime) error
+	builds := map[string]buildFn{
+		"matmul": func(r *ompss.Runtime) error {
+			_, err := BuildMatmul(r, MatmulConfig{N: 4096, BS: 1024, Variant: MatmulHybrid})
+			return err
+		},
+		"cholesky": func(r *ompss.Runtime) error {
+			_, err := BuildCholesky(r, CholeskyConfig{N: 8192, BS: 2048, Variant: CholeskyPotrfHybrid})
+			return err
+		},
+		"pbpi": func(r *ompss.Runtime) error {
+			_, err := BuildPBPI(r, PBPIConfig{Elements: 8000, Segments: 8, Loop2Chunks: 8, Generations: 5, Variant: PBPIHybrid})
+			return err
+		},
+	}
+	for appName, build := range builds {
+		for _, schedName := range []string{"versioning", "bf", "dep", "affinity"} {
+			t.Run(appName+"/"+schedName, func(t *testing.T) {
+				r, err := ompss.NewRuntime(ompss.Config{
+					Scheduler:  schedName,
+					SMPWorkers: 4,
+					GPUs:       2,
+					NoiseSigma: 0.03,
+					Seed:       7,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := build(r); err != nil {
+					t.Fatal(err)
+				}
+				r.Execute()
+				if problems := stats.Validate(r.Tracer()); len(problems) > 0 {
+					for _, p := range problems {
+						t.Error(p)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestUtilizationBounded checks that summarized utilizations are sane
+// (0..1) on a real run and that the busiest GPU is well utilized on the
+// GPU-dominated matmul.
+func TestUtilizationBounded(t *testing.T) {
+	r, err := ompss.NewRuntime(ompss.Config{Scheduler: "dep", SMPWorkers: 1, GPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildMatmul(r, MatmulConfig{N: 8192, BS: 1024, Variant: MatmulGPU}); err != nil {
+		t.Fatal(err)
+	}
+	r.Execute()
+	sum := stats.Summarize(r.Tracer())
+	var maxUtil float64
+	for _, w := range sum.Workers {
+		if w.Utilization < 0 || w.Utilization > 1.0001 {
+			t.Errorf("worker %d utilization %v out of range", w.Worker, w.Utilization)
+		}
+		if w.Utilization > maxUtil {
+			maxUtil = w.Utilization
+		}
+	}
+	if maxUtil < 0.9 {
+		t.Errorf("busiest worker only %.0f%% utilized on a GPU-bound matmul", maxUtil*100)
+	}
+}

@@ -1,0 +1,124 @@
+package deps
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestCommutativeGroupHasNoIntraEdges(t *testing.T) {
+	tr := NewTracker()
+	o := obj(0, 100)
+	for i := 0; i < 4; i++ {
+		if preds := tr.Add(i, []Access{Commutative(o)}); len(preds) != 0 {
+			t.Fatalf("member %d has preds %v, want none", i, preds)
+		}
+	}
+}
+
+func TestCommutativeDependsOnPriorWriter(t *testing.T) {
+	tr := NewTracker()
+	o := obj(0, 100)
+	tr.Add("w", []Access{Out(o)})
+	for i := 0; i < 3; i++ {
+		preds := tr.Add(i, []Access{Commutative(o)})
+		if len(preds) != 1 || preds[0] != "w" {
+			t.Fatalf("member %d preds = %v, want [w]", i, preds)
+		}
+	}
+}
+
+func TestReadAfterGroupDependsOnAllMembers(t *testing.T) {
+	tr := NewTracker()
+	o := obj(0, 100)
+	tr.Add(0, []Access{Commutative(o)})
+	tr.Add(1, []Access{Commutative(o)})
+	tr.Add(2, []Access{Commutative(o)})
+	preds := tr.Add("r", []Access{In(o)})
+	if len(preds) != 3 {
+		t.Fatalf("reader preds = %v, want all 3 members", preds)
+	}
+}
+
+func TestWriteAfterGroupDependsOnAllMembers(t *testing.T) {
+	tr := NewTracker()
+	o := obj(0, 100)
+	tr.Add(0, []Access{Commutative(o)})
+	tr.Add(1, []Access{Commutative(o)})
+	preds := tr.Add("w", []Access{Out(o)})
+	if len(preds) != 2 {
+		t.Fatalf("writer preds = %v, want both members", preds)
+	}
+	// After the write, history is clean: a reader depends only on it.
+	preds = tr.Add("r", []Access{In(o)})
+	if len(preds) != 1 || preds[0] != "w" {
+		t.Fatalf("post-write reader preds = %v, want [w]", preds)
+	}
+}
+
+func TestInterveningReadSplitsGroups(t *testing.T) {
+	tr := NewTracker()
+	o := obj(0, 100)
+	tr.Add(0, []Access{Commutative(o)})
+	preds := tr.Add("r", []Access{In(o)})
+	if len(preds) != 1 || preds[0] != 0 {
+		t.Fatalf("reader preds = %v", preds)
+	}
+	// A commutative access after the read starts a new group: it must
+	// wait for the reader (WAR) and for the old member (it is now a
+	// co-last-writer).
+	preds = tr.Add(1, []Access{Commutative(o)})
+	if len(preds) != 2 {
+		t.Fatalf("new group member preds = %v, want old member + reader", preds)
+	}
+	// Two groups are independent of each other's mutual order only
+	// within each group: member 2 of the new group has the same preds.
+	preds = tr.Add(2, []Access{Commutative(o)})
+	if len(preds) != 2 {
+		t.Fatalf("second new-group member preds = %v", preds)
+	}
+}
+
+func TestCommutativeOnDistinctObjectsIndependent(t *testing.T) {
+	tr := NewTracker()
+	a, b := obj(0, 10), obj(1, 10)
+	tr.Add(0, []Access{Commutative(a)})
+	if preds := tr.Add(1, []Access{Commutative(b)}); len(preds) != 0 {
+		t.Fatalf("different objects should not interact: %v", preds)
+	}
+}
+
+func TestCommutativeMixedWithRegularAccess(t *testing.T) {
+	// A task with one commutative access and one regular input.
+	tr := NewTracker()
+	acc, in := obj(0, 10), obj(1, 10)
+	tr.Add("producer", []Access{Out(in)})
+	preds := tr.Add(0, []Access{Commutative(acc), In(in)})
+	if len(preds) != 1 || preds[0] != "producer" {
+		t.Fatalf("preds = %v", preds)
+	}
+	preds = tr.Add(1, []Access{Commutative(acc), In(in)})
+	if len(preds) != 1 || preds[0] != "producer" {
+		t.Fatalf("second member preds = %v (must not include member 0)", preds)
+	}
+}
+
+func TestCommutativeRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("range-restricted commutative access should panic")
+		}
+	}()
+	tr := NewTracker()
+	o := obj(0, 100)
+	tr.Add(0, []Access{{Obj: o, Off: 0, Len: 10, Mode: mem.Commutative}})
+}
+
+func TestCommutativeModeSemantics(t *testing.T) {
+	if !mem.Commutative.Reads() || !mem.Commutative.Writes() {
+		t.Error("commutative must read and write for the directory")
+	}
+	if mem.Commutative.String() != "commutative" {
+		t.Errorf("String = %q", mem.Commutative.String())
+	}
+}

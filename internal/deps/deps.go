@@ -1,0 +1,294 @@
+// Package deps implements StarSs/OmpSs dependence analysis. Tasks declare
+// accesses (input / output / inout) over byte ranges of data objects; the
+// tracker registers each submitted task against the per-object access
+// history and returns the set of earlier tasks it must wait for:
+//
+//   - a reader depends on every earlier writer whose written range
+//     overlaps the read range (RAW);
+//   - a writer depends on every earlier writer (WAW) and every reader
+//     since that writer (WAR) overlapping the written range.
+//
+// Ranges are arbitrary byte intervals, so the tracker supports OmpSs
+// array-section dependences; whole-object accesses are the common case
+// (tiles). The resulting graph is a DAG by construction (dependencies
+// always point to previously submitted tasks).
+package deps
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Node is the opaque handle the runtime registers tasks under. It must be
+// a comparable type (the runtime uses *rt.Task pointers).
+type Node any
+
+// Access is one dependence clause of a task: a mode over a byte range of
+// an object. Len == 0 means "the whole object".
+type Access struct {
+	Obj  *mem.Object
+	Off  int64
+	Len  int64
+	Mode mem.AccessMode
+}
+
+// Normalize returns the concrete [lo, hi) interval of the access.
+func (a Access) Normalize() (lo, hi int64) {
+	if a.Len == 0 {
+		size := a.Obj.Size
+		if size <= 0 {
+			size = 1 // zero-sized objects still conflict as a unit
+		}
+		return 0, size
+	}
+	if a.Off < 0 || a.Len < 0 {
+		panic(fmt.Sprintf("deps: negative access range off=%d len=%d", a.Off, a.Len))
+	}
+	return a.Off, a.Off + a.Len
+}
+
+func (a Access) String() string {
+	lo, hi := a.Normalize()
+	return fmt.Sprintf("%s(%s[%d:%d])", a.Mode, a.Obj.Name, lo, hi)
+}
+
+// In builds an input (read) access over a whole object.
+func In(obj *mem.Object) Access { return Access{Obj: obj, Mode: mem.Read} }
+
+// Out builds an output (write) access over a whole object.
+func Out(obj *mem.Object) Access { return Access{Obj: obj, Mode: mem.Write} }
+
+// InOut builds an inout access over a whole object.
+func InOut(obj *mem.Object) Access { return Access{Obj: obj, Mode: mem.ReadWrite} }
+
+// InRange, OutRange and InOutRange build accesses over a byte sub-range.
+func InRange(obj *mem.Object, off, length int64) Access {
+	return Access{Obj: obj, Off: off, Len: length, Mode: mem.Read}
+}
+
+// OutRange builds an output access over a byte sub-range.
+func OutRange(obj *mem.Object, off, length int64) Access {
+	return Access{Obj: obj, Off: off, Len: length, Mode: mem.Write}
+}
+
+// InOutRange builds an inout access over a byte sub-range.
+func InOutRange(obj *mem.Object, off, length int64) Access {
+	return Access{Obj: obj, Off: off, Len: length, Mode: mem.ReadWrite}
+}
+
+// Commutative builds a commutative access over a whole object (the OmpSs
+// commutative clause). Tasks in the same commutative group carry no
+// dependence edges among themselves — any execution order is legal — and
+// the runtime enforces their mutual exclusion at dispatch time instead.
+// Accesses before the group and after it are ordered against every
+// member. Only whole-object commutative accesses are supported.
+func Commutative(obj *mem.Object) Access { return Access{Obj: obj, Mode: mem.Commutative} }
+
+// interval is a half-open byte range [lo, hi).
+type interval struct{ lo, hi int64 }
+
+func (iv interval) overlaps(other interval) bool {
+	return iv.lo < other.hi && other.lo < iv.hi
+}
+
+// subtract removes cut from iv, returning the 0..2 remaining pieces.
+func (iv interval) subtract(cut interval) []interval {
+	if !iv.overlaps(cut) {
+		return []interval{iv}
+	}
+	var out []interval
+	if iv.lo < cut.lo {
+		out = append(out, interval{iv.lo, cut.lo})
+	}
+	if cut.hi < iv.hi {
+		out = append(out, interval{cut.hi, iv.hi})
+	}
+	return out
+}
+
+type wEntry struct {
+	iv interval
+	n  Node
+}
+
+type rEntry struct {
+	iv interval
+	n  Node
+}
+
+// objHist is the access history of one object.
+type objHist struct {
+	writers []wEntry // non-overlapping: each byte has at most one last writer
+	readers []rEntry // readers since the last write of each byte
+	// comm is the open commutative group: members carry no edges among
+	// themselves. Any non-commutative access closes the group by folding
+	// every member into writers (as co-last-writers of the whole object),
+	// so later accesses depend on all of them.
+	comm []Node
+}
+
+// Tracker incrementally builds the task dependence graph.
+type Tracker struct {
+	hist map[mem.ObjectID]*objHist
+
+	// Edges counts the total number of dependence edges produced, for
+	// diagnostics.
+	Edges int64
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{hist: make(map[mem.ObjectID]*objHist)}
+}
+
+func (t *Tracker) histFor(obj *mem.Object) *objHist {
+	h, ok := t.hist[obj.ID]
+	if !ok {
+		h = &objHist{}
+		t.hist[obj.ID] = h
+	}
+	return h
+}
+
+// Add registers a task and its accesses, returning the distinct earlier
+// tasks it depends on (never including itself), in first-encountered
+// order (deterministic given deterministic submission order).
+func (t *Tracker) Add(n Node, accs []Access) []Node {
+	var preds []Node
+	seen := make(map[Node]bool)
+	collect := func(p Node) {
+		if p == n || seen[p] {
+			return
+		}
+		seen[p] = true
+		preds = append(preds, p)
+	}
+
+	for _, a := range accs {
+		h := t.histFor(a.Obj)
+		lo, hi := a.Normalize()
+		iv := interval{lo, hi}
+
+		if a.Mode == mem.Commutative {
+			if a.Off != 0 || a.Len != 0 {
+				panic(fmt.Sprintf("deps: commutative access must cover the whole object, got %v", a))
+			}
+			// Depend on the pre-group history only — group members are
+			// not in writers/readers while the group is open, so no
+			// intra-group edges arise.
+			for _, w := range h.writers {
+				if w.iv.overlaps(iv) {
+					collect(w.n)
+				}
+			}
+			for _, r := range h.readers {
+				if r.iv.overlaps(iv) {
+					collect(r.n)
+				}
+			}
+			h.comm = append(h.comm, n)
+			continue
+		}
+		if len(h.comm) > 0 {
+			// A non-commutative access closes the group: every member
+			// becomes a co-last-writer of the whole object. Overlapping
+			// writer entries are deliberate — subsequent accesses must
+			// depend on all of them.
+			whole := interval{0, maxInt64(a.Obj.Size, 1)}
+			h.writers = subtractFromWriters(h.writers, whole)
+			h.readers = subtractFromReaders(h.readers, whole)
+			for _, m := range h.comm {
+				h.writers = append(h.writers, wEntry{whole, m})
+			}
+			h.comm = nil
+		}
+
+		if a.Mode.Reads() && !a.Mode.Writes() {
+			// RAW: depend on overlapping writers.
+			for _, w := range h.writers {
+				if w.iv.overlaps(iv) {
+					collect(w.n)
+				}
+			}
+			h.readers = append(h.readers, rEntry{iv, n})
+			continue
+		}
+
+		// Write or ReadWrite: RAW/WAW on writers, WAR on readers.
+		for _, w := range h.writers {
+			if w.iv.overlaps(iv) {
+				collect(w.n)
+			}
+		}
+		for _, r := range h.readers {
+			if r.iv.overlaps(iv) {
+				collect(r.n)
+			}
+		}
+		// Register as the new last writer of iv: carve iv out of existing
+		// writer and reader entries, then append.
+		h.writers = subtractFromWriters(h.writers, iv)
+		h.readers = subtractFromReaders(h.readers, iv)
+		h.writers = append(h.writers, wEntry{iv, n})
+	}
+	t.Edges += int64(len(preds))
+	return preds
+}
+
+func subtractFromWriters(entries []wEntry, cut interval) []wEntry {
+	out := entries[:0]
+	var extra []wEntry
+	for _, e := range entries {
+		pieces := e.iv.subtract(cut)
+		if len(pieces) == 0 {
+			continue
+		}
+		e.iv = pieces[0]
+		out = append(out, e)
+		for _, p := range pieces[1:] {
+			extra = append(extra, wEntry{p, e.n})
+		}
+	}
+	return append(out, extra...)
+}
+
+func subtractFromReaders(entries []rEntry, cut interval) []rEntry {
+	out := entries[:0]
+	var extra []rEntry
+	for _, e := range entries {
+		pieces := e.iv.subtract(cut)
+		if len(pieces) == 0 {
+			continue
+		}
+		e.iv = pieces[0]
+		out = append(out, e)
+		for _, p := range pieces[1:] {
+			extra = append(extra, rEntry{p, e.n})
+		}
+	}
+	return append(out, extra...)
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// LastWriter returns the task that last wrote the byte at off in the
+// object, or nil. Used by locality-aware schedulers to find the producer
+// of a task's inputs.
+func (t *Tracker) LastWriter(obj *mem.Object, off int64) Node {
+	h, ok := t.hist[obj.ID]
+	if !ok {
+		return nil
+	}
+	for _, w := range h.writers {
+		if w.iv.lo <= off && off < w.iv.hi {
+			return w.n
+		}
+	}
+	return nil
+}

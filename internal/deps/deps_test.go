@@ -1,0 +1,342 @@
+package deps
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func obj(id int, size int64) *mem.Object {
+	return &mem.Object{ID: mem.ObjectID(id), Name: "o", Size: size}
+}
+
+type task struct{ id int }
+
+func TestRAW(t *testing.T) {
+	tr := NewTracker()
+	o := obj(0, 100)
+	w := &task{1}
+	r := &task{2}
+	if preds := tr.Add(w, []Access{Out(o)}); len(preds) != 0 {
+		t.Fatalf("first writer should have no preds, got %v", preds)
+	}
+	preds := tr.Add(r, []Access{In(o)})
+	if len(preds) != 1 || preds[0] != w {
+		t.Fatalf("reader preds = %v, want [writer]", preds)
+	}
+}
+
+func TestWAR(t *testing.T) {
+	tr := NewTracker()
+	o := obj(0, 100)
+	r := &task{1}
+	w := &task{2}
+	tr.Add(r, []Access{In(o)})
+	preds := tr.Add(w, []Access{Out(o)})
+	if len(preds) != 1 || preds[0] != r {
+		t.Fatalf("writer preds = %v, want [reader]", preds)
+	}
+}
+
+func TestWAW(t *testing.T) {
+	tr := NewTracker()
+	o := obj(0, 100)
+	w1 := &task{1}
+	w2 := &task{2}
+	tr.Add(w1, []Access{Out(o)})
+	preds := tr.Add(w2, []Access{Out(o)})
+	if len(preds) != 1 || preds[0] != w1 {
+		t.Fatalf("second writer preds = %v, want [w1]", preds)
+	}
+}
+
+func TestConcurrentReadersIndependent(t *testing.T) {
+	tr := NewTracker()
+	o := obj(0, 100)
+	w := &task{1}
+	r1 := &task{2}
+	r2 := &task{3}
+	tr.Add(w, []Access{Out(o)})
+	tr.Add(r1, []Access{In(o)})
+	preds := tr.Add(r2, []Access{In(o)})
+	if len(preds) != 1 || preds[0] != w {
+		t.Fatalf("r2 preds = %v, want only the writer", preds)
+	}
+}
+
+func TestWriterDependsOnAllReaders(t *testing.T) {
+	tr := NewTracker()
+	o := obj(0, 100)
+	w1 := &task{1}
+	r1 := &task{2}
+	r2 := &task{3}
+	w2 := &task{4}
+	tr.Add(w1, []Access{Out(o)})
+	tr.Add(r1, []Access{In(o)})
+	tr.Add(r2, []Access{In(o)})
+	preds := tr.Add(w2, []Access{Out(o)})
+	want := map[Node]bool{w1: true, r1: true, r2: true}
+	if len(preds) != 3 {
+		t.Fatalf("w2 preds = %v, want w1,r1,r2", preds)
+	}
+	for _, p := range preds {
+		if !want[p] {
+			t.Fatalf("unexpected pred %v", p)
+		}
+	}
+}
+
+func TestReaderAfterNewWriteSeesOnlyNewWriter(t *testing.T) {
+	tr := NewTracker()
+	o := obj(0, 100)
+	w1 := &task{1}
+	w2 := &task{2}
+	r := &task{3}
+	tr.Add(w1, []Access{Out(o)})
+	tr.Add(w2, []Access{Out(o)})
+	preds := tr.Add(r, []Access{In(o)})
+	if len(preds) != 1 || preds[0] != w2 {
+		t.Fatalf("r preds = %v, want only w2 (w1 superseded)", preds)
+	}
+}
+
+func TestDisjointRangesIndependent(t *testing.T) {
+	tr := NewTracker()
+	o := obj(0, 100)
+	w1 := &task{1}
+	w2 := &task{2}
+	tr.Add(w1, []Access{OutRange(o, 0, 50)})
+	preds := tr.Add(w2, []Access{OutRange(o, 50, 50)})
+	if len(preds) != 0 {
+		t.Fatalf("disjoint writers should be independent, got %v", preds)
+	}
+}
+
+func TestPartialOverlapSplitsWriter(t *testing.T) {
+	tr := NewTracker()
+	o := obj(0, 100)
+	w1 := &task{1} // writes [0,60)
+	w2 := &task{2} // writes [40,100) — overlaps w1's tail
+	r1 := &task{3} // reads [0,20): only w1's remnant
+	r2 := &task{4} // reads [50,60): w2 now owns
+	tr.Add(w1, []Access{OutRange(o, 0, 60)})
+	tr.Add(w2, []Access{OutRange(o, 40, 60)})
+
+	preds := tr.Add(r1, []Access{InRange(o, 0, 20)})
+	if len(preds) != 1 || preds[0] != w1 {
+		t.Fatalf("r1 preds = %v, want [w1]", preds)
+	}
+	preds = tr.Add(r2, []Access{InRange(o, 50, 10)})
+	if len(preds) != 1 || preds[0] != w2 {
+		t.Fatalf("r2 preds = %v, want [w2]", preds)
+	}
+}
+
+func TestReadSpanningTwoWritersDependsOnBoth(t *testing.T) {
+	tr := NewTracker()
+	o := obj(0, 100)
+	w1 := &task{1}
+	w2 := &task{2}
+	r := &task{3}
+	tr.Add(w1, []Access{OutRange(o, 0, 50)})
+	tr.Add(w2, []Access{OutRange(o, 50, 50)})
+	preds := tr.Add(r, []Access{In(o)})
+	if len(preds) != 2 {
+		t.Fatalf("spanning read preds = %v, want both writers", preds)
+	}
+}
+
+func TestInOutChains(t *testing.T) {
+	tr := NewTracker()
+	o := obj(0, 100)
+	var prev *task
+	for i := 0; i < 5; i++ {
+		cur := &task{i}
+		preds := tr.Add(cur, []Access{InOut(o)})
+		if i == 0 && len(preds) != 0 {
+			t.Fatalf("first inout should be free, got %v", preds)
+		}
+		if i > 0 && (len(preds) != 1 || preds[0] != prev) {
+			t.Fatalf("inout %d preds = %v, want [%v]", i, preds, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestSelfDependencyExcluded(t *testing.T) {
+	tr := NewTracker()
+	o := obj(0, 100)
+	n := &task{1}
+	// input and output of the same object by the same task must not
+	// produce a self-dependency.
+	preds := tr.Add(n, []Access{In(o), Out(o)})
+	if len(preds) != 0 {
+		t.Fatalf("self-dep leaked: %v", preds)
+	}
+}
+
+func TestMultipleObjects(t *testing.T) {
+	tr := NewTracker()
+	a, b, c := obj(0, 10), obj(1, 10), obj(2, 10)
+	t1 := &task{1}
+	t2 := &task{2}
+	t3 := &task{3}
+	tr.Add(t1, []Access{Out(a)})
+	tr.Add(t2, []Access{Out(b)})
+	preds := tr.Add(t3, []Access{In(a), In(b), Out(c)})
+	if len(preds) != 2 {
+		t.Fatalf("t3 preds = %v, want t1 and t2", preds)
+	}
+}
+
+func TestDedupSamePred(t *testing.T) {
+	tr := NewTracker()
+	a, b := obj(0, 10), obj(1, 10)
+	w := &task{1}
+	r := &task{2}
+	tr.Add(w, []Access{Out(a), Out(b)})
+	preds := tr.Add(r, []Access{In(a), In(b)})
+	if len(preds) != 1 {
+		t.Fatalf("pred not deduplicated: %v", preds)
+	}
+}
+
+func TestZeroSizedObjectStillConflicts(t *testing.T) {
+	tr := NewTracker()
+	o := obj(0, 0)
+	w := &task{1}
+	r := &task{2}
+	tr.Add(w, []Access{Out(o)})
+	preds := tr.Add(r, []Access{In(o)})
+	if len(preds) != 1 {
+		t.Fatalf("zero-size object deps lost: %v", preds)
+	}
+}
+
+func TestLastWriter(t *testing.T) {
+	tr := NewTracker()
+	o := obj(0, 100)
+	w1 := &task{1}
+	w2 := &task{2}
+	tr.Add(w1, []Access{Out(o)})
+	tr.Add(w2, []Access{OutRange(o, 50, 50)})
+	if got := tr.LastWriter(o, 10); got != w1 {
+		t.Errorf("LastWriter(10) = %v, want w1", got)
+	}
+	if got := tr.LastWriter(o, 70); got != w2 {
+		t.Errorf("LastWriter(70) = %v, want w2", got)
+	}
+	if got := tr.LastWriter(obj(9, 5), 0); got != nil {
+		t.Errorf("LastWriter on untouched object = %v", got)
+	}
+}
+
+func TestNegativeRangePanics(t *testing.T) {
+	tr := NewTracker()
+	o := obj(0, 100)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative range did not panic")
+		}
+	}()
+	tr.Add(&task{1}, []Access{{Obj: o, Off: -5, Len: 10, Mode: mem.Read}})
+}
+
+func TestAccessString(t *testing.T) {
+	o := &mem.Object{ID: 0, Name: "tile", Size: 64}
+	if s := In(o).String(); s != "input(tile[0:64])" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// Property: for every pair of conflicting accesses (overlapping ranges,
+// at least one write), the later task must be reachable from... i.e. the
+// later task must transitively depend on the earlier one.
+func TestConflictSerializationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewTracker()
+		o := obj(0, 64)
+
+		type rec struct {
+			n    *task
+			lo   int64
+			hi   int64
+			mode mem.AccessMode
+		}
+		n := rng.Intn(20) + 2
+		var recs []rec
+		preds := make(map[*task]map[*task]bool)
+
+		for i := 0; i < n; i++ {
+			lo := int64(rng.Intn(60))
+			length := int64(rng.Intn(int(64-lo)) + 1)
+			mode := []mem.AccessMode{mem.Read, mem.Write, mem.ReadWrite}[rng.Intn(3)]
+			tk := &task{i}
+			ps := tr.Add(tk, []Access{{Obj: o, Off: lo, Len: length, Mode: mode}})
+			pm := make(map[*task]bool)
+			for _, p := range ps {
+				pm[p.(*task)] = true
+			}
+			preds[tk] = pm
+			recs = append(recs, rec{tk, lo, lo + length, mode})
+		}
+
+		// Transitive closure of dependencies.
+		reach := make(map[*task]map[*task]bool)
+		for i := 0; i < n; i++ {
+			tk := recs[i].n
+			r := make(map[*task]bool)
+			for p := range preds[tk] {
+				r[p] = true
+				for q := range reach[p] {
+					r[q] = true
+				}
+			}
+			reach[tk] = r
+		}
+
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				a, b := recs[i], recs[j]
+				conflict := a.lo < b.hi && b.lo < a.hi &&
+					(a.mode.Writes() || b.mode.Writes())
+				if conflict && !reach[b.n][a.n] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the dependence graph is acyclic (preds only reference earlier
+// tasks).
+func TestAcyclicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewTracker()
+		objs := []*mem.Object{obj(0, 32), obj(1, 32)}
+		order := make(map[*task]int)
+		for i := 0; i < 30; i++ {
+			tk := &task{i}
+			order[tk] = i
+			o := objs[rng.Intn(2)]
+			mode := []mem.AccessMode{mem.Read, mem.Write, mem.ReadWrite}[rng.Intn(3)]
+			for _, p := range tr.Add(tk, []Access{{Obj: o, Mode: mode}}) {
+				if order[p.(*task)] >= i {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+// Package energy adds power and energy accounting on top of a run's
+// trace. The paper motivates multiple task versions with "there is not a
+// single piece of code that fits all the existing hardware architectures,
+// and even if we find that code, it will not be the best (in terms of
+// performance, energy consumption, ...) for all of them" (Section II);
+// this package quantifies the energy side of that trade-off for any
+// schedule the runtime produced.
+//
+// The model is an activity-based node power model: every device draws
+// BusyWatts while executing a task and IdleWatts otherwise, every
+// interconnect DMA engine draws LinkActiveWatts while a transfer is in
+// flight, and the node draws a constant BaseWatts (board, DRAM, fans) for
+// the whole makespan. Energy is integrated from the trace records, so it
+// reflects exactly the schedule under study: a faster schedule saves idle
+// and base energy, a schedule that moves more data pays transfer energy.
+package energy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// DevicePower is the two-state power draw of one processing element.
+type DevicePower struct {
+	// BusyWatts is drawn while a task executes on the device.
+	BusyWatts float64
+	// IdleWatts is drawn the rest of the makespan.
+	IdleWatts float64
+}
+
+// Model maps a machine's resources to power draws.
+type Model struct {
+	// ByKind gives the default power per device kind.
+	ByKind map[machine.DeviceKind]DevicePower
+	// ByName overrides the power of individual devices (matched against
+	// machine.Device.Name).
+	ByName map[string]DevicePower
+	// LinkActiveWatts is drawn by a DMA engine while a transfer occupies
+	// its link.
+	LinkActiveWatts float64
+	// BaseWatts is the constant node floor (board, DRAM, PSU losses),
+	// charged for the whole makespan.
+	BaseWatts float64
+}
+
+// Published (TDP-level) figures for the paper's evaluation node:
+//
+//   - Intel Xeon E5649: 80 W TDP over 6 cores => ~13.3 W per busy core;
+//     deep C-states leave roughly 2.5 W per idle core.
+//   - NVIDIA Tesla M2090: 225 W TDP busy, ~40 W idle (Fermi boards do not
+//     clock-gate aggressively).
+//   - PCIe/IB DMA engines: ~10 W while moving data.
+//   - Node base (board, 24 GB DDR3, fans at fixed RPM): ~90 W.
+const (
+	XeonCoreBusyWatts = 80.0 / 6
+	XeonCoreIdleWatts = 2.5
+	M2090BusyWatts    = 225.0
+	M2090IdleWatts    = 40.0
+	DMAActiveWatts    = 10.0
+	NodeBaseWatts     = 90.0
+)
+
+// MinoTauro returns the power model of the paper's evaluation node.
+func MinoTauro() *Model {
+	return &Model{
+		ByKind: map[machine.DeviceKind]DevicePower{
+			machine.KindSMP:  {BusyWatts: XeonCoreBusyWatts, IdleWatts: XeonCoreIdleWatts},
+			machine.KindCUDA: {BusyWatts: M2090BusyWatts, IdleWatts: M2090IdleWatts},
+		},
+		LinkActiveWatts: DMAActiveWatts,
+		BaseWatts:       NodeBaseWatts,
+	}
+}
+
+// DevicePower resolves the power draw of a device: a ByName override
+// wins, then the kind default, then zero.
+func (m *Model) DevicePower(d machine.Device) DevicePower {
+	if p, ok := m.ByName[d.Name]; ok {
+		return p
+	}
+	return m.ByKind[d.Kind]
+}
+
+// DeviceReport is the per-device energy breakdown.
+type DeviceReport struct {
+	Name       string
+	Kind       machine.DeviceKind
+	Busy       time.Duration
+	BusyJoules float64
+	IdleJoules float64
+	Tasks      int
+}
+
+// Joules is the device's total energy.
+func (d DeviceReport) Joules() float64 { return d.BusyJoules + d.IdleJoules }
+
+// Utilization is the fraction of the makespan the device was executing.
+func (d DeviceReport) Utilization(makespan time.Duration) float64 {
+	if makespan <= 0 {
+		return 0
+	}
+	return d.Busy.Seconds() / makespan.Seconds()
+}
+
+// Report is the energy account of one run.
+type Report struct {
+	Makespan time.Duration
+	// Devices holds one entry per machine device that could draw power
+	// (workerless devices still pay idle power: the machine has them even
+	// if the run did not use them), sorted by name.
+	Devices []DeviceReport
+	// TransferJoules is the DMA energy of all recorded transfers.
+	TransferJoules float64
+	// BaseJoules is BaseWatts integrated over the makespan.
+	BaseJoules float64
+}
+
+// TotalJoules sums every component.
+func (r *Report) TotalJoules() float64 {
+	sum := r.TransferJoules + r.BaseJoules
+	for _, d := range r.Devices {
+		sum += d.Joules()
+	}
+	return sum
+}
+
+// AveragePowerWatts is total energy over the makespan.
+func (r *Report) AveragePowerWatts() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return r.TotalJoules() / r.Makespan.Seconds()
+}
+
+// EDP is the energy-delay product (J*s), the standard single-figure
+// efficiency metric: schedules can trade makespan against energy, EDP
+// rewards improving both.
+func (r *Report) EDP() float64 {
+	return r.TotalJoules() * r.Makespan.Seconds()
+}
+
+// Device returns the report entry with the given device name, or nil.
+func (r *Report) Device(name string) *DeviceReport {
+	for i := range r.Devices {
+		if r.Devices[i].Name == name {
+			return &r.Devices[i]
+		}
+	}
+	return nil
+}
+
+// Compute integrates the model over a finished run's trace. makespan is
+// the run's final virtual time (devices are charged idle power up to it).
+func Compute(tr *trace.Tracer, m *machine.Machine, model *Model, makespan time.Duration) *Report {
+	if makespan < 0 {
+		panic("energy: negative makespan")
+	}
+	busy := make(map[string]time.Duration)
+	tasks := make(map[string]int)
+	if tr != nil {
+		for _, rec := range tr.Tasks {
+			busy[rec.Device] += rec.ExecTime()
+			tasks[rec.Device]++
+		}
+	}
+
+	rep := &Report{Makespan: makespan}
+	for _, d := range m.Devices {
+		p := model.DevicePower(d)
+		b := busy[d.Name]
+		if b > makespan {
+			// Guard against clock skew in hand-built traces.
+			b = makespan
+		}
+		rep.Devices = append(rep.Devices, DeviceReport{
+			Name:       d.Name,
+			Kind:       d.Kind,
+			Busy:       b,
+			BusyJoules: p.BusyWatts * b.Seconds(),
+			IdleJoules: p.IdleWatts * (makespan - b).Seconds(),
+			Tasks:      tasks[d.Name],
+		})
+	}
+	sort.Slice(rep.Devices, func(i, j int) bool { return rep.Devices[i].Name < rep.Devices[j].Name })
+
+	if tr != nil {
+		for _, rec := range tr.Transfers {
+			rep.TransferJoules += model.LinkActiveWatts * rec.End.Sub(rec.Start).Seconds()
+		}
+	}
+	rep.BaseJoules = model.BaseWatts * makespan.Seconds()
+	return rep
+}
+
+// Format renders the report as an aligned text table.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "energy report (makespan %.3fs)\n", r.Makespan.Seconds())
+	fmt.Fprintf(&b, "%-22s %-6s %10s %6s %12s %12s\n", "device", "kind", "busy", "util", "busy J", "idle J")
+	for _, d := range r.Devices {
+		fmt.Fprintf(&b, "%-22s %-6s %9.3fs %5.1f%% %12.1f %12.1f\n",
+			d.Name, d.Kind, d.Busy.Seconds(), 100*d.Utilization(r.Makespan), d.BusyJoules, d.IdleJoules)
+	}
+	fmt.Fprintf(&b, "transfers: %.1f J, base: %.1f J\n", r.TransferJoules, r.BaseJoules)
+	fmt.Fprintf(&b, "total: %.1f J, avg power %.1f W, EDP %.1f J*s\n",
+		r.TotalJoules(), r.AveragePowerWatts(), r.EDP())
+	return b.String()
+}

@@ -1,0 +1,162 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/xfer"
+)
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9*math.Max(1, math.Abs(a)+math.Abs(b))
+}
+
+// fixedModel has easy round numbers for hand-checking.
+func fixedModel() *Model {
+	return &Model{
+		ByKind: map[machine.DeviceKind]DevicePower{
+			machine.KindSMP:  {BusyWatts: 10, IdleWatts: 1},
+			machine.KindCUDA: {BusyWatts: 100, IdleWatts: 20},
+		},
+		LinkActiveWatts: 5,
+		BaseWatts:       50,
+	}
+}
+
+func at(sec float64) sim.Time { return sim.Time(sec * 1e9) }
+
+func TestComputeBusyIdleSplit(t *testing.T) {
+	m := machine.MinoTauro(1, 1)
+	tr := trace.New()
+	// The core is busy 2 of 10 seconds; the GPU 5 of 10.
+	tr.RecordTask(trace.TaskRecord{Device: "core-0", DeviceKind: machine.KindSMP, Start: at(0), End: at(2)})
+	tr.RecordTask(trace.TaskRecord{Device: "gpu-0", DeviceKind: machine.KindCUDA, Start: at(1), End: at(6)})
+	rep := Compute(tr, m, fixedModel(), 10*time.Second)
+
+	core := rep.Device("core-0")
+	if core == nil || !almost(core.BusyJoules, 2*10) || !almost(core.IdleJoules, 8*1) {
+		t.Errorf("core energy = %+v", core)
+	}
+	gpu := rep.Device("gpu-0")
+	if gpu == nil || !almost(gpu.BusyJoules, 5*100) || !almost(gpu.IdleJoules, 5*20) {
+		t.Errorf("gpu energy = %+v", gpu)
+	}
+	if !almost(rep.BaseJoules, 500) {
+		t.Errorf("base = %v", rep.BaseJoules)
+	}
+	want := 20.0 + 8 + 500 + 100 + 0 + 500 // core busy+idle, gpu busy+idle, base
+	if !almost(rep.TotalJoules(), want) {
+		t.Errorf("total = %v, want %v", rep.TotalJoules(), want)
+	}
+}
+
+func TestComputeTransferEnergy(t *testing.T) {
+	m := machine.MinoTauro(1, 1)
+	tr := trace.New()
+	tr.RecordTransfer(xfer.Record{From: 0, To: 1, Bytes: 1, Start: at(0), End: at(3)})
+	tr.RecordTransfer(xfer.Record{From: 1, To: 0, Bytes: 1, Start: at(5), End: at(6)})
+	rep := Compute(tr, m, fixedModel(), 10*time.Second)
+	if !almost(rep.TransferJoules, 5*(3+1)) {
+		t.Errorf("transfer J = %v, want 20", rep.TransferJoules)
+	}
+}
+
+func TestUnusedDeviceStillPaysIdle(t *testing.T) {
+	m := machine.MinoTauro(2, 2)
+	rep := Compute(trace.New(), m, fixedModel(), 4*time.Second)
+	if len(rep.Devices) != 4 {
+		t.Fatalf("devices = %d", len(rep.Devices))
+	}
+	for _, d := range rep.Devices {
+		if d.Busy != 0 || d.BusyJoules != 0 {
+			t.Errorf("unused device %s has busy energy", d.Name)
+		}
+		if d.IdleJoules == 0 {
+			t.Errorf("unused device %s pays no idle energy", d.Name)
+		}
+	}
+}
+
+func TestByNameOverrideWins(t *testing.T) {
+	m := machine.MinoTauro(1, 0)
+	model := fixedModel()
+	model.ByName = map[string]DevicePower{"core-0": {BusyWatts: 999, IdleWatts: 0}}
+	tr := trace.New()
+	tr.RecordTask(trace.TaskRecord{Device: "core-0", Start: at(0), End: at(1)})
+	rep := Compute(tr, m, model, time.Second)
+	if !almost(rep.Device("core-0").BusyJoules, 999) {
+		t.Errorf("override ignored: %+v", rep.Device("core-0"))
+	}
+}
+
+func TestAveragePowerAndEDP(t *testing.T) {
+	m := machine.MinoTauro(1, 0)
+	model := &Model{BaseWatts: 100}
+	rep := Compute(trace.New(), m, model, 2*time.Second)
+	if !almost(rep.AveragePowerWatts(), 100) {
+		t.Errorf("avg power = %v", rep.AveragePowerWatts())
+	}
+	if !almost(rep.EDP(), 200*2) {
+		t.Errorf("EDP = %v", rep.EDP())
+	}
+}
+
+func TestZeroMakespanIsSafe(t *testing.T) {
+	m := machine.MinoTauro(1, 0)
+	rep := Compute(trace.New(), m, fixedModel(), 0)
+	if rep.TotalJoules() != 0 || rep.AveragePowerWatts() != 0 || rep.EDP() != 0 {
+		t.Errorf("zero-makespan report not zero: %v", rep.TotalJoules())
+	}
+	if rep.Devices[0].Utilization(0) != 0 {
+		t.Error("utilization at zero makespan")
+	}
+}
+
+func TestMinoTauroPresetSanity(t *testing.T) {
+	model := MinoTauro()
+	gpu := model.DevicePower(machine.Device{Kind: machine.KindCUDA})
+	cpu := model.DevicePower(machine.Device{Kind: machine.KindSMP})
+	if gpu.BusyWatts <= cpu.BusyWatts {
+		t.Error("GPU should out-draw one core")
+	}
+	if gpu.IdleWatts >= gpu.BusyWatts || cpu.IdleWatts >= cpu.BusyWatts {
+		t.Error("idle power must be below busy power")
+	}
+	// A full node at idle for 1s: 12 cores + 2 GPUs + base.
+	m := machine.MinoTauro(12, 2)
+	rep := Compute(trace.New(), m, model, time.Second)
+	wantIdle := 12*XeonCoreIdleWatts + 2*M2090IdleWatts + NodeBaseWatts
+	if !almost(rep.TotalJoules(), wantIdle) {
+		t.Errorf("idle node energy = %.1f J, want %.1f J", rep.TotalJoules(), wantIdle)
+	}
+}
+
+func TestBusyClampedToMakespan(t *testing.T) {
+	m := machine.MinoTauro(1, 0)
+	tr := trace.New()
+	tr.RecordTask(trace.TaskRecord{Device: "core-0", Start: at(0), End: at(5)})
+	rep := Compute(tr, m, fixedModel(), 2*time.Second) // inconsistent on purpose
+	if rep.Device("core-0").Busy != 2*time.Second {
+		t.Errorf("busy not clamped: %v", rep.Device("core-0").Busy)
+	}
+	if rep.Device("core-0").IdleJoules != 0 {
+		t.Errorf("negative idle energy: %v", rep.Device("core-0").IdleJoules)
+	}
+}
+
+func TestFormatContainsTotals(t *testing.T) {
+	m := machine.MinoTauro(1, 1)
+	tr := trace.New()
+	tr.RecordTask(trace.TaskRecord{Device: "gpu-0", DeviceKind: machine.KindCUDA, Start: at(0), End: at(1)})
+	s := Compute(tr, m, fixedModel(), 2*time.Second).Format()
+	for _, want := range []string{"gpu-0", "core-0", "total:", "EDP", "transfers:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Format() missing %q:\n%s", want, s)
+		}
+	}
+}

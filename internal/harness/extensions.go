@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/ompss"
+)
+
+// Extension experiments beyond the paper's figures. They cover the
+// capabilities this reproduction adds on top of the IPDPS'13 evaluation
+// (documented in DESIGN.md §5/6): a scheduler bake-off on an irregular
+// graph, cluster scaling with remote GPUs, and energy accounting per
+// schedule. ompss-bench runs them alongside the figures.
+
+func init() {
+	register(Experiment{
+		ID:    "ext-sched",
+		Title: "Scheduler comparison on an irregular random DAG",
+		Run:   runExtSched,
+	})
+	register(Experiment{
+		ID:    "ext-cluster",
+		Title: "Hybrid matmul on multi-node clusters (InfiniBand staging)",
+		Run:   runExtCluster,
+	})
+	register(Experiment{
+		ID:    "ext-energy",
+		Title: "Energy account per scheduling policy (Cholesky)",
+		Run:   runExtEnergy,
+	})
+}
+
+func runExtSched(opts Options) (*Report, error) {
+	rep := &Report{ID: "ext-sched",
+		Title:  "Scheduler comparison on an irregular random DAG",
+		Header: []string{"scheduler", "makespan (s)", "tasks", "tx total (GB)"},
+		Notes: []string{
+			"same seeded layered DAG for every policy; 8 SMP + 2 GPU workers",
+			"only the versioning scheduler may use non-main implementations",
+		}}
+	layers, width := 20, 24
+	if opts.Quick {
+		layers, width = 10, 12
+	}
+	rep.Notes[0] = fmt.Sprintf("same seeded %d-task layered DAG for every policy; 8 SMP + 2 GPU workers", layers*width)
+	for _, s := range []string{"versioning", "bf", "dep", "affinity", "wf", "random"} {
+		r, err := ompss.NewRuntime(ompss.Config{
+			Scheduler:  s,
+			SMPWorkers: 8,
+			GPUs:       2,
+			Seed:       opts.Seed,
+			NoiseSigma: opts.Noise,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := apps.BuildRandDAG(r, apps.RandDAGConfig{Seed: 1, Layers: layers, Width: width}); err != nil {
+			return nil, err
+		}
+		res := r.Execute()
+		rep.Rows = append(rep.Rows, []string{
+			s, fmt.Sprintf("%.4f", res.Elapsed.Seconds()),
+			fmt.Sprintf("%d", res.Tasks), gb(res.TotalTxBytes()),
+		})
+	}
+	return rep, nil
+}
+
+func runExtCluster(opts Options) (*Report, error) {
+	rep := &Report{ID: "ext-cluster",
+		Title:  "Hybrid matmul on multi-node clusters (InfiniBand staging)",
+		Header: []string{"machine", "workers", "GFLOP/s", "input (GB)", "output (GB)", "device (GB)"},
+		Notes: []string{
+			"remote GPU data stages over two hops: InfiniBand to the node, PCIe onward",
+		}}
+	n := 16384
+	if opts.Quick {
+		n = 8192
+	}
+	cases := []struct {
+		name    string
+		machine *ompss.Machine
+		smp     int
+		gpus    int
+	}{
+		{"1 node", nil, 8, 2},
+		{"+2 nodes (cores)", ompss.Cluster(8, 2, 2, 6), 20, 2},
+		{"+2 nodes (1 GPU each)", ompss.ClusterGPU(8, 2, 2, 6, 1), 20, 4},
+		{"+4 nodes (1 GPU each)", ompss.ClusterGPU(8, 2, 4, 6, 1), 32, 6},
+	}
+	for _, c := range cases {
+		r, err := ompss.NewRuntime(ompss.Config{
+			Machine:    c.machine,
+			Scheduler:  "versioning",
+			SMPWorkers: c.smp,
+			GPUs:       c.gpus,
+			Seed:       opts.Seed,
+			NoiseSigma: opts.Noise,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := apps.BuildMatmul(r, apps.MatmulConfig{N: n, BS: 1024, Variant: apps.MatmulHybrid}); err != nil {
+			return nil, err
+		}
+		res := r.Execute()
+		rep.Rows = append(rep.Rows, []string{
+			c.name, fmt.Sprintf("%d smp + %d gpu", c.smp, c.gpus),
+			fmt.Sprintf("%.1f", res.GFlops),
+			gb(res.InputTxBytes), gb(res.OutputTxBytes), gb(res.DeviceTxBytes),
+		})
+	}
+	return rep, nil
+}
+
+func runExtEnergy(opts Options) (*Report, error) {
+	rep := &Report{ID: "ext-energy",
+		Title:  "Energy account per scheduling policy (Cholesky)",
+		Header: []string{"scheduler", "makespan (s)", "energy (J)", "avg power (W)", "EDP (J*s)"},
+		Notes: []string{
+			"MinoTauro power model: Xeon cores 13.3/2.5 W busy/idle, M2090 225/40 W, 90 W base",
+			"baselines run potrf-gpu (their best); versioning runs potrf-hyb",
+		}}
+	n := 32768
+	if opts.Quick {
+		n = 16384
+	}
+	for _, s := range []string{"bf", "dep", "affinity", "versioning"} {
+		variant := apps.CholeskyPotrfGPU
+		if s == "versioning" {
+			variant = apps.CholeskyPotrfHybrid
+		}
+		r, err := ompss.NewRuntime(ompss.Config{
+			Scheduler:  s,
+			SMPWorkers: 8,
+			GPUs:       2,
+			Seed:       opts.Seed,
+			NoiseSigma: opts.Noise,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := apps.BuildCholesky(r, apps.CholeskyConfig{N: n, BS: 2048, Variant: variant}); err != nil {
+			return nil, err
+		}
+		res := r.Execute()
+		e := r.EnergyReport(nil)
+		rep.Rows = append(rep.Rows, []string{
+			s, fmt.Sprintf("%.3f", res.Elapsed.Seconds()),
+			fmt.Sprintf("%.1f", e.TotalJoules()),
+			fmt.Sprintf("%.1f", e.AveragePowerWatts()),
+			fmt.Sprintf("%.1f", e.EDP()),
+		})
+	}
+	return rep, nil
+}

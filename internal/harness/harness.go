@@ -1,0 +1,118 @@
+// Package harness defines one runnable experiment per table/figure of the
+// paper's evaluation (Section V) and formats the same rows/series the
+// paper reports. The cmd/ompss-bench tool and the root bench_test.go both
+// drive these definitions.
+//
+// Absolute numbers come from the calibrated machine model, so they are
+// not the authors' measurements; the shapes (who wins, by what factor,
+// where crossovers fall) are the reproduction target — see EXPERIMENTS.md.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Options tune an experiment run.
+type Options struct {
+	// Quick shrinks problem sizes for fast CI runs; full sizes follow the
+	// paper.
+	Quick bool
+	// Seed seeds execution-time jitter (same seed = same run).
+	Seed int64
+	// Noise is the log-normal execution-time jitter sigma.
+	Noise float64
+}
+
+// Report is a rendered experiment result.
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Format renders the report as an aligned text table.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(r.Header)
+	sep := make([]string, len(r.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is one reproducible table/figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(opts Options) (*Report, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment in registration (paper) order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs lists the registered experiment IDs.
+func IDs() []string {
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.ID
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// gb formats bytes as decimal gigabytes, the unit of Figures 7/10/13.
+func gb(b int64) string { return fmt.Sprintf("%.2f", float64(b)/1e9) }
+
+// pct formats a fraction as a percentage.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }

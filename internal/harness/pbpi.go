@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/ompss"
+)
+
+func pbpiCase(variant apps.PBPIVariant, schedName string, smp, gpus int, opts Options) (ompss.Result, error) {
+	gens := 120
+	if opts.Quick {
+		gens = 25
+	}
+	r, err := ompss.NewRuntime(ompss.Config{
+		Scheduler:  schedName,
+		SMPWorkers: smp,
+		GPUs:       gpus,
+		Seed:       opts.Seed,
+		NoiseSigma: opts.Noise,
+	})
+	if err != nil {
+		return ompss.Result{}, err
+	}
+	if _, err := apps.BuildPBPI(r, apps.PBPIConfig{Generations: gens, Variant: variant}); err != nil {
+		return ompss.Result{}, err
+	}
+	return r.Execute(), nil
+}
+
+// pbpiSeries are the series of Figure 12. pbpi-smp has no device code,
+// so its scheduler choice is immaterial; the paper's regular versions use
+// the baseline schedulers.
+var pbpiSeries = []struct {
+	label   string
+	variant apps.PBPIVariant
+	sched   string
+	gpus    int
+}{
+	{"pbpi-smp", apps.PBPISMP, "dep", 0},
+	{"pbpi-gpu-dep", apps.PBPIGPU, "dep", 2},
+	{"pbpi-gpu-aff", apps.PBPIGPU, "affinity", 2},
+	{"pbpi-hyb-ver", apps.PBPIHybrid, "versioning", 2},
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig12",
+		Title: "PBPI execution time (s, lower is better)",
+		Run: func(opts Options) (*Report, error) {
+			rep := &Report{ID: "fig12", Title: "PBPI execution time (s, lower is better)",
+				Header: []string{"series", "GPUs", "SMP threads", "time (s)"}}
+			for _, s := range pbpiSeries {
+				for _, smp := range smpCounts(opts) {
+					res, err := pbpiCase(s.variant, s.sched, smp, s.gpus, opts)
+					if err != nil {
+						return nil, err
+					}
+					rep.Rows = append(rep.Rows, []string{
+						s.label, fmt.Sprint(s.gpus), fmt.Sprint(smp), fmt.Sprintf("%.2f", res.Elapsed.Seconds()),
+					})
+				}
+			}
+			rep.Notes = append(rep.Notes,
+				"expected shape: pbpi-smp beats pbpi-gpu at higher SMP counts (GPU-only pays",
+				"generation-boundary transfers); pbpi-hyb-ver finds the balance and wins")
+			return rep, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig13",
+		Title: "Data transferred for PBPI (GB)",
+		Run: func(opts Options) (*Report, error) {
+			rep := &Report{ID: "fig13", Title: "Data transferred for PBPI (GB)",
+				Header: []string{"series", "GPUs", "SMP threads", "Input Tx", "Output Tx", "Device Tx"}}
+			for _, s := range pbpiSeries {
+				for _, smp := range smpCounts(opts) {
+					res, err := pbpiCase(s.variant, s.sched, smp, s.gpus, opts)
+					if err != nil {
+						return nil, err
+					}
+					rep.Rows = append(rep.Rows, []string{
+						s.label, fmt.Sprint(s.gpus), fmt.Sprint(smp),
+						gb(res.InputTxBytes), gb(res.OutputTxBytes), gb(res.DeviceTxBytes),
+					})
+				}
+			}
+			rep.Notes = append(rep.Notes,
+				"expected shape: pbpi-smp transfers nothing; the hybrid transfers the most",
+				"but overlaps them with computation (look-ahead scheduling)")
+			return rep, nil
+		},
+	})
+
+	loopStats := func(id, title, taskType, gpuVer, smpVer string) {
+		register(Experiment{
+			ID:    id,
+			Title: title,
+			Run: func(opts Options) (*Report, error) {
+				rep := &Report{ID: id, Title: title,
+					Header: []string{"GPUs", "SMP threads", "SMP", "GPU"}}
+				for _, smp := range smpCounts(opts) {
+					res, err := pbpiCase(apps.PBPIHybrid, "versioning", smp, 2, opts)
+					if err != nil {
+						return nil, err
+					}
+					rep.Rows = append(rep.Rows, []string{
+						"2", fmt.Sprint(smp),
+						pct(res.VersionShare(taskType, smpVer)),
+						pct(res.VersionShare(taskType, gpuVer)),
+					})
+				}
+				return rep, nil
+			},
+		})
+	}
+	loopStats("fig14", "PBPI task statistics for the versioning scheduler (first loop)",
+		apps.PBPILoop1Type, "loop1_gpu", "loop1_smp")
+	loopStats("fig15", "PBPI task statistics for the versioning scheduler (second loop)",
+		apps.PBPILoop2Type, "loop2_gpu", "loop2_smp")
+}

@@ -1,0 +1,131 @@
+// Package hints persists versioning-scheduler profiles as XML, the
+// external-hints mechanism the paper proposes as future work (Section
+// VII): "the scheduler should also offer the possibility to receive
+// external hints for task versions: for example, read an XML file with
+// additional information about task versions. This file can be written by
+// the user, but it could also be written by OmpSs runtime from a previous
+// application's execution."
+//
+// Save exports a store snapshot; Load seeds a store so groups start in
+// the reliable phase with the recorded means.
+package hints
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/verprof"
+)
+
+// XMLVersion is one <version> element. VarNs2 is optional (absent in
+// hand-written or pre-variance hint files; defaults to zero scatter).
+type XMLVersion struct {
+	Name   string  `xml:"name,attr"`
+	MeanNs int64   `xml:"meanNs,attr"`
+	Count  int64   `xml:"count,attr"`
+	VarNs2 float64 `xml:"varNs2,attr,omitempty"`
+}
+
+// XMLGroup is one <group> element (a data-set-size group).
+type XMLGroup struct {
+	DataSetSize int64        `xml:"dataSetSize,attr"`
+	Versions    []XMLVersion `xml:"version"`
+}
+
+// XMLSet is one <taskVersionSet> element.
+type XMLSet struct {
+	Type   string     `xml:"type,attr"`
+	Groups []XMLGroup `xml:"group"`
+}
+
+// XMLFile is the document root.
+type XMLFile struct {
+	XMLName xml.Name `xml:"versioningHints"`
+	Sets    []XMLSet `xml:"taskVersionSet"`
+}
+
+// Save writes the store's snapshot to w as XML.
+func Save(w io.Writer, store *verprof.Store) error {
+	var file XMLFile
+	for _, set := range store.Snapshot() {
+		xs := XMLSet{Type: set.Type}
+		for _, g := range set.Groups {
+			xg := XMLGroup{DataSetSize: g.Size}
+			for _, v := range g.Versions {
+				xg.Versions = append(xg.Versions, XMLVersion{
+					Name:   v.Version,
+					MeanNs: int64(v.MeanNs),
+					Count:  v.Count,
+					VarNs2: v.VarNs2,
+				})
+			}
+			xs.Groups = append(xs.Groups, xg)
+		}
+		file.Sets = append(file.Sets, xs)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(file); err != nil {
+		return fmt.Errorf("hints: encode: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// Load reads hints from r and seeds the store: every (type, size,
+// version) triple is pre-loaded with its saved mean and count.
+func Load(r io.Reader, store *verprof.Store) error {
+	var file XMLFile
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&file); err != nil {
+		return fmt.Errorf("hints: decode: %w", err)
+	}
+	for _, set := range file.Sets {
+		for _, g := range set.Groups {
+			names := make([]string, len(g.Versions))
+			for i, v := range g.Versions {
+				names[i] = v.Name
+			}
+			group := store.GroupFor(set.Type, g.DataSetSize, names)
+			for _, v := range g.Versions {
+				if v.Count < 0 {
+					return fmt.Errorf("hints: negative count for %s/%s", set.Type, v.Name)
+				}
+				if v.VarNs2 < 0 {
+					return fmt.Errorf("hints: negative variance for %s/%s", set.Type, v.Name)
+				}
+				group.SeedWithVariance(v.Name, time.Duration(v.MeanNs), v.Count, v.VarNs2)
+			}
+		}
+	}
+	return nil
+}
+
+// SaveFile and LoadFile are convenience wrappers over Save and Load.
+func SaveFile(path string, store *verprof.Store) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Save(f, store); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads hints from a file into the store.
+func LoadFile(path string, store *verprof.Store) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Load(f, store)
+}

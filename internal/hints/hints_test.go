@@ -1,0 +1,111 @@
+package hints
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/verprof"
+)
+
+func populated() *verprof.Store {
+	s := verprof.NewStore(3)
+	g := s.GroupFor("task1", 2<<20, []string{"v1", "v2"})
+	g.Record("v1", 30*time.Millisecond)
+	g.Record("v2", 18*time.Millisecond)
+	g2 := s.GroupFor("task1", 3<<20, []string{"v1", "v2"})
+	g2.Record("v1", 45*time.Millisecond)
+	g3 := s.GroupFor("task2", 5<<20, []string{"x"})
+	g3.Record("x", 15*time.Millisecond)
+	return s
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	src := populated()
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	xml := buf.String()
+	for _, want := range []string{"versioningHints", "taskVersionSet", `type="task1"`, `dataSetSize="2097152"`, `name="v2"`} {
+		if !strings.Contains(xml, want) {
+			t.Errorf("XML missing %q:\n%s", want, xml)
+		}
+	}
+
+	dst := verprof.NewStore(3)
+	if err := Load(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	g := dst.GroupFor("task1", 2<<20, nil)
+	m, ok := g.Mean("v1")
+	if !ok || m != 30*time.Millisecond {
+		t.Errorf("restored mean = %v, %v", m, ok)
+	}
+	if g.Count("v2") != 1 {
+		t.Errorf("restored count = %d", g.Count("v2"))
+	}
+	// task2's group is restored too.
+	g3 := dst.GroupFor("task2", 5<<20, nil)
+	if m, _ := g3.Mean("x"); m != 15*time.Millisecond {
+		t.Errorf("task2 mean = %v", m)
+	}
+}
+
+func TestLoadSeedsReliability(t *testing.T) {
+	// A store seeded from hints with count >= lambda skips the learning
+	// phase entirely — the warm-start behaviour the paper wants.
+	src := verprof.NewStore(3)
+	g := src.GroupFor("t", 100, []string{"a", "b"})
+	g.Seed("a", time.Millisecond, 5)
+	g.Seed("b", 2*time.Millisecond, 5)
+
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := verprof.NewStore(3)
+	if err := Load(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.GroupFor("t", 100, nil).Reliable() {
+		t.Error("hint-seeded group should be reliable")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	s := verprof.NewStore(3)
+	if err := Load(strings.NewReader("{not xml"), s); err == nil {
+		t.Error("garbage input should fail")
+	}
+	if err := Load(strings.NewReader(
+		`<versioningHints><taskVersionSet type="t"><group dataSetSize="1">`+
+			`<version name="v" meanNs="5" count="-2"/></group></taskVersionSet></versioningHints>`), s); err == nil {
+		t.Error("negative count should fail")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hints.xml")
+	if err := SaveFile(path, populated()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || len(data) == 0 {
+		t.Fatalf("read back: %v, %d bytes", err, len(data))
+	}
+	dst := verprof.NewStore(3)
+	if err := LoadFile(path, dst); err != nil {
+		t.Fatal(err)
+	}
+	if len(dst.Snapshot()) != 2 {
+		t.Errorf("restored sets = %d, want 2", len(dst.Snapshot()))
+	}
+	if err := LoadFile(filepath.Join(dir, "missing.xml"), dst); err == nil {
+		t.Error("missing file should error")
+	}
+}

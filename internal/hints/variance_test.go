@@ -1,0 +1,87 @@
+package hints
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/verprof"
+)
+
+func TestHintsRoundTripPreservesVariance(t *testing.T) {
+	src := verprof.NewStore(3)
+	g := src.GroupFor("k", 1000, []string{"v1", "v2"})
+	// Scattered samples for v1, constant for v2.
+	for _, d := range []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 15 * time.Millisecond} {
+		g.Record("v1", d)
+	}
+	for i := 0; i < 3; i++ {
+		g.Record("v2", 5*time.Millisecond)
+	}
+	var b strings.Builder
+	if err := Save(&b, src); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "varNs2=") {
+		t.Fatalf("saved XML lacks variance:\n%s", b.String())
+	}
+
+	dst := verprof.NewStore(3)
+	if err := Load(strings.NewReader(b.String()), dst); err != nil {
+		t.Fatal(err)
+	}
+	got := dst.GroupFor("k", 1000, nil).Stats("v1")
+	want := src.GroupFor("k", 1000, nil).Stats("v1")
+	if got.VarNs2 != want.VarNs2 || got.MeanNs != want.MeanNs || got.Count != want.Count {
+		t.Errorf("round trip: got %+v, want %+v", got, want)
+	}
+	if got.Stddev() == 0 {
+		t.Error("variance lost in round trip")
+	}
+}
+
+func TestHintsWithoutVarianceStillLoad(t *testing.T) {
+	// Pre-variance schema: no varNs2 attribute.
+	xml := `<?xml version="1.0" encoding="UTF-8"?>
+<versioningHints>
+  <taskVersionSet type="k">
+    <group dataSetSize="1000">
+      <version name="v1" meanNs="5000000" count="7"></version>
+    </group>
+  </taskVersionSet>
+</versioningHints>`
+	store := verprof.NewStore(3)
+	if err := Load(strings.NewReader(xml), store); err != nil {
+		t.Fatal(err)
+	}
+	st := store.GroupFor("k", 1000, nil).Stats("v1")
+	if st.Count != 7 || st.VarNs2 != 0 {
+		t.Errorf("legacy load = %+v", st)
+	}
+}
+
+func TestHintsRejectNegativeVariance(t *testing.T) {
+	xml := `<versioningHints><taskVersionSet type="k"><group dataSetSize="1">
+<version name="v" meanNs="1" count="1" varNs2="-5"></version>
+</group></taskVersionSet></versioningHints>`
+	if err := Load(strings.NewReader(xml), verprof.NewStore(1)); err == nil {
+		t.Error("negative variance accepted")
+	}
+}
+
+func TestSeededVarianceFeedsConfidenceGate(t *testing.T) {
+	store := verprof.NewStore(2)
+	store.ConfidenceCV = 0.10
+	g := store.GroupFor("k", 100, []string{"v"})
+	// Seeded with high variance: gate must hold the group.
+	mean := 10 * time.Millisecond
+	g.SeedWithVariance("v", mean, 5, float64(mean)*float64(mean)) // CV = 1
+	if g.Reliable() {
+		t.Error("high-variance seed should keep the group learning")
+	}
+	// Re-seed with tight variance: reliable.
+	g.SeedWithVariance("v", mean, 5, 1)
+	if !g.Reliable() {
+		t.Error("tight-variance seed should be reliable")
+	}
+}

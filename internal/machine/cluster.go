@@ -1,0 +1,63 @@
+package machine
+
+// Cluster support: OmpSs can run "on clusters of SMPs and/or GPUs
+// transparently from the application point of view" (Section III, citing
+// the IPDPS'12 GPU-cluster work). In that design every remote node is
+// just another address space whose workers execute tasks after the
+// runtime moves their data over the network — which maps exactly onto
+// this package's machine model: a remote node is a memory space with SMP
+// devices attached, connected to node 0's host memory by an InfiniBand
+// link instead of PCIe. A remote GPU is one more hop: its memory space
+// hangs off its node's memory by PCIe, so staging host data onto it
+// routes host -> node memory -> GPU memory through two DMA engines.
+const (
+	// InfiniBandBandwidthBps is sustained QDR InfiniBand throughput
+	// (~40 Gbit/s signalling, ~3.2 GB/s effective).
+	InfiniBandBandwidthBps = 3.2e9
+	// InfiniBandLatencyNs is the per-message runtime latency (GASNet/MPI
+	// level, not raw wire).
+	InfiniBandLatencyNs = 10_000
+	// RemoteNodeMemoryBytes is each remote node's memory.
+	RemoteNodeMemoryBytes = 24 << 30
+)
+
+// Cluster builds a multi-node machine: node 0 is a full MinoTauro node
+// (cores + gpus as in MinoTauro), and each of the remoteNodes additional
+// nodes contributes coresPerNode SMP devices computing from that node's
+// own memory space, reachable over InfiniBand.
+func Cluster(cores, gpus, remoteNodes, coresPerNode int) *Machine {
+	return ClusterGPU(cores, gpus, remoteNodes, coresPerNode, 0)
+}
+
+// ClusterGPU builds the same multi-node machine as Cluster but gives each
+// remote node gpusPerNode M2090 GPUs as well. A remote GPU's memory space
+// is linked (PCIe, both directions) only to its own node's memory space:
+// transfers from host memory route over InfiniBand to the node and then
+// over PCIe to the GPU, exactly the store-and-forward staging the OmpSs
+// cluster runtime performs.
+func ClusterGPU(cores, gpus, remoteNodes, coresPerNode, gpusPerNode int) *Machine {
+	if remoteNodes < 0 || coresPerNode < 1 || gpusPerNode < 0 {
+		panic("machine: ClusterGPU needs remoteNodes >= 0, coresPerNode >= 1 and gpusPerNode >= 0")
+	}
+	m := MinoTauro(cores, gpus)
+	m.Name = "minotauro-cluster"
+	for n := 0; n < remoteNodes; n++ {
+		node := deviceName("node", n+1)
+		sp := m.AddSpace(node+"-mem", RemoteNodeMemoryBytes)
+		for c := 0; c < coresPerNode; c++ {
+			m.AddDevice(node+"-"+deviceName("core", c), KindSMP, sp, SMPCorePeakGFlops)
+		}
+		m.AddLink(HostSpace, sp, InfiniBandBandwidthBps, InfiniBandLatencyNs)
+		m.AddLink(sp, HostSpace, InfiniBandBandwidthBps, InfiniBandLatencyNs)
+		for g := 0; g < gpusPerNode; g++ {
+			gsp := m.AddSpace(node+"-"+deviceName("gpu-mem", g), GPUMemoryBytes)
+			m.AddDevice(node+"-"+deviceName("gpu", g), KindCUDA, gsp, M2090PeakGFlopsDP)
+			m.AddLink(sp, gsp, PCIeBandwidthBps, PCIeLatencyNs)
+			m.AddLink(gsp, sp, PCIeBandwidthBps, PCIeLatencyNs)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		panic("machine: cluster preset invalid: " + err.Error())
+	}
+	return m
+}

@@ -1,0 +1,42 @@
+package machine
+
+import "testing"
+
+func TestClusterTopology(t *testing.T) {
+	m := Cluster(4, 2, 3, 6)
+	if got := len(m.DevicesOfKind(KindSMP)); got != 4+3*6 {
+		t.Errorf("SMP devices = %d, want 22", got)
+	}
+	if got := len(m.DevicesOfKind(KindCUDA)); got != 2 {
+		t.Errorf("CUDA devices = %d", got)
+	}
+	// host + 2 GPU spaces + 3 node spaces.
+	if got := len(m.Spaces); got != 6 {
+		t.Errorf("spaces = %d, want 6", got)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Remote node link is InfiniBand, not PCIe.
+	nodeSpace := m.Spaces[3].ID
+	l, ok := m.LinkBetween(HostSpace, nodeSpace)
+	if !ok || l.BandwidthBps != InfiniBandBandwidthBps {
+		t.Errorf("node link = %+v, %v", l, ok)
+	}
+}
+
+func TestClusterNoRemotesIsMinoTauro(t *testing.T) {
+	m := Cluster(2, 1, 0, 1)
+	if len(m.Devices) != 3 || len(m.Spaces) != 2 {
+		t.Errorf("devices=%d spaces=%d", len(m.Devices), len(m.Spaces))
+	}
+}
+
+func TestClusterBadArgsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for coresPerNode=0")
+		}
+	}()
+	Cluster(1, 0, 1, 0)
+}

@@ -1,0 +1,300 @@
+// Package machine describes the simulated heterogeneous node: processing
+// devices (SMP cores, GPUs), their memory spaces, and the interconnect
+// links between memory spaces. It is a pure description package: behaviour
+// (transfer timing, task execution) lives in internal/xfer and
+// internal/perfmodel, which consume these descriptions.
+//
+// The canonical preset, MinoTauro, models the node used in the paper's
+// evaluation: two Intel Xeon E5649 6-core processors (12 cores, 24 GB of
+// host memory) and two NVIDIA Tesla M2090 GPUs (6 GB each) attached by
+// PCIe 2.0 x16.
+package machine
+
+import "fmt"
+
+// DeviceKind classifies a processing element. It corresponds to the
+// argument of the OmpSs `device(...)` clause: a task version annotated
+// with device(cuda) can only run on a KindCUDA device, and so on.
+type DeviceKind int
+
+const (
+	// KindSMP is a general-purpose CPU core sharing host memory.
+	KindSMP DeviceKind = iota
+	// KindCUDA is an NVIDIA GPU with its own memory space.
+	KindCUDA
+	// KindOpenCL is an OpenCL accelerator (modelled, not used by the
+	// paper's experiments; present for API completeness).
+	KindOpenCL
+	// KindCell is a Cell/BE SPE (the paper's historical motivation;
+	// present for API completeness).
+	KindCell
+)
+
+// String returns the OmpSs device-clause spelling of the kind.
+func (k DeviceKind) String() string {
+	switch k {
+	case KindSMP:
+		return "smp"
+	case KindCUDA:
+		return "cuda"
+	case KindOpenCL:
+		return "opencl"
+	case KindCell:
+		return "cell"
+	default:
+		return fmt.Sprintf("DeviceKind(%d)", int(k))
+	}
+}
+
+// ParseDeviceKind converts an OmpSs device-clause spelling into a
+// DeviceKind.
+func ParseDeviceKind(s string) (DeviceKind, error) {
+	switch s {
+	case "smp":
+		return KindSMP, nil
+	case "cuda":
+		return KindCUDA, nil
+	case "opencl":
+		return KindOpenCL, nil
+	case "cell":
+		return KindCell, nil
+	}
+	return 0, fmt.Errorf("machine: unknown device kind %q", s)
+}
+
+// SpaceID identifies a memory space. Space 0 is always host memory.
+type SpaceID int
+
+// HostSpace is the identifier of host (main) memory, the home of every
+// data object.
+const HostSpace SpaceID = 0
+
+// MemSpace is a physical address space: host memory or one device memory.
+type MemSpace struct {
+	ID       SpaceID
+	Name     string
+	Capacity int64 // bytes; 0 means unlimited
+}
+
+// DeviceID identifies a processing element within a Machine.
+type DeviceID int
+
+// Device is one processing element: a single SMP core or a single GPU.
+// Each OmpSs worker thread is devoted to exactly one device.
+type Device struct {
+	ID    DeviceID
+	Name  string
+	Kind  DeviceKind
+	Space SpaceID // the memory space this device computes from
+
+	// PeakGFlops is the device's peak throughput in GFLOP/s, used only
+	// for reporting (e.g. "one GPU is 45% of machine peak").
+	PeakGFlops float64
+}
+
+// LinkID identifies a directed interconnect link.
+type LinkID int
+
+// Link is a directed channel between two memory spaces with a fixed
+// latency and bandwidth. Each link owns one DMA engine: transfers on the
+// same link serialize, transfers on different links proceed in parallel
+// (this models the M2090's dual copy engines: one host-to-device and one
+// device-to-host link per GPU).
+type Link struct {
+	ID       LinkID
+	From, To SpaceID
+	// BandwidthBps is sustained bandwidth in bytes per second.
+	BandwidthBps float64
+	// LatencyNs is the fixed per-transfer startup cost in nanoseconds
+	// (driver + DMA programming + PCIe round trip).
+	LatencyNs int64
+}
+
+// Machine is a complete node description.
+type Machine struct {
+	Name    string
+	Spaces  []MemSpace
+	Devices []Device
+	Links   []Link
+
+	linkIndex map[[2]SpaceID]LinkID
+}
+
+// New creates an empty machine containing only host memory.
+func New(name string, hostCapacity int64) *Machine {
+	m := &Machine{
+		Name:      name,
+		Spaces:    []MemSpace{{ID: HostSpace, Name: "host", Capacity: hostCapacity}},
+		linkIndex: make(map[[2]SpaceID]LinkID),
+	}
+	return m
+}
+
+// AddSpace appends a device memory space and returns its ID.
+func (m *Machine) AddSpace(name string, capacity int64) SpaceID {
+	id := SpaceID(len(m.Spaces))
+	m.Spaces = append(m.Spaces, MemSpace{ID: id, Name: name, Capacity: capacity})
+	return id
+}
+
+// AddDevice appends a processing element and returns its ID.
+func (m *Machine) AddDevice(name string, kind DeviceKind, space SpaceID, peakGFlops float64) DeviceID {
+	if int(space) >= len(m.Spaces) {
+		panic(fmt.Sprintf("machine: device %q references unknown space %d", name, space))
+	}
+	id := DeviceID(len(m.Devices))
+	m.Devices = append(m.Devices, Device{ID: id, Name: name, Kind: kind, Space: space, PeakGFlops: peakGFlops})
+	return id
+}
+
+// AddLink appends a directed link and returns its ID. Only one link per
+// (from, to) pair is allowed.
+func (m *Machine) AddLink(from, to SpaceID, bandwidthBps float64, latencyNs int64) LinkID {
+	key := [2]SpaceID{from, to}
+	if _, dup := m.linkIndex[key]; dup {
+		panic(fmt.Sprintf("machine: duplicate link %d->%d", from, to))
+	}
+	id := LinkID(len(m.Links))
+	m.Links = append(m.Links, Link{ID: id, From: from, To: to, BandwidthBps: bandwidthBps, LatencyNs: latencyNs})
+	m.linkIndex[key] = id
+	return id
+}
+
+// LinkBetween returns the link from one space to another, if any.
+func (m *Machine) LinkBetween(from, to SpaceID) (Link, bool) {
+	id, ok := m.linkIndex[[2]SpaceID{from, to}]
+	if !ok {
+		return Link{}, false
+	}
+	return m.Links[id], true
+}
+
+// Space returns the memory space with the given ID.
+func (m *Machine) Space(id SpaceID) MemSpace { return m.Spaces[id] }
+
+// Device returns the device with the given ID.
+func (m *Machine) Device(id DeviceID) Device { return m.Devices[id] }
+
+// DevicesOfKind returns all devices of the given kind, in ID order.
+func (m *Machine) DevicesOfKind(kind DeviceKind) []Device {
+	var out []Device
+	for _, d := range m.Devices {
+		if d.Kind == kind {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// GPUSpaces returns the memory spaces that belong to CUDA devices, in
+// device order.
+func (m *Machine) GPUSpaces() []SpaceID {
+	var out []SpaceID
+	seen := make(map[SpaceID]bool)
+	for _, d := range m.Devices {
+		if d.Kind == KindCUDA && !seen[d.Space] {
+			seen[d.Space] = true
+			out = append(out, d.Space)
+		}
+	}
+	return out
+}
+
+// PeakGFlops returns the aggregate peak of all devices.
+func (m *Machine) PeakGFlops() float64 {
+	var sum float64
+	for _, d := range m.Devices {
+		sum += d.PeakGFlops
+	}
+	return sum
+}
+
+// Path returns the links of a shortest (fewest-hops) directed route from
+// one space to another, or ok=false if none exists. Ties between
+// equal-length routes break toward lower intermediate space IDs, so the
+// result is deterministic. A same-space "route" is the empty path.
+//
+// Single-hop routes (a direct link) are the common case: PCIe between
+// host and a GPU. Multi-hop routes appear in cluster machines, e.g. host
+// -> remote node memory -> remote GPU, where the runtime stages data
+// through the intermediate space's DMA engines.
+func (m *Machine) Path(from, to SpaceID) ([]Link, bool) {
+	if from == to {
+		return nil, true
+	}
+	if int(from) >= len(m.Spaces) || int(to) >= len(m.Spaces) {
+		return nil, false
+	}
+	// BFS over spaces; scanning m.Links in ID order makes the parent
+	// choice (and therefore the path) deterministic.
+	parent := make([]LinkID, len(m.Spaces))
+	for i := range parent {
+		parent[i] = -1
+	}
+	visited := make([]bool, len(m.Spaces))
+	visited[from] = true
+	frontier := []SpaceID{from}
+	for len(frontier) > 0 && !visited[to] {
+		var next []SpaceID
+		for _, sp := range frontier {
+			for _, l := range m.Links {
+				if l.From != sp || visited[l.To] {
+					continue
+				}
+				visited[l.To] = true
+				parent[l.To] = l.ID
+				next = append(next, l.To)
+			}
+		}
+		frontier = next
+	}
+	if !visited[to] {
+		return nil, false
+	}
+	var rev []Link
+	for at := to; at != from; {
+		l := m.Links[parent[at]]
+		rev = append(rev, l)
+		at = l.From
+	}
+	path := make([]Link, len(rev))
+	for i, l := range rev {
+		path[len(rev)-1-i] = l
+	}
+	return path, true
+}
+
+// Validate checks internal consistency: every device references an
+// existing space, every link references existing spaces, and every
+// non-host space can reach and be reached from the host (possibly over
+// several hops, as in cluster machines).
+func (m *Machine) Validate() error {
+	if len(m.Spaces) == 0 || m.Spaces[0].ID != HostSpace {
+		return fmt.Errorf("machine %q: space 0 must be host memory", m.Name)
+	}
+	for _, d := range m.Devices {
+		if int(d.Space) >= len(m.Spaces) {
+			return fmt.Errorf("machine %q: device %q references unknown space %d", m.Name, d.Name, d.Space)
+		}
+	}
+	for _, l := range m.Links {
+		if int(l.From) >= len(m.Spaces) || int(l.To) >= len(m.Spaces) {
+			return fmt.Errorf("machine %q: link %d references unknown space", m.Name, l.ID)
+		}
+		if l.From == l.To {
+			return fmt.Errorf("machine %q: link %d is a self-loop", m.Name, l.ID)
+		}
+		if l.BandwidthBps <= 0 {
+			return fmt.Errorf("machine %q: link %d has non-positive bandwidth", m.Name, l.ID)
+		}
+	}
+	for _, s := range m.Spaces[1:] {
+		if _, ok := m.Path(HostSpace, s.ID); !ok {
+			return fmt.Errorf("machine %q: space %q unreachable from host", m.Name, s.Name)
+		}
+		if _, ok := m.Path(s.ID, HostSpace); !ok {
+			return fmt.Errorf("machine %q: host unreachable from space %q", m.Name, s.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeviceKindStrings(t *testing.T) {
+	cases := map[DeviceKind]string{
+		KindSMP:    "smp",
+		KindCUDA:   "cuda",
+		KindOpenCL: "opencl",
+		KindCell:   "cell",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+		parsed, err := ParseDeviceKind(want)
+		if err != nil || parsed != k {
+			t.Errorf("ParseDeviceKind(%q) = %v, %v", want, parsed, err)
+		}
+	}
+	if DeviceKind(99).String() != "DeviceKind(99)" {
+		t.Errorf("unknown kind String() = %q", DeviceKind(99).String())
+	}
+	if _, err := ParseDeviceKind("fpga"); err == nil {
+		t.Error("ParseDeviceKind(fpga) should fail")
+	}
+}
+
+func TestNewMachineHasHostSpace(t *testing.T) {
+	m := New("test", 1<<30)
+	if len(m.Spaces) != 1 || m.Spaces[0].ID != HostSpace || m.Spaces[0].Name != "host" {
+		t.Fatalf("New machine spaces = %+v", m.Spaces)
+	}
+}
+
+func TestAddAndLookup(t *testing.T) {
+	m := New("test", 0)
+	sp := m.AddSpace("gpu-mem", 6<<30)
+	dev := m.AddDevice("gpu-0", KindCUDA, sp, 665)
+	core := m.AddDevice("core-0", KindSMP, HostSpace, 10)
+	m.AddLink(HostSpace, sp, 6e9, 15000)
+	m.AddLink(sp, HostSpace, 6e9, 15000)
+
+	if m.Space(sp).Name != "gpu-mem" {
+		t.Errorf("Space lookup: %+v", m.Space(sp))
+	}
+	if m.Device(dev).Kind != KindCUDA {
+		t.Errorf("Device lookup: %+v", m.Device(dev))
+	}
+	if m.Device(core).Space != HostSpace {
+		t.Errorf("core space = %v", m.Device(core).Space)
+	}
+	if l, ok := m.LinkBetween(HostSpace, sp); !ok || l.BandwidthBps != 6e9 {
+		t.Errorf("LinkBetween = %+v, %v", l, ok)
+	}
+	if _, ok := m.LinkBetween(sp, sp); ok {
+		t.Error("self link should not exist")
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestDuplicateLinkPanics(t *testing.T) {
+	m := New("test", 0)
+	sp := m.AddSpace("s", 0)
+	m.AddLink(HostSpace, sp, 1e9, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate link did not panic")
+		}
+	}()
+	m.AddLink(HostSpace, sp, 1e9, 0)
+}
+
+func TestDeviceUnknownSpacePanics(t *testing.T) {
+	m := New("test", 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("device with unknown space did not panic")
+		}
+	}()
+	m.AddDevice("bad", KindCUDA, SpaceID(7), 1)
+}
+
+func TestValidateCatchesUnreachableSpace(t *testing.T) {
+	m := New("test", 0)
+	sp := m.AddSpace("island", 0)
+	m.AddLink(HostSpace, sp, 1e9, 0) // only one direction
+	if err := m.Validate(); err == nil {
+		t.Error("Validate should reject space without return link")
+	}
+}
+
+func TestMinoTauroFullNode(t *testing.T) {
+	m := MinoTauro(12, 2)
+	if got := len(m.DevicesOfKind(KindSMP)); got != 12 {
+		t.Errorf("SMP devices = %d, want 12", got)
+	}
+	if got := len(m.DevicesOfKind(KindCUDA)); got != 2 {
+		t.Errorf("CUDA devices = %d, want 2", got)
+	}
+	if got := len(m.Spaces); got != 3 {
+		t.Errorf("spaces = %d, want 3 (host + 2 GPU)", got)
+	}
+	if got := len(m.GPUSpaces()); got != 2 {
+		t.Errorf("GPU spaces = %d, want 2", got)
+	}
+	// Peer links both ways plus host links both ways per GPU.
+	if got := len(m.Links); got != 6 {
+		t.Errorf("links = %d, want 6", got)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+// The paper states one SMP core is <1% of machine peak and one GPU ~45%.
+func TestMinoTauroPeakRatiosMatchPaper(t *testing.T) {
+	m := MinoTauro(12, 2)
+	peak := m.PeakGFlops()
+	coreFrac := SMPCorePeakGFlops / peak
+	gpuFrac := M2090PeakGFlopsDP / peak
+	if coreFrac >= 0.01 {
+		t.Errorf("one core is %.2f%% of peak, paper says <1%%", coreFrac*100)
+	}
+	if gpuFrac < 0.40 || gpuFrac > 0.50 {
+		t.Errorf("one GPU is %.1f%% of peak, paper says ~45%%", gpuFrac*100)
+	}
+}
+
+func TestMinoTauroNoGPU(t *testing.T) {
+	m := MinoTauro(4, 0)
+	if len(m.GPUSpaces()) != 0 || len(m.Links) != 0 {
+		t.Errorf("0-GPU machine has %d spaces, %d links", len(m.GPUSpaces()), len(m.Links))
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestMinoTauroBoundsPanic(t *testing.T) {
+	for _, c := range []struct{ cores, gpus int }{{0, 1}, {13, 1}, {1, -1}, {1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MinoTauro(%d,%d) did not panic", c.cores, c.gpus)
+				}
+			}()
+			MinoTauro(c.cores, c.gpus)
+		}()
+	}
+}
+
+// Property: every valid MinoTauro configuration validates and has
+// cores+gpus devices.
+func TestMinoTauroProperty(t *testing.T) {
+	f := func(c, g uint8) bool {
+		cores := int(c%12) + 1
+		gpus := int(g % 3)
+		m := MinoTauro(cores, gpus)
+		return m.Validate() == nil && len(m.Devices) == cores+gpus
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

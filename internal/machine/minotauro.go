@@ -1,0 +1,71 @@
+package machine
+
+import "fmt"
+
+// Calibration constants for the MinoTauro node modelled after the paper's
+// evaluation platform (Section V-A1). Published figures:
+//
+//   - Intel Xeon E5649 (Westmere-EP): 6 cores at 2.53 GHz, SSE 4.2,
+//     4 double-precision FLOP/cycle/core => ~10.1 GFLOP/s peak per core.
+//   - NVIDIA Tesla M2090 (Fermi GF110): 512 CUDA cores, 665 GFLOP/s peak
+//     double precision, 1331 GFLOP/s single precision, 6 GB GDDR5.
+//   - PCIe 2.0 x16: 8 GB/s raw, ~6 GB/s sustained for large cudaMemcpy.
+//
+// With 12 cores + 2 GPUs the machine peak is ~1451 GFLOP/s (DP): one SMP
+// core is ~0.7% of peak and one GPU ~45.8%, matching the paper's "one SMP
+// core represents less than 1% of the machine's peak performance and one
+// GPU represents around 45% of the peak".
+const (
+	MinoTauroCores      = 12
+	MinoTauroGPUs       = 2
+	SMPCorePeakGFlops   = 10.1
+	M2090PeakGFlopsDP   = 665.0
+	M2090PeakGFlopsSP   = 1331.0
+	HostMemoryBytes     = 24 << 30 // 24 GB
+	GPUMemoryBytes      = 6 << 30  // 6 GB
+	PCIeBandwidthBps    = 6.0e9    // sustained host<->device
+	PCIeLatencyNs       = 15_000   // cudaMemcpy launch overhead ~15us
+	PeerBandwidthBps    = 5.0e9    // device<->device through the PCIe switch
+	PeerLatencyNs       = 25_000
+	HostToHostLatencyNs = 500 // intra-host "transfer" (cache effects); ~free
+)
+
+// MinoTauro builds the paper's evaluation node with the given number of
+// SMP cores (1..12) and GPUs (0..2). Each GPU gets its own memory space
+// plus a dedicated host-to-device and device-to-host link (the M2090's two
+// copy engines), and GPU pairs get peer links in both directions.
+func MinoTauro(cores, gpus int) *Machine {
+	if cores < 1 || cores > MinoTauroCores {
+		panic("machine: MinoTauro supports 1..12 cores")
+	}
+	if gpus < 0 || gpus > MinoTauroGPUs {
+		panic("machine: MinoTauro supports 0..2 GPUs")
+	}
+	m := New("minotauro", HostMemoryBytes)
+	for i := 0; i < cores; i++ {
+		m.AddDevice(deviceName("core", i), KindSMP, HostSpace, SMPCorePeakGFlops)
+	}
+	var gpuSpaces []SpaceID
+	for i := 0; i < gpus; i++ {
+		sp := m.AddSpace(deviceName("gpu-mem", i), GPUMemoryBytes)
+		m.AddDevice(deviceName("gpu", i), KindCUDA, sp, M2090PeakGFlopsDP)
+		m.AddLink(HostSpace, sp, PCIeBandwidthBps, PCIeLatencyNs)
+		m.AddLink(sp, HostSpace, PCIeBandwidthBps, PCIeLatencyNs)
+		gpuSpaces = append(gpuSpaces, sp)
+	}
+	for i := 0; i < len(gpuSpaces); i++ {
+		for j := 0; j < len(gpuSpaces); j++ {
+			if i != j {
+				m.AddLink(gpuSpaces[i], gpuSpaces[j], PeerBandwidthBps, PeerLatencyNs)
+			}
+		}
+	}
+	if err := m.Validate(); err != nil {
+		panic("machine: MinoTauro preset invalid: " + err.Error())
+	}
+	return m
+}
+
+func deviceName(prefix string, i int) string {
+	return fmt.Sprintf("%s-%d", prefix, i)
+}

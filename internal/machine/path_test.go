@@ -1,0 +1,116 @@
+package machine
+
+import "testing"
+
+func TestPathSameSpaceIsEmpty(t *testing.T) {
+	m := MinoTauro(2, 1)
+	p, ok := m.Path(HostSpace, HostSpace)
+	if !ok || len(p) != 0 {
+		t.Errorf("Path(host,host) = %v, %v", p, ok)
+	}
+}
+
+func TestPathDirectLink(t *testing.T) {
+	m := MinoTauro(2, 2)
+	gpu0 := m.GPUSpaces()[0]
+	p, ok := m.Path(HostSpace, gpu0)
+	if !ok || len(p) != 1 || p[0].From != HostSpace || p[0].To != gpu0 {
+		t.Errorf("Path(host,gpu0) = %v, %v", p, ok)
+	}
+	// GPU peers have a direct link too.
+	gpu1 := m.GPUSpaces()[1]
+	p, ok = m.Path(gpu0, gpu1)
+	if !ok || len(p) != 1 {
+		t.Errorf("Path(gpu0,gpu1) = %v, %v", p, ok)
+	}
+}
+
+func TestPathMultiHopThroughNodeMemory(t *testing.T) {
+	m := ClusterGPU(1, 0, 1, 1, 1)
+	// Spaces: 0 host, 1 node1-mem, 2 node1-gpu-mem.
+	nodeMem := SpaceID(1)
+	gpuMem := SpaceID(2)
+	if got := m.Space(gpuMem).Name; got != "node-1-gpu-mem-0" {
+		t.Fatalf("space layout changed: space 2 = %q", got)
+	}
+	p, ok := m.Path(HostSpace, gpuMem)
+	if !ok || len(p) != 2 {
+		t.Fatalf("Path(host,remote gpu) = %v, %v, want 2 hops", p, ok)
+	}
+	if p[0].To != nodeMem || p[1].From != nodeMem || p[1].To != gpuMem {
+		t.Errorf("route %v does not pass through node memory", p)
+	}
+	// And back.
+	p, ok = m.Path(gpuMem, HostSpace)
+	if !ok || len(p) != 2 {
+		t.Errorf("reverse path = %v, %v", p, ok)
+	}
+}
+
+func TestPathBetweenRemoteGPUs(t *testing.T) {
+	m := ClusterGPU(1, 0, 2, 1, 1)
+	// Spaces: 0 host, 1 node1-mem, 2 node1-gpu, 3 node2-mem, 4 node2-gpu.
+	p, ok := m.Path(SpaceID(2), SpaceID(4))
+	if !ok || len(p) != 4 {
+		t.Fatalf("Path(gpu@n1, gpu@n2) = %v hops %d, want 4", p, len(p))
+	}
+	want := []SpaceID{2, 1, 0, 3, 4}
+	for i, l := range p {
+		if l.From != want[i] || l.To != want[i+1] {
+			t.Errorf("hop %d = %d->%d, want %d->%d", i, l.From, l.To, want[i], want[i+1])
+		}
+	}
+}
+
+func TestPathUnreachableAndUnknown(t *testing.T) {
+	m := New("island", 0)
+	iso := m.AddSpace("iso", 0) // no links at all
+	if _, ok := m.Path(HostSpace, iso); ok {
+		t.Error("found a path to an unlinked space")
+	}
+	if _, ok := m.Path(HostSpace, SpaceID(99)); ok {
+		t.Error("found a path to an unknown space")
+	}
+}
+
+func TestValidateAcceptsMultiHopOnlySpaces(t *testing.T) {
+	// A space reachable from host only through an intermediate must pass
+	// validation (this is what remote GPUs are).
+	m := New("hops", 0)
+	mid := m.AddSpace("mid", 0)
+	far := m.AddSpace("far", 0)
+	m.AddDevice("c0", KindSMP, HostSpace, 1)
+	m.AddLink(HostSpace, mid, 1e9, 0)
+	m.AddLink(mid, HostSpace, 1e9, 0)
+	m.AddLink(mid, far, 1e9, 0)
+	m.AddLink(far, mid, 1e9, 0)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate rejected multi-hop reachability: %v", err)
+	}
+}
+
+func TestClusterGPUTopology(t *testing.T) {
+	m := ClusterGPU(2, 1, 2, 3, 2)
+	if got := len(m.DevicesOfKind(KindSMP)); got != 2+2*3 {
+		t.Errorf("SMP devices = %d, want 8", got)
+	}
+	if got := len(m.DevicesOfKind(KindCUDA)); got != 1+2*2 {
+		t.Errorf("CUDA devices = %d, want 5", got)
+	}
+	// host + 1 local gpu + 2 node mems + 4 remote gpu mems.
+	if got := len(m.Spaces); got != 8 {
+		t.Errorf("spaces = %d, want 8", got)
+	}
+	// Remote GPU spaces must NOT link directly to host.
+	for _, d := range m.DevicesOfKind(KindCUDA) {
+		if d.Space == HostSpace {
+			continue
+		}
+		if _, direct := m.LinkBetween(HostSpace, d.Space); direct && d.Name[:4] == "node" {
+			t.Errorf("remote GPU %s has a direct host link", d.Name)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

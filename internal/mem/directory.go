@@ -1,0 +1,449 @@
+// Package mem implements the OmpSs memory model: data objects live in
+// host memory (their home) and may be replicated into device memory
+// spaces. A directory tracks, per object, which spaces hold a valid copy
+// and whether the freshest copy is a device copy (dirty). The runtime
+// asks the directory to make a task's data available in the executing
+// device's space; the directory issues the minimal transfers through the
+// xfer fabric, counts them in the paper's Input/Output/Device categories,
+// and writes dirty data back on taskwait (flush).
+//
+// Device memory is finite: copies are reference-counted (pinned) while
+// tasks use them and evicted LRU when space is needed, with dirty copies
+// written back to host first.
+package mem
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/xfer"
+)
+
+// AccessMode describes how a task uses an object, mirroring the OmpSs
+// dependence clauses.
+type AccessMode int
+
+const (
+	// Read corresponds to input: the task only reads the object.
+	Read AccessMode = iota
+	// Write corresponds to output: the task overwrites the whole object,
+	// so no copy-in is needed.
+	Write
+	// ReadWrite corresponds to inout.
+	ReadWrite
+	// Commutative corresponds to the OmpSs commutative clause: the task
+	// reads and updates the object, tasks in the same commutative group
+	// may run in any order, and the runtime serializes them (mutual
+	// exclusion) instead of ordering them by submission. For the
+	// directory it behaves exactly like ReadWrite; the relaxation lives
+	// in the dependence tracker and the runtime's commutative locks.
+	Commutative
+)
+
+// String returns the OmpSs clause name for the mode.
+func (m AccessMode) String() string {
+	switch m {
+	case Read:
+		return "input"
+	case Write:
+		return "output"
+	case ReadWrite:
+		return "inout"
+	case Commutative:
+		return "commutative"
+	default:
+		return fmt.Sprintf("AccessMode(%d)", int(m))
+	}
+}
+
+// Reads reports whether the mode requires a valid copy before execution.
+func (m AccessMode) Reads() bool { return m == Read || m == ReadWrite || m == Commutative }
+
+// Writes reports whether the mode produces new data.
+func (m AccessMode) Writes() bool { return m == Write || m == ReadWrite || m == Commutative }
+
+// ObjectID identifies a registered data object.
+type ObjectID int
+
+// Object is one unit of coherence: a tile, a vector, a whole matrix —
+// whatever the application passes as a dependence region. Size is the
+// footprint transferred when the object moves between spaces.
+type Object struct {
+	ID   ObjectID
+	Name string
+	Size int64
+}
+
+func (o *Object) String() string { return fmt.Sprintf("%s(#%d,%dB)", o.Name, o.ID, o.Size) }
+
+// objState is the directory entry for one object.
+type objState struct {
+	obj      *Object
+	valid    map[machine.SpaceID]bool
+	dirty    bool // the unique valid copy is a device copy newer than host
+	pins     map[machine.SpaceID]int
+	lastUse  map[machine.SpaceID]sim.Time
+	inflight map[machine.SpaceID][]func() // waiters on an in-progress copy-in
+}
+
+func (s *objState) dirtyOwner() machine.SpaceID {
+	if !s.dirty {
+		return machine.HostSpace
+	}
+	for sp, v := range s.valid {
+		if v && sp != machine.HostSpace {
+			return sp
+		}
+	}
+	panic(fmt.Sprintf("mem: object %v marked dirty but no device copy", s.obj))
+}
+
+// pendingAlloc is an allocation waiting for device memory to free up.
+type pendingAlloc struct {
+	space machine.SpaceID
+	size  int64
+	fn    func()
+}
+
+// Directory is the coherence directory for all registered objects.
+type Directory struct {
+	eng    *sim.Engine
+	mach   *machine.Machine
+	fabric *xfer.Fabric
+
+	objects []*objState
+	used    map[machine.SpaceID]int64
+	pending []pendingAlloc
+	// reserved tracks bytes charged to (object, space) so eviction and
+	// invalidation release exactly what allocation charged.
+	reserved map[ObjectID]map[machine.SpaceID]bool
+
+	// Evictions counts LRU evictions per space, for diagnostics.
+	Evictions map[machine.SpaceID]int64
+}
+
+// NewDirectory builds an empty directory over the given fabric.
+func NewDirectory(e *sim.Engine, m *machine.Machine, f *xfer.Fabric) *Directory {
+	return &Directory{
+		eng:       e,
+		mach:      m,
+		fabric:    f,
+		used:      make(map[machine.SpaceID]int64),
+		reserved:  make(map[ObjectID]map[machine.SpaceID]bool),
+		Evictions: make(map[machine.SpaceID]int64),
+	}
+}
+
+// Register creates a new object resident (valid) in host memory.
+func (d *Directory) Register(name string, size int64) *Object {
+	if size < 0 {
+		panic("mem: negative object size")
+	}
+	obj := &Object{ID: ObjectID(len(d.objects)), Name: name, Size: size}
+	st := &objState{
+		obj:      obj,
+		valid:    map[machine.SpaceID]bool{machine.HostSpace: true},
+		pins:     make(map[machine.SpaceID]int),
+		lastUse:  make(map[machine.SpaceID]sim.Time),
+		inflight: make(map[machine.SpaceID][]func()),
+	}
+	d.objects = append(d.objects, st)
+	d.reserved[obj.ID] = map[machine.SpaceID]bool{machine.HostSpace: true}
+	d.used[machine.HostSpace] += size
+	return obj
+}
+
+// Object returns the registered object with the given ID.
+func (d *Directory) Object(id ObjectID) *Object { return d.objects[id].obj }
+
+// NumObjects returns how many objects are registered.
+func (d *Directory) NumObjects() int { return len(d.objects) }
+
+// ValidAt reports whether the object has an up-to-date copy in the space.
+func (d *Directory) ValidAt(obj *Object, sp machine.SpaceID) bool {
+	return d.objects[obj.ID].valid[sp]
+}
+
+// Dirty reports whether the freshest copy of the object is a device copy.
+func (d *Directory) Dirty(obj *Object) bool { return d.objects[obj.ID].dirty }
+
+// UsedBytes returns the bytes currently charged against a space.
+func (d *Directory) UsedBytes(sp machine.SpaceID) int64 { return d.used[sp] }
+
+// BytesNeeded returns how many bytes would have to be copied into the
+// space for a task accessing the object with the given mode. Write-only
+// accesses and already-valid (or already-incoming) copies cost zero.
+// This is the quantity the affinity scheduler minimizes.
+func (d *Directory) BytesNeeded(obj *Object, sp machine.SpaceID, mode AccessMode) int64 {
+	st := d.objects[obj.ID]
+	if !mode.Reads() {
+		return 0
+	}
+	if st.valid[sp] || len(st.inflight[sp]) > 0 {
+		return 0
+	}
+	return obj.Size
+}
+
+// Acquire makes the object usable by a task running in space sp with the
+// given mode, and pins it there until Release. onReady fires (as a
+// simulation event) once any required copy-in has completed. Acquire may
+// be called for several objects concurrently; completions are independent.
+func (d *Directory) Acquire(obj *Object, sp machine.SpaceID, mode AccessMode, onReady func()) {
+	if onReady == nil {
+		onReady = func() {}
+	}
+	st := d.objects[obj.ID]
+	st.pins[sp]++
+	st.lastUse[sp] = d.eng.Now()
+
+	needCopy := mode.Reads() && !st.valid[sp]
+	if !needCopy {
+		// Write-only still needs backing store in the space.
+		d.ensureAllocated(st, sp, func() {
+			d.eng.Immediately(onReady)
+		})
+		return
+	}
+	if waiters := st.inflight[sp]; len(waiters) > 0 {
+		st.inflight[sp] = append(waiters, onReady)
+		return
+	}
+	st.inflight[sp] = []func(){onReady}
+	d.ensureAllocated(st, sp, func() {
+		src := d.pickSource(st)
+		d.fabric.Transfer(src, sp, obj.Size, obj.Name, func() {
+			st.valid[sp] = true
+			if sp == machine.HostSpace {
+				// Pulling a dirty object home is an implicit writeback:
+				// host now holds the freshest data, so a later flush
+				// must not transfer it again.
+				st.dirty = false
+			}
+			waiters := st.inflight[sp]
+			delete(st.inflight, sp)
+			for _, w := range waiters {
+				w()
+			}
+		})
+	})
+}
+
+// pickSource chooses where to copy a missing object from: host if the
+// host copy is valid, otherwise the (unique or lowest-numbered) device
+// copy. Deterministic by construction.
+func (d *Directory) pickSource(st *objState) machine.SpaceID {
+	if st.valid[machine.HostSpace] {
+		return machine.HostSpace
+	}
+	best := machine.SpaceID(-1)
+	for sp, v := range st.valid {
+		if v && (best == -1 || sp < best) {
+			best = sp
+		}
+	}
+	if best == -1 {
+		panic(fmt.Sprintf("mem: object %v has no valid copy anywhere", st.obj))
+	}
+	return best
+}
+
+// Release unpins the object from a space, making its copy evictable, and
+// retries any allocations that were waiting for memory.
+func (d *Directory) Release(obj *Object, sp machine.SpaceID) {
+	st := d.objects[obj.ID]
+	if st.pins[sp] <= 0 {
+		panic(fmt.Sprintf("mem: Release of unpinned object %v at space %d", obj, sp))
+	}
+	st.pins[sp]--
+	st.lastUse[sp] = d.eng.Now()
+	d.retryPending()
+}
+
+// CommitWrite records that a task running in space sp has written the
+// object: sp now holds the only valid copy and every other replica is
+// invalidated (and its device memory freed).
+func (d *Directory) CommitWrite(obj *Object, sp machine.SpaceID) {
+	st := d.objects[obj.ID]
+	for other, v := range st.valid {
+		if !v || other == sp {
+			continue
+		}
+		if st.pins[other] > 0 {
+			panic(fmt.Sprintf("mem: invalidating pinned copy of %v at space %d (dependence bug)", obj, other))
+		}
+		st.valid[other] = false
+		d.unreserve(st, other)
+	}
+	st.valid[sp] = true
+	d.reserve(st, sp) // ensure accounted (Write-only path allocated already, this is idempotent)
+	st.dirty = sp != machine.HostSpace
+	st.lastUse[sp] = d.eng.Now()
+	d.retryPending()
+}
+
+// FlushAll writes every dirty object back to host memory and calls onDone
+// when the last writeback completes. Device copies stay valid (clean).
+// This is the taskwait flush; with no dirty data onDone fires immediately
+// as an event.
+func (d *Directory) FlushAll(onDone func()) {
+	var dirtyObjs []*objState
+	for _, st := range d.objects {
+		if st.dirty {
+			dirtyObjs = append(dirtyObjs, st)
+		}
+	}
+	d.flushSet(dirtyObjs, onDone)
+}
+
+// FlushObject writes one object back if dirty (taskwait on(x)).
+func (d *Directory) FlushObject(obj *Object, onDone func()) {
+	st := d.objects[obj.ID]
+	if st.dirty {
+		d.flushSet([]*objState{st}, onDone)
+	} else {
+		d.flushSet(nil, onDone)
+	}
+}
+
+func (d *Directory) flushSet(set []*objState, onDone func()) {
+	if len(set) == 0 {
+		d.eng.Immediately(func() {
+			if onDone != nil {
+				onDone()
+			}
+		})
+		return
+	}
+	sort.Slice(set, func(i, j int) bool { return set[i].obj.ID < set[j].obj.ID })
+	remaining := len(set)
+	for _, st := range set {
+		st := st
+		owner := st.dirtyOwner()
+		d.fabric.Transfer(owner, machine.HostSpace, st.obj.Size, st.obj.Name, func() {
+			st.valid[machine.HostSpace] = true
+			st.dirty = false
+			remaining--
+			if remaining == 0 && onDone != nil {
+				onDone()
+			}
+		})
+	}
+}
+
+// DirtyBytes returns the total size of objects whose freshest copy is on
+// a device (i.e. what a flush would move).
+func (d *Directory) DirtyBytes() int64 {
+	var sum int64
+	for _, st := range d.objects {
+		if st.dirty {
+			sum += st.obj.Size
+		}
+	}
+	return sum
+}
+
+// --- allocation and eviction ---
+
+func (d *Directory) reserve(st *objState, sp machine.SpaceID) {
+	m := d.reserved[st.obj.ID]
+	if !m[sp] {
+		m[sp] = true
+		d.used[sp] += st.obj.Size
+	}
+}
+
+func (d *Directory) unreserve(st *objState, sp machine.SpaceID) {
+	m := d.reserved[st.obj.ID]
+	if m[sp] {
+		delete(m, sp)
+		d.used[sp] -= st.obj.Size
+	}
+}
+
+// ensureAllocated charges the object's size against the space (unless
+// already charged) and runs fn. If the space is over capacity it evicts
+// LRU unpinned copies; if that is not enough the request parks until a
+// Release or CommitWrite frees memory.
+func (d *Directory) ensureAllocated(st *objState, sp machine.SpaceID, fn func()) {
+	if d.reserved[st.obj.ID][sp] {
+		fn()
+		return
+	}
+	capacity := d.mach.Space(sp).Capacity
+	if sp == machine.HostSpace || capacity <= 0 {
+		d.reserve(st, sp)
+		fn()
+		return
+	}
+	if d.used[sp]+st.obj.Size > capacity {
+		d.evictLRU(sp, d.used[sp]+st.obj.Size-capacity)
+	}
+	if d.used[sp]+st.obj.Size > capacity {
+		d.pending = append(d.pending, pendingAlloc{space: sp, size: st.obj.Size, fn: func() {
+			d.ensureAllocated(st, sp, fn)
+		}})
+		return
+	}
+	d.reserve(st, sp)
+	fn()
+}
+
+// evictLRU frees at least `need` bytes in the space by dropping the least
+// recently used unpinned, non-incoming copies. Dirty victims are written
+// back to host first (synchronously in directory state; the writeback
+// transfer is issued and the copy is considered gone immediately, which
+// models an eager writeback queue).
+func (d *Directory) evictLRU(sp machine.SpaceID, need int64) {
+	type victim struct {
+		st   *objState
+		last sim.Time
+	}
+	var victims []victim
+	for _, st := range d.objects {
+		if st.valid[sp] && st.pins[sp] == 0 && len(st.inflight[sp]) == 0 {
+			victims = append(victims, victim{st, st.lastUse[sp]})
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].last != victims[j].last {
+			return victims[i].last < victims[j].last
+		}
+		return victims[i].st.obj.ID < victims[j].st.obj.ID
+	})
+	var freed int64
+	for _, v := range victims {
+		if freed >= need {
+			break
+		}
+		st := v.st
+		if st.dirty && st.dirtyOwner() == sp {
+			// Writeback before dropping the only fresh copy.
+			d.fabric.Transfer(sp, machine.HostSpace, st.obj.Size, st.obj.Name, nil)
+			st.valid[machine.HostSpace] = true
+			st.dirty = false
+		}
+		st.valid[sp] = false
+		d.unreserve(st, sp)
+		d.Evictions[sp]++
+		freed += st.obj.Size
+	}
+}
+
+// retryPending re-attempts parked allocations after memory was freed.
+func (d *Directory) retryPending() {
+	if len(d.pending) == 0 {
+		return
+	}
+	pend := d.pending
+	d.pending = nil
+	for _, p := range pend {
+		p.fn() // re-enters ensureAllocated, which re-parks if still full
+	}
+}
+
+// PendingAllocs reports how many allocation requests are parked waiting
+// for device memory.
+func (d *Directory) PendingAllocs() int { return len(d.pending) }

@@ -1,0 +1,124 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/xfer"
+)
+
+// TestDirectoryRandomWalkInvariants drives the directory through long
+// random sequences of acquire / commit / release / flush operations over
+// several objects and spaces and checks the coherence invariants after
+// every step:
+//
+//   - every object has at least one valid copy somewhere;
+//   - a dirty object has its unique freshest copy on a device (the
+//     dirtyOwner lookup must not panic);
+//   - a space never holds more reserved bytes than its capacity;
+//   - after FlushAll, nothing is dirty and host copies are valid.
+func TestDirectoryRandomWalkInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e := sim.NewEngine()
+		m := machine.MinoTauro(2, 2)
+		// Tighten GPU capacities so eviction paths are exercised.
+		m.Spaces[1].Capacity = 3 << 20
+		m.Spaces[2].Capacity = 2 << 20
+		f := xfer.NewFabric(e, m, nil)
+		d := NewDirectory(e, m, f)
+
+		objs := make([]*Object, 6)
+		for i := range objs {
+			objs[i] = d.Register("o", 1<<20)
+		}
+		spaces := []machine.SpaceID{machine.HostSpace, 1, 2}
+
+		check := func(step int) {
+			t.Helper()
+			for _, o := range objs {
+				anyValid := false
+				for _, sp := range spaces {
+					if d.ValidAt(o, sp) {
+						anyValid = true
+					}
+				}
+				if !anyValid {
+					t.Fatalf("seed %d step %d: object %v has no valid copy", seed, step, o)
+				}
+				if d.Dirty(o) && d.ValidAt(o, machine.HostSpace) {
+					t.Fatalf("seed %d step %d: object %v dirty but host copy marked valid", seed, step, o)
+				}
+			}
+			for _, sp := range spaces[1:] {
+				if capd := m.Space(sp).Capacity; capd > 0 && d.UsedBytes(sp) > capd {
+					t.Fatalf("seed %d step %d: space %d overcommitted (%d > %d)",
+						seed, step, sp, d.UsedBytes(sp), capd)
+				}
+			}
+		}
+
+		for step := 0; step < 300; step++ {
+			o := objs[rng.Intn(len(objs))]
+			sp := spaces[rng.Intn(len(spaces))]
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // read
+				done := false
+				d.Acquire(o, sp, Read, func() { done = true })
+				e.Run()
+				if !done {
+					t.Fatalf("seed %d step %d: read acquire never completed (parked forever?)", seed, step)
+				}
+				d.Release(o, sp)
+			case 4, 5, 6: // write through
+				done := false
+				d.Acquire(o, sp, ReadWrite, func() { done = true })
+				e.Run()
+				if !done {
+					t.Fatalf("seed %d step %d: rw acquire never completed", seed, step)
+				}
+				d.CommitWrite(o, sp)
+				d.Release(o, sp)
+			case 7: // write-only
+				done := false
+				d.Acquire(o, sp, Write, func() { done = true })
+				e.Run()
+				if !done {
+					t.Fatalf("seed %d step %d: write acquire never completed", seed, step)
+				}
+				d.CommitWrite(o, sp)
+				d.Release(o, sp)
+			case 8: // flush one object
+				d.FlushObject(o, nil)
+				e.Run()
+				if d.Dirty(o) {
+					t.Fatalf("seed %d step %d: object still dirty after FlushObject", seed, step)
+				}
+			case 9: // flush everything
+				d.FlushAll(nil)
+				e.Run()
+				if d.DirtyBytes() != 0 {
+					t.Fatalf("seed %d step %d: DirtyBytes=%d after FlushAll", seed, step, d.DirtyBytes())
+				}
+			}
+			check(step)
+		}
+
+		// Final flush: host must own everything cleanly.
+		d.FlushAll(nil)
+		e.Run()
+		for _, o := range objs {
+			if !d.ValidAt(o, machine.HostSpace) {
+				t.Errorf("seed %d: object %v not home after final flush", seed, o)
+			}
+			if d.Dirty(o) {
+				t.Errorf("seed %d: object %v still dirty after final flush", seed, o)
+			}
+		}
+		if d.PendingAllocs() != 0 {
+			t.Errorf("seed %d: %d allocations still parked at the end", seed, d.PendingAllocs())
+		}
+	}
+}

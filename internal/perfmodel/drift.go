@@ -1,0 +1,55 @@
+package perfmodel
+
+import (
+	"fmt"
+	"time"
+)
+
+// Drift wraps a model whose effective speed changes across successive
+// invocations: the estimate is multiplied by a factor that moves linearly
+// from Start to End over Calls invocations and stays at End afterwards.
+// It models behaviour the paper's scheduler is designed to absorb
+// ("this makes the scheduler more flexible and easily adapts to
+// application's behavior, even if it changes over the whole execution",
+// Section IV-B) — e.g. GPU thermal throttling or competing load.
+//
+// Drift is stateful: each Estimate call advances the drift, so a Drift
+// value must not be shared between versions. Determinism is preserved
+// because the runtime calls Estimate exactly once per task execution, in
+// simulation order.
+type Drift struct {
+	Base  Model
+	Start float64 // multiplier at the first call (e.g. 1.0)
+	End   float64 // multiplier after Calls calls (e.g. 4.0 = 4x slower)
+	Calls int     // invocations over which the factor ramps
+	// After delays the onset: the factor stays at Start for the first
+	// After invocations, then ramps over the next Calls (a step change
+	// when Calls is small).
+	After int
+
+	n int
+}
+
+// Estimate implements Model.
+func (m *Drift) Estimate(w Work) time.Duration {
+	if m.Calls <= 0 {
+		panic("perfmodel: Drift.Calls must be positive")
+	}
+	frac := float64(m.n-m.After) / float64(m.Calls)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	m.n++
+	factor := m.Start + (m.End-m.Start)*frac
+	return time.Duration(float64(m.Base.Estimate(w)) * factor)
+}
+
+// Invocations returns how many times the model has been evaluated.
+func (m *Drift) Invocations() int { return m.n }
+
+func (m *Drift) String() string {
+	return fmt.Sprintf("drift(%.2f->%.2f over %d calls, %s)", m.Start, m.End, m.Calls, m.Base)
+}

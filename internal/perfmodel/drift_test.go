@@ -1,0 +1,53 @@
+package perfmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDriftRampsLinearly(t *testing.T) {
+	m := &Drift{Base: Fixed{D: 10 * time.Millisecond}, Start: 1, End: 3, Calls: 4}
+	want := []time.Duration{
+		10 * time.Millisecond, // factor 1.0
+		15 * time.Millisecond, // 1.5
+		20 * time.Millisecond, // 2.0
+		25 * time.Millisecond, // 2.5
+		30 * time.Millisecond, // 3.0 (ramp complete)
+		30 * time.Millisecond, // stays at End
+	}
+	for i, w := range want {
+		if got := m.Estimate(Work{}); got != w {
+			t.Errorf("call %d: %v, want %v", i, got, w)
+		}
+	}
+	if m.Invocations() != len(want) {
+		t.Errorf("Invocations = %d", m.Invocations())
+	}
+}
+
+func TestDriftZeroCallsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	(&Drift{Base: Fixed{D: time.Second}}).Estimate(Work{})
+}
+
+func TestDriftString(t *testing.T) {
+	m := &Drift{Base: Fixed{D: time.Second}, Start: 1, End: 4, Calls: 10}
+	if m.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestDriftDownwardsToo(t *testing.T) {
+	// A version can also speed up (e.g. clock boost after warm-up).
+	m := &Drift{Base: Fixed{D: 10 * time.Millisecond}, Start: 2, End: 1, Calls: 2}
+	first := m.Estimate(Work{})
+	m.Estimate(Work{})
+	third := m.Estimate(Work{})
+	if first <= third {
+		t.Errorf("downward drift failed: first %v, third %v", first, third)
+	}
+}

@@ -1,0 +1,166 @@
+// Package perfmodel estimates how long a task implementation takes on a
+// device. It stands in for the real hardware the paper measured (CUDA
+// kernels, CBLAS calls): each task version carries a calibrated Model, and
+// the simulated device "executes" the task by advancing virtual time by
+// the model's estimate, optionally perturbed by seeded log-normal noise.
+//
+// The versioning scheduler never sees these models: it only observes
+// realized per-task execution times, exactly as the real runtime observes
+// wall-clock durations. Calibration constants for the paper's kernels live
+// with the applications (internal/apps).
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Work describes the amount of computation one task instance performs.
+// Different models consume different fields.
+type Work struct {
+	Flops float64 // floating-point operations
+	Bytes int64   // total data-set footprint in bytes
+	Elems int64   // element count, for per-element kernels
+}
+
+// Model estimates the execution duration of one task instance.
+type Model interface {
+	// Estimate returns the noiseless duration for the given work.
+	Estimate(w Work) time.Duration
+	// String describes the model for diagnostics.
+	String() string
+}
+
+// Throughput models a compute-bound kernel running at a sustained rate of
+// GFlops billion floating-point operations per second, plus a fixed
+// per-invocation overhead (kernel launch, library call dispatch).
+type Throughput struct {
+	GFlops   float64
+	Overhead time.Duration
+}
+
+// Estimate implements Model.
+func (m Throughput) Estimate(w Work) time.Duration {
+	if m.GFlops <= 0 {
+		panic("perfmodel: Throughput with non-positive rate")
+	}
+	sec := w.Flops / (m.GFlops * 1e9)
+	return m.Overhead + time.Duration(sec*1e9)
+}
+
+func (m Throughput) String() string {
+	return fmt.Sprintf("throughput(%.1f GFLOP/s + %v)", m.GFlops, m.Overhead)
+}
+
+// PerElement models a memory-bound kernel that spends a fixed number of
+// nanoseconds per element plus a per-invocation overhead. Used for the
+// PBPI likelihood loops, which have no floating-point-throughput story
+// (the paper reports them in execution time, not GFLOP/s).
+type PerElement struct {
+	NsPerElem float64
+	Overhead  time.Duration
+}
+
+// Estimate implements Model.
+func (m PerElement) Estimate(w Work) time.Duration {
+	return m.Overhead + time.Duration(m.NsPerElem*float64(w.Elems))
+}
+
+func (m PerElement) String() string {
+	return fmt.Sprintf("per-element(%.2f ns/elem + %v)", m.NsPerElem, m.Overhead)
+}
+
+// Fixed models a constant-duration task.
+type Fixed struct{ D time.Duration }
+
+// Estimate implements Model.
+func (m Fixed) Estimate(Work) time.Duration { return m.D }
+
+func (m Fixed) String() string { return fmt.Sprintf("fixed(%v)", m.D) }
+
+// Bandwidth models a streaming kernel limited by memory bandwidth: the
+// task touches Bytes at BytesPerSec, plus overhead.
+type Bandwidth struct {
+	BytesPerSec float64
+	Overhead    time.Duration
+}
+
+// Estimate implements Model.
+func (m Bandwidth) Estimate(w Work) time.Duration {
+	if m.BytesPerSec <= 0 {
+		panic("perfmodel: Bandwidth with non-positive rate")
+	}
+	sec := float64(w.Bytes) / m.BytesPerSec
+	return m.Overhead + time.Duration(sec*1e9)
+}
+
+func (m Bandwidth) String() string {
+	return fmt.Sprintf("bandwidth(%.2f GB/s + %v)", m.BytesPerSec/1e9, m.Overhead)
+}
+
+// Scaled wraps a model and multiplies its estimate by Factor. Useful to
+// derive "this version is 3.5x slower" relations the paper reports.
+type Scaled struct {
+	Base   Model
+	Factor float64
+}
+
+// Estimate implements Model.
+func (m Scaled) Estimate(w Work) time.Duration {
+	return time.Duration(float64(m.Base.Estimate(w)) * m.Factor)
+}
+
+func (m Scaled) String() string {
+	return fmt.Sprintf("%.2fx %s", m.Factor, m.Base)
+}
+
+// Noise perturbs durations with deterministic multiplicative log-normal
+// jitter: d' = d * exp(N(0, sigma)). Sigma around 0.02-0.05 reproduces
+// realistic run-to-run variation without destroying the mean; sigma = 0
+// disables noise entirely.
+type Noise struct {
+	sigma float64
+	rng   *rand.Rand
+}
+
+// NewNoise returns a noise source with the given sigma and seed. The
+// source is deterministic: the same seed yields the same perturbation
+// sequence.
+func NewNoise(sigma float64, seed int64) *Noise {
+	if sigma < 0 {
+		panic("perfmodel: negative noise sigma")
+	}
+	return &Noise{sigma: sigma, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Perturb returns the jittered duration. Durations never become negative.
+func (n *Noise) Perturb(d time.Duration) time.Duration {
+	if n == nil || n.sigma == 0 {
+		return d
+	}
+	f := math.Exp(n.rng.NormFloat64() * n.sigma)
+	out := time.Duration(float64(d) * f)
+	if out < 0 {
+		out = 0
+	}
+	return out
+}
+
+// Sigma returns the configured standard deviation.
+func (n *Noise) Sigma() float64 {
+	if n == nil {
+		return 0
+	}
+	return n.sigma
+}
+
+// GFlopsRate converts (flops, duration) into GFLOP/s; zero duration yields
+// zero to keep reporting code simple.
+func GFlopsRate(flops float64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return flops / d.Seconds() / 1e9
+}

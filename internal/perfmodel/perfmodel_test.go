@@ -1,0 +1,171 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestThroughputEstimate(t *testing.T) {
+	// 2.147 GFlop at 300 GFLOP/s = ~7.16 ms, plus 10us overhead.
+	m := Throughput{GFlops: 300, Overhead: 10 * time.Microsecond}
+	d := m.Estimate(Work{Flops: 2 * 1024 * 1024 * 1024})
+	wantSec := 2.0 * 1024 * 1024 * 1024 / 300e9
+	got := d.Seconds() - 10e-6
+	if math.Abs(got-wantSec) > 1e-9 {
+		t.Errorf("Estimate = %v, want %v s + overhead", d, wantSec)
+	}
+}
+
+func TestThroughputZeroRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero rate")
+		}
+	}()
+	Throughput{}.Estimate(Work{Flops: 1})
+}
+
+func TestPerElementEstimate(t *testing.T) {
+	m := PerElement{NsPerElem: 2.5, Overhead: time.Microsecond}
+	d := m.Estimate(Work{Elems: 1000})
+	want := time.Microsecond + 2500*time.Nanosecond
+	if d != want {
+		t.Errorf("Estimate = %v, want %v", d, want)
+	}
+}
+
+func TestFixedEstimate(t *testing.T) {
+	m := Fixed{D: 42 * time.Millisecond}
+	if m.Estimate(Work{Flops: 1e12}) != 42*time.Millisecond {
+		t.Error("Fixed should ignore work")
+	}
+}
+
+func TestBandwidthEstimate(t *testing.T) {
+	m := Bandwidth{BytesPerSec: 1e9}
+	d := m.Estimate(Work{Bytes: 5e8})
+	if math.Abs(d.Seconds()-0.5) > 1e-9 {
+		t.Errorf("Estimate = %v, want 500ms", d)
+	}
+}
+
+func TestBandwidthZeroRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero bandwidth")
+		}
+	}()
+	Bandwidth{}.Estimate(Work{Bytes: 1})
+}
+
+func TestScaled(t *testing.T) {
+	base := Fixed{D: 10 * time.Millisecond}
+	m := Scaled{Base: base, Factor: 3.5}
+	if m.Estimate(Work{}) != 35*time.Millisecond {
+		t.Errorf("Scaled = %v, want 35ms", m.Estimate(Work{}))
+	}
+}
+
+func TestModelStrings(t *testing.T) {
+	models := []Model{
+		Throughput{GFlops: 300, Overhead: time.Microsecond},
+		PerElement{NsPerElem: 1, Overhead: 0},
+		Fixed{D: time.Second},
+		Bandwidth{BytesPerSec: 1e9},
+		Scaled{Base: Fixed{D: time.Second}, Factor: 2},
+	}
+	for _, m := range models {
+		if m.String() == "" {
+			t.Errorf("%T has empty String()", m)
+		}
+	}
+}
+
+func TestNoiseDeterminism(t *testing.T) {
+	a := NewNoise(0.05, 42)
+	b := NewNoise(0.05, 42)
+	for i := 0; i < 100; i++ {
+		da := a.Perturb(time.Millisecond)
+		db := b.Perturb(time.Millisecond)
+		if da != db {
+			t.Fatalf("iteration %d: %v != %v", i, da, db)
+		}
+	}
+}
+
+func TestNoiseZeroSigmaIsIdentity(t *testing.T) {
+	n := NewNoise(0, 1)
+	if n.Perturb(time.Second) != time.Second {
+		t.Error("zero sigma should not perturb")
+	}
+	var nilNoise *Noise
+	if nilNoise.Perturb(time.Second) != time.Second {
+		t.Error("nil noise should not perturb")
+	}
+	if nilNoise.Sigma() != 0 {
+		t.Error("nil noise sigma should be 0")
+	}
+}
+
+func TestNoiseMeanRoughlyPreserved(t *testing.T) {
+	n := NewNoise(0.05, 7)
+	var sum float64
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		sum += n.Perturb(time.Millisecond).Seconds()
+	}
+	mean := sum / trials
+	// lognormal mean = exp(sigma^2/2) ~ 1.00125; allow 1% band.
+	if mean < 0.00099 || mean > 0.00101 {
+		t.Errorf("mean perturbed duration = %v, want ~1ms", mean)
+	}
+}
+
+func TestNegativeSigmaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for negative sigma")
+		}
+	}()
+	NewNoise(-1, 0)
+}
+
+func TestGFlopsRate(t *testing.T) {
+	if r := GFlopsRate(2e9, time.Second); math.Abs(r-2) > 1e-12 {
+		t.Errorf("GFlopsRate = %v, want 2", r)
+	}
+	if GFlopsRate(1e9, 0) != 0 {
+		t.Error("zero duration should yield 0")
+	}
+}
+
+// Property: Perturb never returns negative and scales monotonically with
+// the input for a fixed draw... (each call draws new jitter, so test only
+// non-negativity and rough boundedness for small sigma).
+func TestPerturbNonNegativeProperty(t *testing.T) {
+	f := func(seed int64, ms uint16) bool {
+		n := NewNoise(0.1, seed)
+		d := time.Duration(ms) * time.Millisecond
+		out := n.Perturb(d)
+		return out >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Throughput estimate is additive in flops (up to ns rounding)
+// and monotone.
+func TestThroughputMonotoneProperty(t *testing.T) {
+	m := Throughput{GFlops: 100}
+	f := func(a, b uint32) bool {
+		wa := Work{Flops: float64(a)}
+		wb := Work{Flops: float64(a) + float64(b)}
+		return m.Estimate(wb) >= m.Estimate(wa)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

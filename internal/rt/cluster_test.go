@@ -1,0 +1,203 @@
+package rt_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/deps"
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/rt"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/xfer"
+)
+
+// clusterRT builds a runtime over a cluster: node 0 with localCores SMP
+// cores (no GPUs), plus remoteNodes remote nodes of coresPerNode cores
+// each, reachable over InfiniBand. Worker selection picks devices of a
+// kind in machine order, so the local cores come first, then the remote
+// nodes' cores.
+func clusterRT(t *testing.T, localCores, remoteNodes, coresPerNode int, s rt.Scheduler) *rt.Runtime {
+	t.Helper()
+	m := machine.Cluster(localCores, 0, remoteNodes, coresPerNode)
+	return rt.New(rt.Config{
+		Machine:     m,
+		SMPWorkers:  localCores + remoteNodes*coresPerNode,
+		Scheduler:   s,
+		Prefetch:    true,
+		RealCompute: true,
+	})
+}
+
+func TestClusterTasksStageOverInfiniBand(t *testing.T) {
+	r := clusterRT(t, 1, 1, 1, sched.NewBreadthFirst()) // 1 local + 1 remote core
+	tt := r.DeclareTaskType("w")
+	tt.AddVersion("w_smp", machine.KindSMP, perfmodel.Fixed{D: 10 * time.Millisecond}, nil)
+
+	// Two independent tasks: one runs locally, the other on the remote
+	// node, whose input must move over InfiniBand.
+	a := r.Register("a", 32_000_000) // 32 MB: 10ms over IB
+	b := r.Register("b", 32_000_000)
+	r.SpawnMain(func(m *rt.Master) {
+		m.Submit(tt, []deps.Access{deps.InOut(a)}, perfmodel.Work{}, nil)
+		m.Submit(tt, []deps.Access{deps.InOut(b)}, perfmodel.Work{}, nil)
+		m.Taskwait()
+	})
+	end := r.Run()
+
+	// Both workers used: makespan well under serial 20ms + transfers.
+	if end.Duration() >= 40*time.Millisecond {
+		t.Errorf("elapsed %v: remote worker unused?", end)
+	}
+	workers := make(map[int]bool)
+	for _, rec := range r.Tracer().Tasks {
+		workers[rec.Worker] = true
+	}
+	if len(workers) != 2 {
+		t.Fatalf("worker spread = %v, want both nodes", workers)
+	}
+	// The remote task's data moved out and (on taskwait flush) back.
+	fb := r.Fabric()
+	if fb.TotalBytes[xfer.CatInput] != 32_000_000 {
+		t.Errorf("Input Tx (host->node) = %d, want one object", fb.TotalBytes[xfer.CatInput])
+	}
+	if fb.TotalBytes[xfer.CatOutput] != 32_000_000 {
+		t.Errorf("Output Tx (node->host) = %d", fb.TotalBytes[xfer.CatOutput])
+	}
+	if problems := stats.Validate(r.Tracer()); len(problems) > 0 {
+		t.Error(problems)
+	}
+}
+
+// rotor is a test scheduler that deals ready tasks to workers in strict
+// rotation, regardless of load or locality. It forces a dependence chain
+// to hop between cluster nodes so the directory must route the
+// intermediate data node -> host -> node.
+type rotor struct {
+	rtime  *rt.Runtime
+	next   int
+	queues map[int][]*rt.Assignment
+}
+
+func (s *rotor) Name() string       { return "rotor" }
+func (s *rotor) Init(r *rt.Runtime) { s.rtime = r; s.queues = make(map[int][]*rt.Assignment) }
+func (s *rotor) TaskReady(t *rt.Task) {
+	workers := s.rtime.Workers()
+	for range workers { // find the next worker that can run the main version
+		w := workers[s.next%len(workers)]
+		s.next++
+		if t.Type.Main().RunsOn(w.Kind()) {
+			s.queues[w.ID()] = append(s.queues[w.ID()], &rt.Assignment{Task: t, Version: t.Type.Main()})
+			return
+		}
+	}
+	panic("rotor: no compatible worker")
+}
+func (s *rotor) NextTask(w *rt.Worker) *rt.Assignment {
+	q := s.queues[w.ID()]
+	if len(q) == 0 {
+		return nil
+	}
+	s.queues[w.ID()] = q[1:]
+	return q[0]
+}
+func (s *rotor) TaskFinished(*rt.Worker, *rt.Task, *rt.Version, time.Duration) {}
+
+func TestClusterRemoteGPUExecutesAndStagesTwoHops(t *testing.T) {
+	// One local core plus one GPU on a remote node: a CUDA-only task must
+	// run on the remote GPU, and its input must stage host -> node memory
+	// (InfiniBand) -> GPU memory (PCIe), i.e. two recorded legs.
+	m := machine.ClusterGPU(1, 0, 1, 1, 1)
+	r := rt.New(rt.Config{
+		Machine:    m,
+		SMPWorkers: 1,
+		GPUWorkers: 1,
+		Scheduler:  sched.NewBreadthFirst(),
+	})
+	tt := r.DeclareTaskType("k")
+	tt.AddVersion("k_cuda", machine.KindCUDA, perfmodel.Fixed{D: time.Millisecond}, nil)
+
+	in := r.Register("in", 10_000_000)
+	r.SpawnMain(func(ms *rt.Master) {
+		ms.Submit(tt, []deps.Access{deps.In(in)}, perfmodel.Work{}, nil)
+		ms.Taskwait()
+	})
+	r.Run()
+
+	if n := len(r.Tracer().Tasks); n != 1 {
+		t.Fatalf("ran %d tasks", n)
+	}
+	if got := r.Tracer().Tasks[0].DeviceKind; got != machine.KindCUDA {
+		t.Errorf("task ran on %v, want remote GPU", got)
+	}
+	var legs int
+	for _, rec := range r.Tracer().Transfers {
+		if rec.Tag == "in" {
+			legs++
+		}
+	}
+	if legs != 2 {
+		t.Errorf("staging used %d legs, want 2 (IB + PCIe)", legs)
+	}
+	// Input-only task: nothing dirty, taskwait flush moves nothing back.
+	fb := r.Fabric()
+	if fb.TotalBytes[xfer.CatOutput] != 0 {
+		t.Errorf("Output Tx = %d, want 0", fb.TotalBytes[xfer.CatOutput])
+	}
+	if problems := stats.Validate(r.Tracer()); len(problems) > 0 {
+		t.Error(problems)
+	}
+}
+
+func TestClusterDependencesAcrossNodes(t *testing.T) {
+	// A 6-stage inout chain dealt round-robin over 5 workers spanning
+	// three address spaces (host, node1, node2). The directory must move
+	// the intermediate over the network and execution order must hold.
+	r := clusterRT(t, 1, 2, 2, &rotor{})
+	tt := r.DeclareTaskType("stage")
+	var order []int
+	tt.AddVersion("stage_smp", machine.KindSMP, perfmodel.Fixed{D: time.Millisecond},
+		func(ctx *rt.ExecContext) { order = append(order, ctx.Task.Args.(int)) })
+
+	obj := r.Register("pipe", 1_000_000)
+	r.SpawnMain(func(m *rt.Master) {
+		for i := 0; i < 6; i++ {
+			m.Submit(tt, []deps.Access{deps.InOut(obj)}, perfmodel.Work{}, i)
+		}
+		m.Taskwait()
+	})
+	r.Run()
+
+	if len(order) != 6 {
+		t.Fatalf("ran %d stages, want 6", len(order))
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("execution order %v violates the inout chain", order)
+		}
+	}
+	// Rotation (w0 host, w1/w2 node1, w3/w4 node2, w0 host):
+	//   stage0 w0: no transfer       stage1 w1: host->n1 (Input)
+	//   stage2 w2: already at n1     stage3 w3: n1->host->n2 (Output+Input)
+	//   stage4 w4: already at n2     stage5 w0: n2->host (Output)
+	// Taskwait flush: host copy already fresh, nothing moves.
+	fb := r.Fabric()
+	if got, want := fb.TotalBytes[xfer.CatInput], int64(2_000_000); got != want {
+		t.Errorf("Input Tx = %d, want %d (host->node legs)", got, want)
+	}
+	if got, want := fb.TotalBytes[xfer.CatOutput], int64(2_000_000); got != want {
+		t.Errorf("Output Tx = %d, want %d (node->host legs)", got, want)
+	}
+	spaces := make(map[machine.SpaceID]bool)
+	for _, rec := range r.Tracer().Transfers {
+		spaces[rec.From] = true
+		spaces[rec.To] = true
+	}
+	if len(spaces) != 3 {
+		t.Errorf("transfers touched spaces %v, want host + both nodes", spaces)
+	}
+	if problems := stats.Validate(r.Tracer()); len(problems) > 0 {
+		t.Error(problems)
+	}
+}

@@ -1,0 +1,126 @@
+package rt_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/deps"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/perfmodel"
+	"repro/internal/rt"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// tinyGPUMachine is a node whose single GPU holds only capacity bytes, so
+// working sets beyond it force LRU eviction and dirty writebacks while
+// tasks keep executing.
+func tinyGPUMachine(capacity int64) *machine.Machine {
+	m := machine.New("tiny", 0)
+	sp := m.AddSpace("gpu-mem", capacity)
+	m.AddDevice("core-0", machine.KindSMP, machine.HostSpace, 1)
+	m.AddDevice("gpu-0", machine.KindCUDA, sp, 100)
+	m.AddLink(machine.HostSpace, sp, 1e9, 0)
+	m.AddLink(sp, machine.HostSpace, 1e9, 0)
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestGPUMemoryPressureEvictsAndCompletes(t *testing.T) {
+	// 8 objects of 1 MB; the GPU holds 3 MB. A GPU-only sweep over all
+	// objects (twice) must evict, refetch and still finish every task.
+	r := rt.New(rt.Config{
+		Machine:     tinyGPUMachine(3 << 20),
+		GPUWorkers:  1,
+		Scheduler:   sched.NewBreadthFirst(),
+		RealCompute: true,
+	})
+	tt := r.DeclareTaskType("touch")
+	touched := make(map[int]int)
+	tt.AddVersion("touch_gpu", machine.KindCUDA, perfmodel.Fixed{D: time.Millisecond},
+		func(ctx *rt.ExecContext) { touched[ctx.Task.Args.(int)]++ })
+
+	objs := make([]*mem.Object, 8)
+	for i := range objs {
+		objs[i] = r.Register("blk", 1<<20)
+	}
+	r.SpawnMain(func(m *rt.Master) {
+		for pass := 0; pass < 2; pass++ {
+			for i, o := range objs {
+				m.Submit(tt, []deps.Access{deps.InOut(o)}, perfmodel.Work{}, i)
+			}
+		}
+		m.Taskwait()
+	})
+	r.Run()
+
+	for i := range objs {
+		if touched[i] != 2 {
+			t.Errorf("object %d touched %d times, want 2", i, touched[i])
+		}
+	}
+	gpuSpace := r.Machine().GPUSpaces()[0]
+	if r.Directory().Evictions[gpuSpace] == 0 {
+		t.Error("no evictions under a working set 2.7x device memory")
+	}
+	if r.Directory().PendingAllocs() != 0 {
+		t.Errorf("allocations still parked: %d", r.Directory().PendingAllocs())
+	}
+	if used, capacity := r.Directory().UsedBytes(gpuSpace), int64(3<<20); used > capacity {
+		t.Errorf("device memory overcommitted: %d > %d", used, capacity)
+	}
+	if problems := stats.Validate(r.Tracer()); len(problems) > 0 {
+		t.Error(problems)
+	}
+}
+
+func TestGPUMemoryPressureWithPrefetchAndEvictionWriteback(t *testing.T) {
+	// Same pressure with prefetch enabled and a second pass reading the
+	// dirty results back on the host: writebacks must surface the data.
+	r := rt.New(rt.Config{
+		Machine:     tinyGPUMachine(2 << 20),
+		SMPWorkers:  1,
+		GPUWorkers:  1,
+		Scheduler:   sched.NewBreadthFirst(),
+		Prefetch:    true,
+		RealCompute: true,
+	})
+	gpu := r.DeclareTaskType("produce")
+	vals := make(map[int]int)
+	gpu.AddVersion("produce_gpu", machine.KindCUDA, perfmodel.Fixed{D: time.Millisecond},
+		func(ctx *rt.ExecContext) { vals[ctx.Task.Args.(int)] = ctx.Task.Args.(int) * 10 })
+	smp := r.DeclareTaskType("consume")
+	var got []int
+	smp.AddVersion("consume_smp", machine.KindSMP, perfmodel.Fixed{D: time.Millisecond},
+		func(ctx *rt.ExecContext) { got = append(got, vals[ctx.Task.Args.(int)]) })
+
+	objs := make([]*mem.Object, 6)
+	for i := range objs {
+		objs[i] = r.Register("blk", 1<<20)
+	}
+	r.SpawnMain(func(m *rt.Master) {
+		for i, o := range objs {
+			m.Submit(gpu, []deps.Access{deps.Out(o)}, perfmodel.Work{}, i)
+		}
+		for i, o := range objs {
+			m.Submit(smp, []deps.Access{deps.In(o)}, perfmodel.Work{}, i)
+		}
+		m.Taskwait()
+	})
+	r.Run()
+
+	if len(got) != 6 {
+		t.Fatalf("consumed %d of 6", len(got))
+	}
+	for _, v := range got {
+		if v%10 != 0 {
+			t.Errorf("consumer saw unproduced value %d", v)
+		}
+	}
+	if problems := stats.Validate(r.Tracer()); len(problems) > 0 {
+		t.Error(problems)
+	}
+}

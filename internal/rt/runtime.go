@@ -1,0 +1,353 @@
+package rt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/deps"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/perfmodel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/xfer"
+)
+
+// Config parameterizes a Runtime, mirroring the NX_ARGS / environment
+// configuration of the real OmpSs runtime.
+type Config struct {
+	// Machine is the node description (required).
+	Machine *machine.Machine
+	// SMPWorkers is the number of worker threads devoted to SMP cores.
+	SMPWorkers int
+	// GPUWorkers is the number of worker threads devoted to GPUs.
+	GPUWorkers int
+	// Scheduler is the scheduling policy plug-in (required).
+	Scheduler Scheduler
+	// NoiseSigma is the log-normal execution-time jitter (0 = exact).
+	NoiseSigma float64
+	// Seed seeds the jitter RNG; runs with equal seeds are identical.
+	Seed int64
+	// Prefetch enables one-task look-ahead data staging, overlapping
+	// transfers with computation (the evaluation enables this for all
+	// schedulers).
+	Prefetch bool
+	// RealCompute executes versions' real Go implementations so results
+	// can be verified numerically.
+	RealCompute bool
+	// CreateOverhead is the master-thread cost of creating one task.
+	CreateOverhead time.Duration
+	// Tracer receives task and transfer records; if nil a fresh tracer is
+	// created (retrievable via Runtime.Tracer).
+	Tracer *trace.Tracer
+}
+
+// Runtime is the task runtime instance: the analogue of one Nanos++
+// process bound to a node.
+type Runtime struct {
+	cfg     Config
+	eng     *sim.Engine
+	mach    *machine.Machine
+	fabric  *xfer.Fabric
+	dir     *mem.Directory
+	tracker *deps.Tracker
+	sched   Scheduler
+	noise   *perfmodel.Noise
+	tracer  *trace.Tracer
+
+	workers []*Worker
+	types   map[string]*TaskType
+
+	taskSeq     int64
+	outstanding int
+	waiters     []func()
+
+	// Commutative mutual exclusion (the OmpSs commutative clause): a
+	// task holding an object's commutative lock excludes every other
+	// member of the group; dependence-free members park here until the
+	// lock frees, in readiness order.
+	commHeld map[mem.ObjectID]*Task
+	parked   []*Task
+
+	// TotalFlops accumulates the Work.Flops of every submitted task, for
+	// GFLOP/s reporting.
+	TotalFlops float64
+	// TasksSubmitted counts Submit calls.
+	TasksSubmitted int64
+}
+
+// New builds a runtime on a fresh simulation engine.
+func New(cfg Config) *Runtime {
+	if cfg.Machine == nil {
+		panic("rt: Config.Machine is required")
+	}
+	if cfg.Scheduler == nil {
+		panic("rt: Config.Scheduler is required")
+	}
+	if err := cfg.Machine.Validate(); err != nil {
+		panic("rt: invalid machine: " + err.Error())
+	}
+	eng := sim.NewEngine()
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = trace.New()
+	}
+	fabric := xfer.NewFabric(eng, cfg.Machine, tracer)
+	r := &Runtime{
+		cfg:      cfg,
+		eng:      eng,
+		mach:     cfg.Machine,
+		fabric:   fabric,
+		dir:      mem.NewDirectory(eng, cfg.Machine, fabric),
+		tracker:  deps.NewTracker(),
+		sched:    cfg.Scheduler,
+		noise:    perfmodel.NewNoise(cfg.NoiseSigma, cfg.Seed),
+		tracer:   tracer,
+		types:    make(map[string]*TaskType),
+		commHeld: make(map[mem.ObjectID]*Task),
+	}
+
+	smp := cfg.Machine.DevicesOfKind(machine.KindSMP)
+	gpu := cfg.Machine.DevicesOfKind(machine.KindCUDA)
+	if cfg.SMPWorkers > len(smp) {
+		panic(fmt.Sprintf("rt: %d SMP workers requested, machine has %d cores", cfg.SMPWorkers, len(smp)))
+	}
+	if cfg.GPUWorkers > len(gpu) {
+		panic(fmt.Sprintf("rt: %d GPU workers requested, machine has %d GPUs", cfg.GPUWorkers, len(gpu)))
+	}
+	for i := 0; i < cfg.SMPWorkers; i++ {
+		r.workers = append(r.workers, &Worker{id: len(r.workers), dev: smp[i], rt: r})
+	}
+	for i := 0; i < cfg.GPUWorkers; i++ {
+		r.workers = append(r.workers, &Worker{id: len(r.workers), dev: gpu[i], rt: r})
+	}
+	if len(r.workers) == 0 {
+		panic("rt: no workers configured")
+	}
+	r.sched.Init(r)
+	return r
+}
+
+// Engine returns the simulation engine.
+func (r *Runtime) Engine() *sim.Engine { return r.eng }
+
+// Machine returns the node description.
+func (r *Runtime) Machine() *machine.Machine { return r.mach }
+
+// Directory returns the memory directory (used by locality-aware
+// schedulers).
+func (r *Runtime) Directory() *mem.Directory { return r.dir }
+
+// Fabric returns the transfer fabric.
+func (r *Runtime) Fabric() *xfer.Fabric { return r.fabric }
+
+// Tracer returns the trace sink for this run.
+func (r *Runtime) Tracer() *trace.Tracer { return r.tracer }
+
+// Workers returns all workers in ID order. The slice is shared; do not
+// mutate.
+func (r *Runtime) Workers() []*Worker { return r.workers }
+
+// Now returns the current virtual time.
+func (r *Runtime) Now() sim.Time { return r.eng.Now() }
+
+// Config returns the runtime configuration.
+func (r *Runtime) Config() Config { return r.cfg }
+
+// Register creates a data object resident in host memory.
+func (r *Runtime) Register(name string, size int64) *mem.Object {
+	return r.dir.Register(name, size)
+}
+
+// DeclareTaskType creates (or returns the existing) task type with the
+// given name; versions are added with AddVersion.
+func (r *Runtime) DeclareTaskType(name string) *TaskType {
+	if tt, ok := r.types[name]; ok {
+		return tt
+	}
+	tt := &TaskType{Name: name, rt: r}
+	r.types[name] = tt
+	return tt
+}
+
+// TaskType returns a declared task type, or nil.
+func (r *Runtime) TaskType(name string) *TaskType { return r.types[name] }
+
+// Outstanding returns the number of submitted-but-unfinished tasks.
+func (r *Runtime) Outstanding() int { return r.outstanding }
+
+// submit creates a task instance, wires its dependences and hands it to
+// the scheduler when ready. Must run in engine or master context.
+func (r *Runtime) submit(tt *TaskType, accs []deps.Access, work perfmodel.Work, args any, priority int) *Task {
+	if len(tt.Versions) == 0 {
+		panic(fmt.Sprintf("rt: submit of task %q with no versions", tt.Name))
+	}
+	runnable := false
+	for _, w := range r.workers {
+		if tt.HasVersionFor(w.dev.Kind) {
+			runnable = true
+			break
+		}
+	}
+	if !runnable {
+		panic(fmt.Sprintf("rt: task %q has no version runnable on any configured worker", tt.Name))
+	}
+
+	r.taskSeq++
+	t := &Task{
+		ID:          r.taskSeq,
+		Type:        tt,
+		Accesses:    accs,
+		Work:        work,
+		Args:        args,
+		DataSetSize: computeDataSetSize(accs),
+		Priority:    priority,
+		state:       StatePending,
+		submitAt:    r.eng.Now(),
+	}
+	r.outstanding++
+	r.TasksSubmitted++
+	r.TotalFlops += work.Flops
+
+	preds := r.tracker.Add(t, accs)
+	for _, p := range preds {
+		pt := p.(*Task)
+		t.predIDs = append(t.predIDs, pt.ID)
+		if pt.state != StateFinished {
+			pt.succs = append(pt.succs, t)
+			t.npred++
+		}
+	}
+	if t.npred == 0 {
+		r.becomeReady(t)
+	}
+	return t
+}
+
+// becomeReady hands a dependence-free task to the scheduler and lets
+// workers pull. Tasks with commutative accesses must first win all of
+// their objects' commutative locks (all-or-nothing, so no deadlock);
+// losers park until a completing group member releases.
+func (r *Runtime) becomeReady(t *Task) {
+	t.state = StateReady
+	t.readyAt = r.eng.Now()
+	if !r.tryAcquireComm(t) {
+		r.parked = append(r.parked, t)
+		return
+	}
+	r.sched.TaskReady(t)
+	r.pokeAll()
+}
+
+// commObjects returns the objects the task accesses commutatively.
+func commObjects(t *Task) []*mem.Object {
+	var out []*mem.Object
+	for _, a := range t.Accesses {
+		if a.Mode == mem.Commutative {
+			out = append(out, a.Obj)
+		}
+	}
+	return out
+}
+
+// tryAcquireComm atomically takes every commutative lock the task needs,
+// or none. Tasks without commutative accesses always succeed.
+func (r *Runtime) tryAcquireComm(t *Task) bool {
+	objs := commObjects(t)
+	for _, o := range objs {
+		if holder := r.commHeld[o.ID]; holder != nil && holder != t {
+			return false
+		}
+	}
+	for _, o := range objs {
+		r.commHeld[o.ID] = t
+	}
+	return true
+}
+
+// releaseComm frees the task's commutative locks and unparks, in
+// readiness order, every parked task that can now take all of its locks.
+func (r *Runtime) releaseComm(t *Task) {
+	objs := commObjects(t)
+	if len(objs) == 0 {
+		return
+	}
+	for _, o := range objs {
+		if r.commHeld[o.ID] == t {
+			delete(r.commHeld, o.ID)
+		}
+	}
+	var still []*Task
+	var woken []*Task
+	for _, p := range r.parked {
+		if r.tryAcquireComm(p) {
+			woken = append(woken, p)
+		} else {
+			still = append(still, p)
+		}
+	}
+	r.parked = still
+	for _, p := range woken {
+		p.readyAt = r.eng.Now() // queueing starts when the lock is won
+		r.sched.TaskReady(p)
+	}
+	if len(woken) > 0 {
+		r.pokeAll()
+	}
+}
+
+// pokeAll gives every worker a dispatch/prefetch opportunity, in ID order
+// for determinism. Idle workers dispatch first: a busy worker's prefetch
+// slot must never steal a ready task from an idle peer that could start
+// it immediately.
+func (r *Runtime) pokeAll() {
+	for _, w := range r.workers {
+		if w.current == nil {
+			w.tryDispatch()
+		}
+	}
+	if r.cfg.Prefetch {
+		for _, w := range r.workers {
+			w.poke()
+		}
+	}
+}
+
+// taskDone propagates a finished task: commutative locks release first
+// (a parked group member may be the successor that keeps devices busy),
+// then successors may become ready, and taskwait waiters fire when
+// nothing is outstanding.
+func (r *Runtime) taskDone(t *Task) {
+	r.releaseComm(t)
+	for _, s := range t.succs {
+		s.npred--
+		s.lastPredWorker = t.worker
+		if s.npred == 0 {
+			r.becomeReady(s)
+		}
+	}
+	for _, fn := range t.onFinish {
+		fn()
+	}
+	t.onFinish = nil
+	r.outstanding--
+	if r.outstanding == 0 && len(r.waiters) > 0 {
+		ws := r.waiters
+		r.waiters = nil
+		for _, fn := range ws {
+			fn()
+		}
+	}
+}
+
+// Run executes the simulation to completion and returns the final virtual
+// time.
+func (r *Runtime) Run() sim.Time { return r.eng.Run() }
+
+// ElapsedSeconds returns the current virtual time in seconds.
+func (r *Runtime) ElapsedSeconds() float64 { return r.eng.Now().Seconds() }
+
+// GFlops returns achieved GFLOP/s over the whole run so far.
+func (r *Runtime) GFlops() float64 {
+	return perfmodel.GFlopsRate(r.TotalFlops, r.eng.Now().Duration())
+}

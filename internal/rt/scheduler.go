@@ -1,0 +1,33 @@
+package rt
+
+import "time"
+
+// Assignment is a scheduler's answer to "what should this worker run
+// next": a task plus the implementation to use. The version must target
+// the worker's device kind.
+type Assignment struct {
+	Task    *Task
+	Version *Version
+}
+
+// Scheduler is the plug-in interface every OmpSs scheduling policy
+// implements. The runtime invokes it from simulation-event context:
+//
+//   - Init once, before any task is submitted;
+//   - TaskReady whenever a task's dependences are all satisfied;
+//   - NextTask whenever a worker can accept work (it returns nil to leave
+//     the worker idle; the runtime will ask again after the next
+//     TaskReady or task completion);
+//   - TaskFinished after a task's outputs are committed, carrying the
+//     realized execution time (this is where the versioning scheduler
+//     updates its profiles).
+//
+// Mirroring the OmpSs plug-in mechanism, concrete policies register
+// themselves in internal/sched's registry and are selected by name.
+type Scheduler interface {
+	Name() string
+	Init(rt *Runtime)
+	TaskReady(t *Task)
+	NextTask(w *Worker) *Assignment
+	TaskFinished(w *Worker, t *Task, v *Version, exec time.Duration)
+}

@@ -1,0 +1,124 @@
+package rt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/deps"
+	"repro/internal/mem"
+	"repro/internal/perfmodel"
+	"repro/internal/sim"
+)
+
+// State is the lifecycle state of a task instance.
+type State int
+
+const (
+	// StatePending means the task has unsatisfied dependences.
+	StatePending State = iota
+	// StateReady means all dependences are satisfied and the task is in
+	// the scheduler's hands.
+	StateReady
+	// StateStaging means a worker is copying the task's data in.
+	StateStaging
+	// StateRunning means the task is executing on a device.
+	StateRunning
+	// StateFinished means execution completed and outputs are committed.
+	StateFinished
+)
+
+// String returns a human-readable state name.
+func (s State) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateReady:
+		return "ready"
+	case StateStaging:
+		return "staging"
+	case StateRunning:
+		return "running"
+	case StateFinished:
+		return "finished"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Task is one task instance created by a Submit call.
+type Task struct {
+	ID       int64
+	Type     *TaskType
+	Accesses []deps.Access
+	Work     perfmodel.Work
+	// Args carries application data for RealCompute implementations.
+	Args any
+	// DataSetSize is the total size of the distinct objects the task
+	// touches; the versioning scheduler groups profiling data by this
+	// value ("each task's parameter size is counted just once, even if it
+	// is an input/output parameter", Section IV-B).
+	DataSetSize int64
+	// Priority orders ready tasks within scheduler queues (the OmpSs
+	// priority clause): higher runs first, equal priorities keep FIFO
+	// order. The paper's Cholesky discussion motivates it: potrf "acts
+	// like a bottleneck and if it is not run as soon as its data
+	// dependencies are satisfied, there is less parallelism to exploit"
+	// (Section V-B2).
+	Priority int
+
+	state    State
+	npred    int     // unfinished predecessors
+	succs    []*Task // tasks waiting on this one
+	predIDs  []int64 // every dependence predecessor (finished or not)
+	onFinish []func()
+
+	submitAt sim.Time
+	readyAt  sim.Time
+	startAt  sim.Time
+	endAt    sim.Time
+
+	worker  *Worker  // executing worker (assigned at staging time)
+	version *Version // chosen implementation
+	// lastPredWorker is the worker that ran the predecessor whose
+	// completion released this task (dependency-chain locality hint).
+	lastPredWorker *Worker
+}
+
+// LastPredWorker returns the worker that executed the predecessor that
+// released this task, or nil for dependence-free tasks. Locality-chain
+// schedulers use it to keep consumer tasks near their producers.
+func (t *Task) LastPredWorker() *Worker { return t.lastPredWorker }
+
+// PredIDs returns the IDs of every dependence predecessor, in the order
+// the tracker reported them. The slice is shared; do not mutate.
+func (t *Task) PredIDs() []int64 { return t.predIDs }
+
+// State returns the task's current lifecycle state.
+func (t *Task) State() State { return t.state }
+
+// Version returns the implementation chosen for the task (nil until the
+// scheduler picks one).
+func (t *Task) Version() *Version { return t.version }
+
+// Worker returns the worker that executed (or is executing) the task.
+func (t *Task) Worker() *Worker { return t.worker }
+
+// ExecTime returns the task's execution duration; valid once finished.
+func (t *Task) ExecTime() time.Duration { return t.endAt.Sub(t.startAt) }
+
+func (t *Task) String() string {
+	return fmt.Sprintf("%s#%d(%s)", t.Type.Name, t.ID, t.state)
+}
+
+// computeDataSetSize sums the sizes of the distinct objects accessed.
+func computeDataSetSize(accs []deps.Access) int64 {
+	seen := make(map[mem.ObjectID]bool, len(accs))
+	var sum int64
+	for _, a := range accs {
+		if !seen[a.Obj.ID] {
+			seen[a.Obj.ID] = true
+			sum += a.Obj.Size
+		}
+	}
+	return sum
+}

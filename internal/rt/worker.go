@@ -1,0 +1,233 @@
+package rt
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Worker is one OmpSs worker thread, devoted to exactly one device (one
+// SMP core or one GPU), as in Section IV-B. A worker drives at most one
+// task through staging and execution, and — when prefetching is enabled —
+// holds one additional prefetched task whose input transfers overlap the
+// current task's execution (the paper enables overlap + prefetch for all
+// schedulers in the evaluation).
+type Worker struct {
+	id  int
+	dev machine.Device
+	rt  *Runtime
+
+	current *Task
+	// next is the prefetched task (assigned by the scheduler, staging or
+	// staged while current runs).
+	next       *Task
+	nextStaged bool
+
+	busyUntil sim.Time
+
+	// TasksRun counts completed tasks, for diagnostics.
+	TasksRun int64
+}
+
+// ID returns the worker's index (stable, dense, in device order).
+func (w *Worker) ID() int { return w.id }
+
+// Device returns the device this worker is devoted to.
+func (w *Worker) Device() machine.Device { return w.dev }
+
+// Kind returns the worker's device kind.
+func (w *Worker) Kind() machine.DeviceKind { return w.dev.Kind }
+
+// Space returns the memory space the worker computes from.
+func (w *Worker) Space() machine.SpaceID { return w.dev.Space }
+
+// Idle reports whether the worker has no current task.
+func (w *Worker) Idle() bool { return w.current == nil }
+
+// Current returns the task occupying the worker, if any.
+func (w *Worker) Current() *Task { return w.current }
+
+// BusyRemaining returns the time until the currently executing task
+// completes (zero if idle or still staging).
+func (w *Worker) BusyRemaining() sim.Duration {
+	now := w.rt.eng.Now()
+	if w.current == nil || w.busyUntil <= now {
+		return 0
+	}
+	return w.busyUntil.Sub(now)
+}
+
+func (w *Worker) String() string {
+	return fmt.Sprintf("worker-%d(%s)", w.id, w.dev.Name)
+}
+
+// poke gives the worker a chance to pull work: dispatch if idle, prefetch
+// if busy with a free prefetch slot.
+func (w *Worker) poke() {
+	if w.current == nil {
+		w.tryDispatch()
+		return
+	}
+	if w.rt.cfg.Prefetch && w.next == nil {
+		w.tryPrefetch()
+	}
+}
+
+// tryDispatch fills the (idle) worker with its prefetched task or a fresh
+// assignment from the scheduler. No-op if the worker already has a
+// current task (it may have been refilled synchronously while a
+// completion event was still unwinding).
+func (w *Worker) tryDispatch() {
+	if w.current != nil {
+		return
+	}
+	if w.next != nil {
+		t := w.next
+		staged := w.nextStaged
+		w.next = nil
+		w.nextStaged = false
+		w.current = t
+		if staged {
+			w.startExec(t)
+		}
+		// If not staged yet, the staging completion callback sees that t
+		// is now current and starts execution.
+		return
+	}
+	a := w.rt.sched.NextTask(w)
+	if a == nil {
+		return
+	}
+	w.checkAssignment(a)
+	w.current = a.Task
+	w.stage(a.Task, a.Version, func() {
+		if w.current == a.Task {
+			w.startExec(a.Task)
+		} else {
+			// Was staged as prefetch and promoted meanwhile: mark staged.
+			w.nextStaged = true
+		}
+	})
+}
+
+// tryPrefetch asks the scheduler for one look-ahead task and stages its
+// data while the current task occupies the device.
+func (w *Worker) tryPrefetch() {
+	if w.next != nil || w.current == nil {
+		return
+	}
+	a := w.rt.sched.NextTask(w)
+	if a == nil {
+		return
+	}
+	w.checkAssignment(a)
+	w.next = a.Task
+	w.stage(a.Task, a.Version, func() {
+		if w.current == a.Task {
+			// Promoted to current while staging: run it now.
+			w.startExec(a.Task)
+		} else {
+			w.nextStaged = true
+		}
+	})
+}
+
+func (w *Worker) checkAssignment(a *Assignment) {
+	if a.Task == nil || a.Version == nil {
+		panic(fmt.Sprintf("rt: %v received incomplete assignment", w))
+	}
+	if !a.Version.RunsOn(w.dev.Kind) {
+		panic(fmt.Sprintf("rt: %v (kind %s) assigned version %v", w, w.dev.Kind, a.Version))
+	}
+	if a.Task.state != StateReady {
+		panic(fmt.Sprintf("rt: assignment of task %v in state %s", a.Task, a.Task.state))
+	}
+}
+
+// stage pins and copies in the task's data, then calls onStaged.
+func (w *Worker) stage(t *Task, v *Version, onStaged func()) {
+	t.state = StateStaging
+	t.worker = w
+	t.version = v
+	remaining := len(t.Accesses)
+	if remaining == 0 {
+		w.rt.eng.Immediately(onStaged)
+		return
+	}
+	for _, a := range t.Accesses {
+		w.rt.dir.Acquire(a.Obj, w.dev.Space, a.Mode, func() {
+			remaining--
+			if remaining == 0 {
+				onStaged()
+			}
+		})
+	}
+}
+
+// startExec begins the task's execution on the device: its duration comes
+// from the version's performance model (plus noise), standing in for the
+// real kernel; in RealCompute mode the genuine Go implementation also
+// runs, so results are numerically real.
+func (w *Worker) startExec(t *Task) {
+	t.state = StateRunning
+	t.startAt = w.rt.eng.Now()
+	dur := t.version.Model.Estimate(t.Work)
+	dur = w.rt.noise.Perturb(dur)
+	w.busyUntil = t.startAt.Add(dur)
+
+	if w.rt.cfg.RealCompute && t.version.Fn != nil {
+		t.version.Fn(&ExecContext{Task: t, Version: t.version, Worker: w})
+	}
+
+	w.rt.eng.After(dur, func() { w.complete(t) })
+
+	// Execution frees the link: a prefetch may now overlap it.
+	if w.rt.cfg.Prefetch && w.next == nil {
+		w.tryPrefetch()
+	}
+}
+
+// complete commits the task's writes, releases pins, records the trace,
+// notifies the scheduler and dependence successors, and pulls more work.
+func (w *Worker) complete(t *Task) {
+	t.state = StateFinished
+	t.endAt = w.rt.eng.Now()
+	w.TasksRun++
+
+	for _, a := range t.Accesses {
+		if a.Mode.Writes() {
+			w.rt.dir.CommitWrite(a.Obj, w.dev.Space)
+		}
+	}
+	for _, a := range t.Accesses {
+		w.rt.dir.Release(a.Obj, w.dev.Space)
+	}
+
+	w.rt.tracer.RecordTask(trace.TaskRecord{
+		TaskID:      t.ID,
+		Type:        t.Type.Name,
+		Version:     t.version.Name,
+		Worker:      w.id,
+		Device:      w.dev.Name,
+		DeviceKind:  w.dev.Kind,
+		Submit:      t.submitAt,
+		Ready:       t.readyAt,
+		Start:       t.startAt,
+		End:         t.endAt,
+		DataSetSize: t.DataSetSize,
+		Preds:       t.predIDs,
+	})
+
+	w.rt.sched.TaskFinished(w, t, t.version, t.ExecTime())
+	w.current = nil
+	w.rt.taskDone(t)
+	w.tryDispatch()
+	// Any task still queued at this point has no compatible idle worker
+	// (idle workers pull the moment they go idle), so filling the prefetch
+	// slot now cannot starve a peer.
+	if w.rt.cfg.Prefetch {
+		w.poke()
+	}
+}

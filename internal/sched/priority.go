@@ -1,0 +1,30 @@
+package sched
+
+import "repro/internal/rt"
+
+// InsertByPriority inserts a task into a ready queue ordered by
+// descending priority, keeping FIFO order among equal priorities (the
+// OmpSs priority clause semantics). It returns the updated slice.
+func InsertByPriority(queue []*rt.Task, t *rt.Task) []*rt.Task {
+	i := len(queue)
+	for i > 0 && queue[i-1].Priority < t.Priority {
+		i--
+	}
+	queue = append(queue, nil)
+	copy(queue[i+1:], queue[i:])
+	queue[i] = t
+	return queue
+}
+
+// InsertAssignmentByPriority is InsertByPriority for assignment queues
+// (used by the versioning scheduler's per-worker queues).
+func InsertAssignmentByPriority(queue []*rt.Assignment, a *rt.Assignment) []*rt.Assignment {
+	i := len(queue)
+	for i > 0 && queue[i-1].Task.Priority < a.Task.Priority {
+		i--
+	}
+	queue = append(queue, nil)
+	copy(queue[i+1:], queue[i:])
+	queue[i] = a
+	return queue
+}

@@ -1,0 +1,80 @@
+package sched
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/rt"
+)
+
+// Random assigns every ready task to a uniformly random compatible
+// worker. It is a control baseline, not a serious policy: any scheduler
+// worth its name must beat it, and the property-based tests use it to
+// shake out ordering assumptions. Deterministic for a fixed seed.
+type Random struct {
+	rt     *rt.Runtime
+	rng    *rand.Rand
+	queues map[int][]*rt.Task
+}
+
+// NewRandom returns the policy seeded with the given value.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed)), queues: make(map[int][]*rt.Task)}
+}
+
+// Name implements rt.Scheduler.
+func (s *Random) Name() string { return "random" }
+
+// Init implements rt.Scheduler.
+func (s *Random) Init(r *rt.Runtime) { s.rt = r }
+
+// SetSeed reseeds the policy (used by the facade to honour Config.Seed).
+func (s *Random) SetSeed(seed int64) { s.rng = rand.New(rand.NewSource(seed)) }
+
+// TaskReady implements rt.Scheduler: enqueue on a random compatible
+// worker.
+func (s *Random) TaskReady(t *rt.Task) {
+	main := t.Type.Main()
+	var candidates []*rt.Worker
+	for _, w := range s.rt.Workers() {
+		if main.RunsOn(w.Kind()) {
+			candidates = append(candidates, w)
+		}
+	}
+	if len(candidates) == 0 {
+		panic("sched: random: no compatible worker for task " + t.Type.Name)
+	}
+	w := candidates[s.rng.Intn(len(candidates))]
+	s.queues[w.ID()] = append(s.queues[w.ID()], t)
+}
+
+// NextTask implements rt.Scheduler: pop own FIFO; steal a random
+// compatible victim's newest task when empty (otherwise an unlucky
+// assignment sequence could leave workers idle forever while others
+// drown).
+func (s *Random) NextTask(w *rt.Worker) *rt.Assignment {
+	if q := s.queues[w.ID()]; len(q) > 0 {
+		s.queues[w.ID()] = q[1:]
+		return &rt.Assignment{Task: q[0], Version: q[0].Type.Main()}
+	}
+	var victims []*rt.Worker
+	for _, other := range s.rt.Workers() {
+		if other.ID() == w.ID() || other.Kind() != w.Kind() {
+			continue
+		}
+		if len(s.queues[other.ID()]) > 0 {
+			victims = append(victims, other)
+		}
+	}
+	if len(victims) == 0 {
+		return nil
+	}
+	v := victims[s.rng.Intn(len(victims))]
+	q := s.queues[v.ID()]
+	t := q[len(q)-1]
+	s.queues[v.ID()] = q[:len(q)-1]
+	return &rt.Assignment{Task: t, Version: t.Type.Main()}
+}
+
+// TaskFinished implements rt.Scheduler.
+func (s *Random) TaskFinished(*rt.Worker, *rt.Task, *rt.Version, time.Duration) {}

@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"time"
+
+	"repro/internal/rt"
+)
+
+// WorkFirst is a Cilk-style depth-first policy ("wf" in Nanos++): a task
+// released by a predecessor is pushed on top of the releasing worker's
+// own deque, so each worker dives down its dependence chain (the
+// continuation runs immediately, keeping the working set hot), while idle
+// workers steal from the *bottom* of a victim's deque — the oldest, most
+// distant work, which disturbs the victim's chain the least. Dependence-
+// free tasks (the master's submissions) go to a central LIFO stack.
+//
+// Like every non-versioning OmpSs scheduler it only runs each task's main
+// implementation (the paper's footnote 1).
+type WorkFirst struct {
+	rt      *rt.Runtime
+	central []*rt.Task         // LIFO stack of chain heads
+	deques  map[int][]*rt.Task // worker ID -> deque (front = bottom, back = top)
+}
+
+// NewWorkFirst returns the policy instance.
+func NewWorkFirst() *WorkFirst { return &WorkFirst{deques: make(map[int][]*rt.Task)} }
+
+// Name implements rt.Scheduler.
+func (s *WorkFirst) Name() string { return "wf" }
+
+// Init implements rt.Scheduler.
+func (s *WorkFirst) Init(r *rt.Runtime) { s.rt = r }
+
+// TaskReady implements rt.Scheduler: continue the releasing chain on the
+// releasing worker, depth-first.
+func (s *WorkFirst) TaskReady(t *rt.Task) {
+	main := t.Type.Main()
+	if pw := t.LastPredWorker(); pw != nil && main.RunsOn(pw.Kind()) {
+		s.deques[pw.ID()] = append(s.deques[pw.ID()], t) // push top
+		return
+	}
+	s.central = append(s.central, t) // push stack
+}
+
+// NextTask implements rt.Scheduler: own deque top, then the central
+// stack, then steal from the bottom of the deepest compatible deque.
+func (s *WorkFirst) NextTask(w *rt.Worker) *rt.Assignment {
+	if q := s.deques[w.ID()]; len(q) > 0 {
+		t := q[len(q)-1]
+		s.deques[w.ID()] = q[:len(q)-1]
+		return &rt.Assignment{Task: t, Version: t.Type.Main()}
+	}
+	for i := len(s.central) - 1; i >= 0; i-- {
+		t := s.central[i]
+		if t.Type.Main().RunsOn(w.Kind()) {
+			s.central = append(s.central[:i], s.central[i+1:]...)
+			return &rt.Assignment{Task: t, Version: t.Type.Main()}
+		}
+	}
+	var victim *rt.Worker
+	deepest := 0
+	for _, other := range s.rt.Workers() {
+		if other.ID() == w.ID() || other.Kind() != w.Kind() {
+			continue
+		}
+		if n := len(s.deques[other.ID()]); n > deepest {
+			deepest = n
+			victim = other
+		}
+	}
+	if victim != nil {
+		q := s.deques[victim.ID()]
+		t := q[0] // steal bottom (oldest)
+		s.deques[victim.ID()] = q[1:]
+		return &rt.Assignment{Task: t, Version: t.Type.Main()}
+	}
+	return nil
+}
+
+// TaskFinished implements rt.Scheduler.
+func (s *WorkFirst) TaskFinished(*rt.Worker, *rt.Task, *rt.Version, time.Duration) {}
+
+// DequeDepth reports a worker's deque depth (diagnostics/tests).
+func (s *WorkFirst) DequeDepth(w *rt.Worker) int { return len(s.deques[w.ID()]) }

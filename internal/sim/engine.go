@@ -1,0 +1,195 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock, an event heap ordered by (time, sequence), and a
+// coroutine facility used to model blocking "master threads" (application
+// code that submits tasks and blocks in taskwait).
+//
+// All simulated components (workers, DMA engines, schedulers) are event
+// handlers: they never sleep on the wall clock, they schedule callbacks at
+// future virtual times. Determinism is guaranteed because ties in time are
+// broken by a monotonically increasing sequence number, and coroutines are
+// resumed synchronously from within event handlers.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is an absolute virtual time stamp, in nanoseconds since the start
+// of the simulation. It is kept distinct from time.Duration so that
+// absolute instants and durations cannot be mixed up silently.
+type Time int64
+
+// Duration re-exports time.Duration for convenience: all durations in the
+// simulator are ordinary time.Durations.
+type Duration = time.Duration
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the instant expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Duration converts the instant (time since simulation start) into a
+// duration.
+func (t Time) Duration() Duration { return Duration(t) }
+
+func (t Time) String() string { return Duration(t).String() }
+
+// event is a single scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool // cancelled
+}
+
+// eventHeap implements container/heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+// Cancel marks the event dead; a dead event is skipped when popped.
+// Cancelling an already-fired or already-cancelled event is a no-op.
+func (id EventID) Cancel() {
+	if id.ev != nil {
+		id.ev.dead = true
+	}
+}
+
+// Engine is the discrete-event simulation core. The zero value is not
+// usable; call NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	heap    eventHeap
+	procs   []*Proc
+	running bool
+	stopped bool
+
+	// EventCount is the total number of events executed so far.
+	EventCount uint64
+}
+
+// NewEngine returns an engine with the clock at zero and no pending
+// events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past (t < Now) panics: that is always a simulation bug.
+func (e *Engine) At(t Time, fn func()) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v, before now %v", t, e.now))
+	}
+	e.seq++
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.heap, ev)
+	return EventID{ev}
+}
+
+// After schedules fn to run d after the current time. Negative durations
+// panic.
+func (e *Engine) After(d Duration, fn func()) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Immediately schedules fn at the current time, after all callbacks
+// already scheduled for this instant.
+func (e *Engine) Immediately(fn func()) EventID {
+	return e.At(e.now, fn)
+}
+
+// Stop makes Run return after the current event completes. Pending events
+// stay queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of live events in the queue.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.heap {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Run processes events in (time, seq) order until no events remain or
+// Stop is called. Before the first event, every spawned coroutine is
+// given its initial slice of execution (at time zero). Run returns the
+// final virtual time.
+//
+// If Run drains all events while some coroutine is still parked, the
+// simulation has deadlocked; Run panics with a diagnostic listing the
+// parked coroutines, since silently returning would hide lost wake-ups.
+func (e *Engine) Run() Time {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	// Give every not-yet-started coroutine its initial run.
+	for _, p := range e.procs {
+		if !p.started {
+			p.start()
+		}
+	}
+
+	for len(e.heap) > 0 && !e.stopped {
+		ev := heap.Pop(&e.heap).(*event)
+		if ev.dead {
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		e.EventCount++
+		ev.fn()
+	}
+
+	if !e.stopped {
+		var parked []string
+		for _, p := range e.procs {
+			if p.started && !p.finished {
+				parked = append(parked, p.name)
+			}
+		}
+		if len(parked) > 0 {
+			panic(fmt.Sprintf("sim: deadlock: event queue empty but coroutines still parked: %v", parked))
+		}
+	}
+	return e.now
+}

@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Fatalf("final time = %v, want 30", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineTiesBreakBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("tie order = %v, want ascending", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.At(10, func() {
+		got = append(got, "a")
+		e.After(5, func() { got = append(got, "c") })
+		e.Immediately(func() { got = append(got, "b") })
+	})
+	e.Run()
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("got %v, want [a b c]", got)
+	}
+}
+
+func TestEngineNowAdvances(t *testing.T) {
+	e := NewEngine()
+	var at10, at25 Time
+	e.At(10, func() {
+		at10 = e.Now()
+		e.After(15, func() { at25 = e.Now() })
+	})
+	e.Run()
+	if at10 != 10 || at25 != 25 {
+		t.Fatalf("Now() observed %v and %v, want 10 and 25", at10, at25)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	e.After(-time.Second, func() {})
+}
+
+func TestCancelEvent(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	id := e.At(10, func() { fired = true })
+	e.At(5, func() { id.Cancel() })
+	e.Run()
+	if fired {
+		t.Error("cancelled event still fired")
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestCancelTwiceIsHarmless(t *testing.T) {
+	e := NewEngine()
+	id := e.At(10, func() {})
+	id.Cancel()
+	id.Cancel()
+	e.Run()
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	var count int
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i), func() { count++ })
+	}
+	e.At(3, func() { e.Stop() })
+	e.Run()
+	// events at t=1,2,3 ran (the stop event itself is at 3 and scheduled
+	// after the counting event at 3).
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if e.Pending() == 0 {
+		t.Error("expected pending events after Stop")
+	}
+}
+
+func TestEventCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Run()
+	if e.EventCount != 5 {
+		t.Fatalf("EventCount = %d, want 5", e.EventCount)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	tm := Time(1_500_000_000)
+	if tm.Seconds() != 1.5 {
+		t.Errorf("Seconds() = %v, want 1.5", tm.Seconds())
+	}
+	if tm.Add(500*time.Millisecond) != Time(2_000_000_000) {
+		t.Errorf("Add: got %v", tm.Add(500*time.Millisecond))
+	}
+	if tm.Sub(Time(500_000_000)) != time.Second {
+		t.Errorf("Sub: got %v", tm.Sub(Time(500_000_000)))
+	}
+	if tm.String() != "1.5s" {
+		t.Errorf("String() = %q", tm.String())
+	}
+	if tm.Duration() != 1500*time.Millisecond {
+		t.Errorf("Duration() = %v", tm.Duration())
+	}
+}
+
+// Property: events fire exactly in sorted (time, insertion) order for any
+// random schedule.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		type stamped struct {
+			at  Time
+			seq int
+		}
+		var want []stamped
+		var got []stamped
+		for i := 0; i < n; i++ {
+			at := Time(rng.Intn(20))
+			s := stamped{at, i}
+			want = append(want, s)
+			e.At(at, func() { got = append(got, s) })
+		}
+		sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+		e.Run()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReentrancyPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(1, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-entrant Run did not panic")
+			}
+		}()
+		e.Run()
+	})
+	e.Run()
+}

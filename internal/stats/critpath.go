@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// CriticalPath is the longest dependence-weighted chain through a run.
+type CriticalPath struct {
+	// TaskIDs is the chain, in execution order.
+	TaskIDs []int64
+	// Length is the sum of the chain's task execution times: the lower
+	// bound on the makespan imposed by dependences alone (transfers and
+	// queueing excluded).
+	Length time.Duration
+	// Makespan is the run's actual span (first Start to last End).
+	Makespan time.Duration
+}
+
+// Ratio is Length / Makespan: close to 1 means the run is dependence-
+// bound (adding workers cannot help); close to 0 means the run is
+// resource-bound (the schedule, not the DAG, sets the makespan).
+func (c *CriticalPath) Ratio() float64 {
+	if c.Makespan <= 0 {
+		return 0
+	}
+	return c.Length.Seconds() / c.Makespan.Seconds()
+}
+
+// Format renders a one-line summary plus the chain's task IDs.
+func (c *CriticalPath) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical path: %d tasks, %v of %v makespan (ratio %.2f)\n",
+		len(c.TaskIDs), c.Length.Round(time.Microsecond), c.Makespan.Round(time.Microsecond), c.Ratio())
+	fmt.Fprintf(&b, "chain:")
+	for _, id := range c.TaskIDs {
+		fmt.Fprintf(&b, " %d", id)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// ComputeCriticalPath finds the heaviest execution-time chain through the
+// dependence DAG recorded in the trace. Tasks whose predecessors were not
+// recorded (e.g. a filtered trace) are treated as roots.
+func ComputeCriticalPath(tr *trace.Tracer) *CriticalPath {
+	cp := &CriticalPath{}
+	if tr == nil || len(tr.Tasks) == 0 {
+		return cp
+	}
+	recs := make(map[int64]trace.TaskRecord, len(tr.Tasks))
+	ids := make([]int64, 0, len(tr.Tasks))
+	var first, last = tr.Tasks[0].Start, tr.Tasks[0].End
+	for _, r := range tr.Tasks {
+		recs[r.TaskID] = r
+		ids = append(ids, r.TaskID)
+		if r.Start < first {
+			first = r.Start
+		}
+		if r.End > last {
+			last = r.End
+		}
+	}
+	// Predecessor IDs are always smaller than the successor's (tasks get
+	// IDs at submission and dependences point backward), so ascending ID
+	// order is a topological order.
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	weight := make(map[int64]time.Duration, len(ids)) // heaviest chain ending here
+	via := make(map[int64]int64, len(ids))            // predecessor on that chain
+	var bestID int64
+	var bestW time.Duration = -1
+	for _, id := range ids {
+		r := recs[id]
+		var w time.Duration
+		var from int64 = -1
+		for _, p := range r.Preds {
+			if pw, ok := weight[p]; ok && pw > w {
+				w, from = pw, p
+			}
+		}
+		w += r.ExecTime()
+		weight[id] = w
+		via[id] = from
+		if w > bestW {
+			bestW, bestID = w, id
+		}
+	}
+
+	var chain []int64
+	for at := bestID; at != -1; at = via[at] {
+		chain = append(chain, at)
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	cp.TaskIDs = chain
+	cp.Length = bestW
+	cp.Makespan = last.Sub(first)
+	return cp
+}

@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func rec(id int64, start, end int64, preds ...int64) trace.TaskRecord {
+	return trace.TaskRecord{TaskID: id, Type: "t", Version: "v",
+		Start: sim.Time(start), End: sim.Time(end), Preds: preds}
+}
+
+func TestCriticalPathLinearChain(t *testing.T) {
+	tr := trace.New()
+	tr.RecordTask(rec(1, 0, 10))
+	tr.RecordTask(rec(2, 10, 30, 1))
+	tr.RecordTask(rec(3, 30, 60, 2))
+	cp := ComputeCriticalPath(tr)
+	if cp.Length != 60 {
+		t.Errorf("length = %v, want 60ns", cp.Length)
+	}
+	if len(cp.TaskIDs) != 3 || cp.TaskIDs[0] != 1 || cp.TaskIDs[2] != 3 {
+		t.Errorf("chain = %v", cp.TaskIDs)
+	}
+	if cp.Ratio() != 1.0 {
+		t.Errorf("serial chain ratio = %v, want 1", cp.Ratio())
+	}
+}
+
+func TestCriticalPathPicksHeavierBranch(t *testing.T) {
+	// Diamond: 1 -> {2 (short), 3 (long)} -> 4.
+	tr := trace.New()
+	tr.RecordTask(rec(1, 0, 10))
+	tr.RecordTask(rec(2, 10, 15, 1))    // 5ns
+	tr.RecordTask(rec(3, 10, 50, 1))    // 40ns
+	tr.RecordTask(rec(4, 50, 70, 2, 3)) // 20ns
+	cp := ComputeCriticalPath(tr)
+	want := []int64{1, 3, 4}
+	if len(cp.TaskIDs) != 3 {
+		t.Fatalf("chain = %v", cp.TaskIDs)
+	}
+	for i := range want {
+		if cp.TaskIDs[i] != want[i] {
+			t.Fatalf("chain = %v, want %v", cp.TaskIDs, want)
+		}
+	}
+	if cp.Length != 70 {
+		t.Errorf("length = %v, want 70ns", cp.Length)
+	}
+}
+
+func TestCriticalPathParallelTasksRatioBelowOne(t *testing.T) {
+	tr := trace.New()
+	// Two independent 10ns tasks on two workers, same interval.
+	tr.RecordTask(rec(1, 0, 10))
+	tr.RecordTask(rec(2, 0, 10))
+	cp := ComputeCriticalPath(tr)
+	if cp.Length != 10 || cp.Makespan != 10 {
+		t.Errorf("length %v makespan %v", cp.Length, cp.Makespan)
+	}
+	if len(cp.TaskIDs) != 1 {
+		t.Errorf("chain = %v", cp.TaskIDs)
+	}
+}
+
+func TestCriticalPathUnknownPredsAreRoots(t *testing.T) {
+	tr := trace.New()
+	tr.RecordTask(rec(7, 0, 10, 99)) // pred 99 never recorded
+	cp := ComputeCriticalPath(tr)
+	if cp.Length != 10 || len(cp.TaskIDs) != 1 || cp.TaskIDs[0] != 7 {
+		t.Errorf("cp = %+v", cp)
+	}
+}
+
+func TestCriticalPathEmpty(t *testing.T) {
+	cp := ComputeCriticalPath(trace.New())
+	if cp.Length != 0 || cp.Ratio() != 0 || len(cp.TaskIDs) != 0 {
+		t.Errorf("empty cp = %+v", cp)
+	}
+	if !strings.Contains(cp.Format(), "critical path: 0 tasks") {
+		t.Error("Format of empty path")
+	}
+}
+
+func TestCriticalPathFormat(t *testing.T) {
+	tr := trace.New()
+	tr.RecordTask(rec(1, 0, int64(time.Millisecond)))
+	s := ComputeCriticalPath(tr).Format()
+	if !strings.Contains(s, "1 tasks") || !strings.Contains(s, "chain: 1") {
+		t.Errorf("Format = %q", s)
+	}
+}
+
+func TestTimelineRendersRowsAndLegend(t *testing.T) {
+	tr := trace.New()
+	tr.RecordTask(trace.TaskRecord{TaskID: 1, Type: "mm", Version: "mm_gpu", Worker: 0, Device: "gpu-0",
+		Start: 0, End: sim.Time(50)})
+	tr.RecordTask(trace.TaskRecord{TaskID: 2, Type: "mm", Version: "mm_smp", Worker: 1, Device: "core-0",
+		Start: sim.Time(50), End: sim.Time(100)})
+	out := Timeline(tr, 10)
+	if !strings.Contains(out, "legend: a=mm_gpu b=mm_smp") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Row for worker 0: first half 'a', second half idle.
+	var row0, row1 string
+	for _, l := range lines {
+		if strings.Contains(l, "gpu-0") {
+			row0 = l
+		}
+		if strings.Contains(l, "core-0") {
+			row1 = l
+		}
+	}
+	if !strings.Contains(row0, "aaaaa.....") {
+		t.Errorf("worker 0 row = %q", row0)
+	}
+	if !strings.Contains(row1, ".....bbbbb") {
+		t.Errorf("worker 1 row = %q", row1)
+	}
+}
+
+func TestTimelineDominantVersionWinsBucket(t *testing.T) {
+	tr := trace.New()
+	// One bucket of 100ns: version x covers 70, y covers 30.
+	tr.RecordTask(trace.TaskRecord{TaskID: 1, Version: "x", Worker: 0, Device: "d", Start: 0, End: sim.Time(70)})
+	tr.RecordTask(trace.TaskRecord{TaskID: 2, Version: "y", Worker: 0, Device: "d", Start: sim.Time(70), End: sim.Time(100)})
+	out := Timeline(tr, 1)
+	if !strings.Contains(out, "|a|") {
+		t.Errorf("dominant version lost:\n%s", out)
+	}
+}
+
+func TestTimelineEmptyAndDefaults(t *testing.T) {
+	if got := Timeline(trace.New(), 0); !strings.Contains(got, "empty") {
+		t.Errorf("empty = %q", got)
+	}
+	tr := trace.New()
+	tr.RecordTask(trace.TaskRecord{TaskID: 1, Version: "v", Worker: 0, Device: "d", Start: 0, End: 100})
+	if got := Timeline(tr, -5); !strings.Contains(got, "legend") {
+		t.Errorf("default width failed:\n%s", got)
+	}
+}

@@ -1,0 +1,209 @@
+// Package stats post-processes a run's trace into derived metrics the
+// evaluation discusses but does not tabulate directly: per-worker
+// utilization, per-task-type execution-time breakdowns, queueing delays
+// and transfer/compute overlap. It also validates trace invariants (a
+// worker never runs two tasks at once; a link never carries two transfers
+// at once), which the runtime tests use as an independent correctness
+// oracle.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/xfer"
+)
+
+// WorkerStats summarizes one worker's activity.
+type WorkerStats struct {
+	Worker      int
+	Device      string
+	Tasks       int
+	BusyTime    time.Duration
+	Utilization float64 // busy / makespan
+}
+
+// TypeStats summarizes one task type (optionally one version).
+type TypeStats struct {
+	Type    string
+	Version string
+	Count   int
+	Total   time.Duration
+	Mean    time.Duration
+	Min     time.Duration
+	Max     time.Duration
+	// MeanQueue is the mean ready-to-start delay (queueing + staging).
+	MeanQueue time.Duration
+}
+
+// Summary is the full derived view of one run.
+type Summary struct {
+	Makespan time.Duration
+	Tasks    int
+	Workers  []WorkerStats
+	ByType   []TypeStats
+	// TransferBusy is, per link direction (from->to), the total wire
+	// time; overlap ratios compare it against the makespan.
+	TransferBusy map[string]time.Duration
+	// TransferBytes per category.
+	TransferBytes map[xfer.Category]int64
+}
+
+// Summarize derives a Summary from a tracer.
+func Summarize(tr *trace.Tracer) *Summary {
+	s := &Summary{
+		TransferBusy:  make(map[string]time.Duration),
+		TransferBytes: make(map[xfer.Category]int64),
+	}
+	var end sim.Time
+	workers := make(map[int]*WorkerStats)
+	type key struct{ typ, ver string }
+	types := make(map[key]*TypeStats)
+
+	for _, r := range tr.Tasks {
+		if r.End > end {
+			end = r.End
+		}
+		w, ok := workers[r.Worker]
+		if !ok {
+			w = &WorkerStats{Worker: r.Worker, Device: r.Device}
+			workers[r.Worker] = w
+		}
+		w.Tasks++
+		w.BusyTime += r.ExecTime()
+
+		k := key{r.Type, r.Version}
+		ts, ok := types[k]
+		if !ok {
+			ts = &TypeStats{Type: r.Type, Version: r.Version, Min: 1<<63 - 1}
+			types[k] = ts
+		}
+		d := r.ExecTime()
+		ts.Count++
+		ts.Total += d
+		if d < ts.Min {
+			ts.Min = d
+		}
+		if d > ts.Max {
+			ts.Max = d
+		}
+		ts.MeanQueue += r.Start.Sub(r.Ready)
+	}
+	for _, r := range tr.Transfers {
+		if r.End > end {
+			end = r.End
+		}
+		s.TransferBusy[fmt.Sprintf("%d->%d", r.From, r.To)] += r.End.Sub(r.Start)
+		s.TransferBytes[r.Category] += r.Bytes
+	}
+
+	s.Makespan = end.Duration()
+	s.Tasks = len(tr.Tasks)
+	for _, w := range workers {
+		if s.Makespan > 0 {
+			w.Utilization = float64(w.BusyTime) / float64(s.Makespan)
+		}
+		s.Workers = append(s.Workers, *w)
+	}
+	sort.Slice(s.Workers, func(i, j int) bool { return s.Workers[i].Worker < s.Workers[j].Worker })
+	for _, ts := range types {
+		if ts.Count > 0 {
+			ts.Mean = ts.Total / time.Duration(ts.Count)
+			ts.MeanQueue /= time.Duration(ts.Count)
+		}
+		s.ByType = append(s.ByType, *ts)
+	}
+	sort.Slice(s.ByType, func(i, j int) bool {
+		if s.ByType[i].Type != s.ByType[j].Type {
+			return s.ByType[i].Type < s.ByType[j].Type
+		}
+		return s.ByType[i].Version < s.ByType[j].Version
+	})
+	return s
+}
+
+// Format renders the summary as text.
+func (s *Summary) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan %v, %d tasks\n", s.Makespan, s.Tasks)
+	fmt.Fprintf(&b, "workers:\n")
+	for _, w := range s.Workers {
+		fmt.Fprintf(&b, "  %2d %-10s %5d tasks  busy %12v  util %5.1f%%\n",
+			w.Worker, w.Device, w.Tasks, w.BusyTime.Round(time.Microsecond), w.Utilization*100)
+	}
+	fmt.Fprintf(&b, "task types:\n")
+	for _, t := range s.ByType {
+		fmt.Fprintf(&b, "  %-12s %-24s %6d x  mean %10v  [%v..%v]  queue %v\n",
+			t.Type, t.Version, t.Count, t.Mean.Round(time.Microsecond),
+			t.Min.Round(time.Microsecond), t.Max.Round(time.Microsecond),
+			t.MeanQueue.Round(time.Microsecond))
+	}
+	if len(s.TransferBusy) > 0 {
+		fmt.Fprintf(&b, "links:\n")
+		var keys []string
+		for k := range s.TransferBusy {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			busy := s.TransferBusy[k]
+			fmt.Fprintf(&b, "  %-8s busy %12v (%.1f%% of makespan)\n",
+				k, busy.Round(time.Microsecond), 100*float64(busy)/float64(s.Makespan))
+		}
+	}
+	return b.String()
+}
+
+// Validate checks trace invariants and returns every violation found:
+//
+//   - no worker executes two tasks at overlapping times;
+//   - no link (from->to pair) carries two transfers at overlapping times;
+//   - every task has Ready <= Start <= End and Submit <= Ready.
+//
+// An empty slice means the trace is consistent.
+func Validate(tr *trace.Tracer) []string {
+	var problems []string
+
+	byWorker := make(map[int][]trace.TaskRecord)
+	for _, r := range tr.Tasks {
+		if r.Submit > r.Ready || r.Ready > r.Start || r.Start > r.End {
+			problems = append(problems,
+				fmt.Sprintf("task %d (%s): inconsistent timeline submit=%v ready=%v start=%v end=%v",
+					r.TaskID, r.Type, r.Submit, r.Ready, r.Start, r.End))
+		}
+		byWorker[r.Worker] = append(byWorker[r.Worker], r)
+	}
+	for w, recs := range byWorker {
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Start < recs[j].Start })
+		for i := 1; i < len(recs); i++ {
+			if recs[i].Start < recs[i-1].End {
+				problems = append(problems,
+					fmt.Sprintf("worker %d: task %d (start %v) overlaps task %d (end %v)",
+						w, recs[i].TaskID, recs[i].Start, recs[i-1].TaskID, recs[i-1].End))
+			}
+		}
+	}
+
+	byLink := make(map[string][]xfer.Record)
+	for _, r := range tr.Transfers {
+		if r.Start > r.End {
+			problems = append(problems, fmt.Sprintf("transfer %s: start after end", r.Tag))
+		}
+		k := fmt.Sprintf("%d->%d", r.From, r.To)
+		byLink[k] = append(byLink[k], r)
+	}
+	for k, recs := range byLink {
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Start < recs[j].Start })
+		for i := 1; i < len(recs); i++ {
+			if recs[i].Start < recs[i-1].End {
+				problems = append(problems,
+					fmt.Sprintf("link %s: transfer %q overlaps %q", k, recs[i].Tag, recs[i-1].Tag))
+			}
+		}
+	}
+	return problems
+}

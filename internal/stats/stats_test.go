@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/xfer"
+)
+
+func ms(n int64) sim.Time { return sim.Time(n * 1_000_000) }
+
+func sampleTrace() *trace.Tracer {
+	tr := trace.New()
+	tr.RecordTask(trace.TaskRecord{TaskID: 1, Type: "gemm", Version: "cublas", Worker: 0, Device: "gpu-0",
+		Submit: 0, Ready: 0, Start: 0, End: (ms(10))})
+	tr.RecordTask(trace.TaskRecord{TaskID: 2, Type: "gemm", Version: "cublas", Worker: 0, Device: "gpu-0",
+		Submit: 0, Ready: (ms(2)), Start: (ms(10)), End: (ms(20))})
+	tr.RecordTask(trace.TaskRecord{TaskID: 3, Type: "gemm", Version: "smp", Worker: 1, Device: "core-0",
+		Submit: 0, Ready: 0, Start: 0, End: (ms(40))})
+	tr.RecordTransfer(xfer.Record{From: 0, To: 1, Bytes: 1000, Category: xfer.CatInput,
+		Start: 0, End: (ms(5)), Tag: "a"})
+	tr.RecordTransfer(xfer.Record{From: 0, To: 1, Bytes: 2000, Category: xfer.CatInput,
+		Start: (ms(5)), End: (ms(8)), Tag: "b"})
+	return tr
+}
+
+func TestSummarize(t *testing.T) {
+	// Use the real types directly (sim.Time is int64 under the hood).
+	s := Summarize(sampleTrace())
+	if s.Makespan != 40*time.Millisecond {
+		t.Errorf("Makespan = %v", s.Makespan)
+	}
+	if s.Tasks != 3 {
+		t.Errorf("Tasks = %d", s.Tasks)
+	}
+	if len(s.Workers) != 2 {
+		t.Fatalf("Workers = %v", s.Workers)
+	}
+	w0 := s.Workers[0]
+	if w0.Tasks != 2 || w0.BusyTime != 20*time.Millisecond {
+		t.Errorf("worker0 = %+v", w0)
+	}
+	if w0.Utilization < 0.49 || w0.Utilization > 0.51 {
+		t.Errorf("worker0 utilization = %v, want 0.5", w0.Utilization)
+	}
+	if len(s.ByType) != 2 {
+		t.Fatalf("ByType = %v", s.ByType)
+	}
+	cublas := s.ByType[0]
+	if cublas.Version != "cublas" || cublas.Count != 2 || cublas.Mean != 10*time.Millisecond {
+		t.Errorf("cublas stats = %+v", cublas)
+	}
+	// Task 2 queued 8ms (ready at 2, start at 10): mean queue = 4ms.
+	if cublas.MeanQueue != 4*time.Millisecond {
+		t.Errorf("MeanQueue = %v", cublas.MeanQueue)
+	}
+	if s.TransferBytes[xfer.CatInput] != 3000 {
+		t.Errorf("TransferBytes = %v", s.TransferBytes)
+	}
+	if s.TransferBusy["0->1"] != 8*time.Millisecond {
+		t.Errorf("TransferBusy = %v", s.TransferBusy)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	text := Summarize(sampleTrace()).Format()
+	for _, want := range []string{"makespan", "gpu-0", "cublas", "0->1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestValidateCleanTrace(t *testing.T) {
+	if problems := Validate(sampleTrace()); len(problems) != 0 {
+		t.Errorf("clean trace reported problems: %v", problems)
+	}
+}
+
+func TestValidateCatchesWorkerOverlap(t *testing.T) {
+	tr := trace.New()
+	tr.RecordTask(trace.TaskRecord{TaskID: 1, Worker: 0, Start: 0, End: (ms(10))})
+	tr.RecordTask(trace.TaskRecord{TaskID: 2, Worker: 0, Start: (ms(5)), End: (ms(15))})
+	problems := Validate(tr)
+	if len(problems) != 1 || !strings.Contains(problems[0], "overlaps") {
+		t.Errorf("problems = %v", problems)
+	}
+}
+
+func TestValidateCatchesBadTimeline(t *testing.T) {
+	tr := trace.New()
+	tr.RecordTask(trace.TaskRecord{TaskID: 1, Worker: 0, Ready: (ms(5)), Start: (ms(2)), End: (ms(10))})
+	if problems := Validate(tr); len(problems) == 0 {
+		t.Error("ready-after-start not caught")
+	}
+}
+
+func TestValidateCatchesLinkOverlap(t *testing.T) {
+	tr := trace.New()
+	tr.RecordTransfer(xfer.Record{From: 0, To: 1, Start: 0, End: (ms(10)), Tag: "a"})
+	tr.RecordTransfer(xfer.Record{From: 0, To: 1, Start: (ms(5)), End: (ms(12)), Tag: "b"})
+	// Opposite direction does not conflict.
+	tr.RecordTransfer(xfer.Record{From: 1, To: 0, Start: 0, End: (ms(12)), Tag: "c"})
+	problems := Validate(tr)
+	if len(problems) != 1 || !strings.Contains(problems[0], "link 0->1") {
+		t.Errorf("problems = %v", problems)
+	}
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Timeline renders an ASCII Gantt chart of a run: one row per worker,
+// one column per time bucket, one letter per task version (assigned in
+// sorted order, legend appended). '.' is idle; when a bucket holds more
+// than one task the one covering most of the bucket wins. It is the
+// poor man's Paraver: enough to eyeball learning-phase round-robin,
+// earliest-executor decisions, and idle tails directly in a terminal or
+// a test log.
+func Timeline(tr *trace.Tracer, width int) string {
+	if tr == nil || len(tr.Tasks) == 0 {
+		return "(empty trace)\n"
+	}
+	if width <= 0 {
+		width = 80
+	}
+
+	var end sim.Time
+	workers := make(map[int]string)
+	versions := make(map[string]bool)
+	for _, r := range tr.Tasks {
+		if r.End > end {
+			end = r.End
+		}
+		workers[r.Worker] = r.Device
+		versions[r.Version] = true
+	}
+	if end == 0 {
+		return "(zero-length trace)\n"
+	}
+
+	// Letter per version, deterministic.
+	names := make([]string, 0, len(versions))
+	for v := range versions {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	letter := make(map[string]byte, len(names))
+	for i, v := range names {
+		if i < 26 {
+			letter[v] = byte('a' + i)
+		} else {
+			letter[v] = '#'
+		}
+	}
+
+	bucket := float64(end) / float64(width)
+	// coverage[worker][col] tracks the dominant version per bucket.
+	type cover struct {
+		version string
+		ns      float64
+	}
+	rows := make(map[int][]cover)
+	for w := range workers {
+		rows[w] = make([]cover, width)
+	}
+	for _, r := range tr.Tasks {
+		row := rows[r.Worker]
+		for col := int(float64(r.Start) / bucket); col < width; col++ {
+			bStart, bEnd := float64(col)*bucket, float64(col+1)*bucket
+			if float64(r.End) <= bStart {
+				break
+			}
+			overlap := min64(float64(r.End), bEnd) - max64(float64(r.Start), bStart)
+			if overlap <= 0 {
+				continue
+			}
+			if overlap > row[col].ns {
+				row[col] = cover{r.Version, overlap}
+			}
+		}
+	}
+
+	ids := make([]int, 0, len(rows))
+	for w := range rows {
+		ids = append(ids, w)
+	}
+	sort.Ints(ids)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline 0 .. %v (%.3v/col)\n", end, sim.Duration(bucket))
+	for _, w := range ids {
+		fmt.Fprintf(&b, "%2d %-10s |", w, workers[w])
+		for _, c := range rows[w] {
+			if c.version == "" {
+				b.WriteByte('.')
+			} else {
+				b.WriteByte(letter[c.version])
+			}
+		}
+		b.WriteString("|\n")
+	}
+	b.WriteString("legend:")
+	for _, v := range names {
+		fmt.Fprintf(&b, " %c=%s", letter[v], v)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func min64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

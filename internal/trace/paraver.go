@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Paraver export. Paraver is the trace visualizer of the BSC tool chain
+// the paper's group uses (Extrae instruments Nanos++, Paraver displays
+// the result), so a reproduction of an OmpSs runtime should speak its
+// trace format. This writer emits the textual .prv body:
+//
+//	state records  1:cpu:appl:task:thread:begin:end:state
+//	event records  2:cpu:appl:task:thread:time:type:value[:type:value...]
+//	comm records   3:scpu:sappl:stask:sthread:lsend:psend:rcpu:rappl:rtask:rthread:lrecv:precv:size:tag
+//
+// Every worker maps to one cpu/thread; task executions become RUNNING
+// states plus a task-type event at start; transfers become point-to-point
+// communication records between pseudo-threads that stand for the memory
+// spaces. Times are nanoseconds of virtual time. The companion .pcf
+// naming file comes from WriteParaverPCF.
+//
+// The subset emitted here loads in Paraver/wxparaver; semantic analysis
+// beyond state/event/comm views (e.g. call stacks) is out of scope.
+
+// Paraver state values (matching Paraver's default semantic).
+const (
+	paraverStateIdle    = 0
+	paraverStateRunning = 1
+)
+
+// Paraver event types used by this writer.
+const (
+	// ParaverEventTaskType identifies which task type started (value =
+	// 1-based index into the sorted type list; 0 = end).
+	ParaverEventTaskType = 60000001
+	// ParaverEventVersion identifies which version ran (value = 1-based
+	// index into the sorted version list; 0 = end).
+	ParaverEventVersion = 60000002
+)
+
+// paraverObject is the fixed "node:appl:task" prefix; the reproduction
+// maps everything to application 1, task 1 and one thread per worker.
+func paraverThread(worker int) string {
+	return fmt.Sprintf("%d:1:1:%d", worker+1, worker+1)
+}
+
+// typeIndex builds a deterministic 1-based index over the names found.
+func typeIndex(names map[string]bool) map[string]int {
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	idx := make(map[string]int, len(sorted))
+	for i, n := range sorted {
+		idx[n] = i + 1
+	}
+	return idx
+}
+
+// collectNames returns the distinct task-type and version names.
+func (t *Tracer) collectNames() (types, versions map[string]bool) {
+	types = make(map[string]bool)
+	versions = make(map[string]bool)
+	for _, r := range t.Tasks {
+		types[r.Type] = true
+		versions[r.Version] = true
+	}
+	return types, versions
+}
+
+// paraverEnd returns the trace's final timestamp.
+func (t *Tracer) paraverEnd() sim.Time {
+	var end sim.Time
+	for _, r := range t.Tasks {
+		if r.End > end {
+			end = r.End
+		}
+	}
+	for _, r := range t.Transfers {
+		if r.End > end {
+			end = r.End
+		}
+	}
+	return end
+}
+
+// WriteParaver writes the .prv trace body for all recorded activity.
+// nWorkers fixes the resource count in the header (pass the runtime's
+// worker count; 0 derives it from the records).
+func (t *Tracer) WriteParaver(w io.Writer, nWorkers int) error {
+	if nWorkers <= 0 {
+		for _, r := range t.Tasks {
+			if r.Worker+1 > nWorkers {
+				nWorkers = r.Worker + 1
+			}
+		}
+		if nWorkers == 0 {
+			nWorkers = 1
+		}
+	}
+	types, versions := t.collectNames()
+	tIdx, vIdx := typeIndex(types), typeIndex(versions)
+
+	// Header: #Paraver (time):endTime_ns:nNodes(cpus):nAppl:appl(tasks(threads:node))
+	if _, err := fmt.Fprintf(w, "#Paraver (12/06/2026 at 00:00):%d_ns:1(%d):1:1(%d:1)\n",
+		t.paraverEnd(), nWorkers, nWorkers); err != nil {
+		return err
+	}
+
+	// Deterministic record order: by start time, then kind, then task ID.
+	type line struct {
+		at   sim.Time
+		text string
+	}
+	var lines []line
+	for _, r := range t.Tasks {
+		th := paraverThread(r.Worker)
+		lines = append(lines, line{r.Start, fmt.Sprintf("1:%s:%d:%d:%d", th, r.Start, r.End, paraverStateRunning)})
+		lines = append(lines, line{r.Start, fmt.Sprintf("2:%s:%d:%d:%d:%d:%d",
+			th, r.Start, ParaverEventTaskType, tIdx[r.Type], ParaverEventVersion, vIdx[r.Version])})
+		lines = append(lines, line{r.End, fmt.Sprintf("2:%s:%d:%d:0:%d:0",
+			th, r.End, ParaverEventTaskType, ParaverEventVersion)})
+	}
+	for _, r := range t.Transfers {
+		// Memory spaces appear as extra "cpus" after the workers: space s
+		// becomes cpu nWorkers+s+1. Logical and physical times coincide
+		// (the simulator has no clock skew).
+		scpu := nWorkers + int(r.From) + 1
+		rcpu := nWorkers + int(r.To) + 1
+		lines = append(lines, line{r.Start, fmt.Sprintf("3:%d:1:1:%d:%d:%d:%d:1:1:%d:%d:%d:%d:%d",
+			scpu, scpu, r.Start, r.Start, rcpu, rcpu, r.End, r.End, r.Bytes, int(r.Category))})
+	}
+	sort.SliceStable(lines, func(i, j int) bool { return lines[i].at < lines[j].at })
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l.text); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteParaverPCF writes the companion .pcf configuration naming the
+// event types and values used by WriteParaver.
+func (t *Tracer) WriteParaverPCF(w io.Writer) error {
+	types, versions := t.collectNames()
+	tIdx, vIdx := typeIndex(types), typeIndex(versions)
+
+	write := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := write("DEFAULT_OPTIONS\n\nLEVEL\tTHREAD\nUNITS\tNANOSEC\n\n"); err != nil {
+		return err
+	}
+	if err := write("STATES\n%d\tIdle\n%d\tRunning\n\n", paraverStateIdle, paraverStateRunning); err != nil {
+		return err
+	}
+	section := func(evType int, title string, idx map[string]int) error {
+		if err := write("EVENT_TYPE\n0\t%d\t%s\nVALUES\n0\tEnd\n", evType, title); err != nil {
+			return err
+		}
+		names := make([]string, 0, len(idx))
+		for n := range idx {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool { return idx[names[i]] < idx[names[j]] })
+		for _, n := range names {
+			if err := write("%d\t%s\n", idx[n], n); err != nil {
+				return err
+			}
+		}
+		return write("\n")
+	}
+	if err := section(ParaverEventTaskType, "OmpSs task type", tIdx); err != nil {
+		return err
+	}
+	return section(ParaverEventVersion, "OmpSs task version", vIdx)
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/xfer"
+)
+
+func paraverFixture() *Tracer {
+	tr := New()
+	tr.RecordTask(TaskRecord{TaskID: 1, Type: "matmul", Version: "mm_cublas", Worker: 0, Device: "gpu-0",
+		Start: sim.Time(1000), End: sim.Time(5000)})
+	tr.RecordTask(TaskRecord{TaskID: 2, Type: "matmul", Version: "mm_smp", Worker: 1, Device: "core-0",
+		Start: sim.Time(2000), End: sim.Time(9000), Preds: []int64{1}})
+	tr.RecordTransfer(xfer.Record{From: 0, To: 1, Bytes: 64, Category: xfer.CatInput,
+		Start: sim.Time(0), End: sim.Time(800), Tag: "a"})
+	return tr
+}
+
+func TestWriteParaverHeaderAndRecordKinds(t *testing.T) {
+	var b strings.Builder
+	if err := paraverFixture().WriteParaver(&b, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.HasPrefix(lines[0], "#Paraver") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	if !strings.Contains(lines[0], ":9000_ns:1(2):1:1(2:1)") {
+		t.Errorf("header fields wrong: %q", lines[0])
+	}
+	var states, events, comms int
+	for _, l := range lines[1:] {
+		switch l[0] {
+		case '1':
+			states++
+		case '2':
+			events++
+		case '3':
+			comms++
+		default:
+			t.Errorf("unknown record %q", l)
+		}
+	}
+	if states != 2 || events != 4 || comms != 1 {
+		t.Errorf("records = %d states, %d events, %d comms", states, events, comms)
+	}
+}
+
+func TestWriteParaverRecordsSortedByTime(t *testing.T) {
+	var b strings.Builder
+	if err := paraverFixture().WriteParaver(&b, 2); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	sc.Scan() // header
+	// The comm record at t=0 must come first.
+	sc.Scan()
+	if !strings.HasPrefix(sc.Text(), "3:") {
+		t.Errorf("first record is %q, want the t=0 comm", sc.Text())
+	}
+}
+
+func TestWriteParaverDerivesWorkerCount(t *testing.T) {
+	var b strings.Builder
+	if err := paraverFixture().WriteParaver(&b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), ":1(2):1:1(2:1)") {
+		t.Errorf("derived worker count wrong:\n%s", b.String())
+	}
+}
+
+func TestWriteParaverEmptyTrace(t *testing.T) {
+	var b strings.Builder
+	if err := New().WriteParaver(&b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "#Paraver") {
+		t.Error("empty trace still needs a header")
+	}
+}
+
+func TestWriteParaverPCFNamesAllTypesAndVersions(t *testing.T) {
+	var b strings.Builder
+	if err := paraverFixture().WriteParaverPCF(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"STATES", "EVENT_TYPE", "matmul", "mm_cublas", "mm_smp", "OmpSs task type", "OmpSs task version"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PCF missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParaverEventValuesStableAcrossCalls(t *testing.T) {
+	tr := paraverFixture()
+	var a, b strings.Builder
+	if err := tr.WriteParaver(&a, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteParaver(&b, 2); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("Paraver export is not deterministic")
+	}
+}

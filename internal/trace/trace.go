@@ -1,0 +1,123 @@
+// Package trace records what happened during a run: one record per
+// executed task and one per transfer. The evaluation harness aggregates
+// these into the paper's metrics (GFLOP/s, transfer volumes by category,
+// per-version task counts), and the records can be exported in Chrome
+// trace-event format for visual inspection (chrome://tracing).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/xfer"
+)
+
+// TaskRecord describes one executed task instance.
+type TaskRecord struct {
+	TaskID      int64
+	Type        string // task-type (version set) name, e.g. "matmul_tile"
+	Version     string // implementation that ran, e.g. "matmul_tile_cublas"
+	Worker      int
+	Device      string
+	DeviceKind  machine.DeviceKind
+	Submit      sim.Time
+	Ready       sim.Time
+	Start       sim.Time
+	End         sim.Time
+	DataSetSize int64
+	// Preds are the task IDs of every dependence predecessor; together
+	// with TaskID they reconstruct the run's dependence DAG (critical-path
+	// analysis, Paraver dependence lines).
+	Preds []int64
+}
+
+// ExecTime is the task's execution duration (excluding queueing and
+// staging).
+func (r TaskRecord) ExecTime() sim.Duration { return r.End.Sub(r.Start) }
+
+// Tracer accumulates task and transfer records. It implements
+// xfer.Recorder. A nil Tracer is valid and records nothing.
+type Tracer struct {
+	Tasks     []TaskRecord
+	Transfers []xfer.Record
+}
+
+// New returns an empty tracer.
+func New() *Tracer { return &Tracer{} }
+
+// RecordTask appends a task record.
+func (t *Tracer) RecordTask(r TaskRecord) {
+	if t == nil {
+		return
+	}
+	t.Tasks = append(t.Tasks, r)
+}
+
+// RecordTransfer implements xfer.Recorder.
+func (t *Tracer) RecordTransfer(r xfer.Record) {
+	if t == nil {
+		return
+	}
+	t.Transfers = append(t.Transfers, r)
+}
+
+// VersionCounts returns, per task type, how many instances each version
+// ran. This is the data behind the paper's Figures 8, 11, 14 and 15.
+func (t *Tracer) VersionCounts() map[string]map[string]int {
+	out := make(map[string]map[string]int)
+	for _, r := range t.Tasks {
+		m, ok := out[r.Type]
+		if !ok {
+			m = make(map[string]int)
+			out[r.Type] = m
+		}
+		m[r.Version]++
+	}
+	return out
+}
+
+// chromeEvent is one Chrome trace-event ("X" complete events).
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat"`
+	Ph   string                 `json:"ph"`
+	TS   float64                `json:"ts"`  // microseconds
+	Dur  float64                `json:"dur"` // microseconds
+	PID  int                    `json:"pid"`
+	TID  string                 `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes all records as a Chrome trace-event JSON array.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	var events []chromeEvent
+	for _, r := range t.Tasks {
+		events = append(events, chromeEvent{
+			Name: r.Type + "/" + r.Version,
+			Cat:  "task",
+			Ph:   "X",
+			TS:   float64(r.Start) / 1e3,
+			Dur:  float64(r.End.Sub(r.Start).Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  fmt.Sprintf("worker-%02d (%s)", r.Worker, r.Device),
+			Args: map[string]interface{}{"dataSetSize": r.DataSetSize, "taskID": r.TaskID},
+		})
+	}
+	for _, r := range t.Transfers {
+		events = append(events, chromeEvent{
+			Name: fmt.Sprintf("%s %s", r.Category, r.Tag),
+			Cat:  "transfer",
+			Ph:   "X",
+			TS:   float64(r.Start) / 1e3,
+			Dur:  float64(r.End.Sub(r.Start).Nanoseconds()) / 1e3,
+			PID:  2,
+			TID:  fmt.Sprintf("link %d->%d", r.From, r.To),
+			Args: map[string]interface{}{"bytes": r.Bytes},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

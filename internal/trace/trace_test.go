@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/xfer"
+)
+
+func sample() *Tracer {
+	tr := New()
+	tr.RecordTask(TaskRecord{TaskID: 1, Type: "matmul", Version: "cublas", Worker: 2, Device: "gpu-0", DeviceKind: machine.KindCUDA, Start: 1000, End: 6000, DataSetSize: 24 << 20})
+	tr.RecordTask(TaskRecord{TaskID: 2, Type: "matmul", Version: "cublas", Worker: 2, Device: "gpu-0", DeviceKind: machine.KindCUDA, Start: 6000, End: 11000})
+	tr.RecordTask(TaskRecord{TaskID: 3, Type: "matmul", Version: "smp", Worker: 0, Device: "core-0", DeviceKind: machine.KindSMP, Start: 1000, End: 90000})
+	tr.RecordTask(TaskRecord{TaskID: 4, Type: "potrf", Version: "magma", Worker: 2, Device: "gpu-0", DeviceKind: machine.KindCUDA, Start: 90000, End: 95000})
+	tr.RecordTransfer(xfer.Record{From: 0, To: 1, Bytes: 4096, Category: xfer.CatInput, Start: 0, End: 900, Tag: "tile-0"})
+	return tr
+}
+
+func TestVersionCounts(t *testing.T) {
+	vc := sample().VersionCounts()
+	if vc["matmul"]["cublas"] != 2 || vc["matmul"]["smp"] != 1 || vc["potrf"]["magma"] != 1 {
+		t.Errorf("VersionCounts = %v", vc)
+	}
+}
+
+func TestExecTime(t *testing.T) {
+	r := TaskRecord{Start: 1000, End: 6000}
+	if r.ExecTime() != 5000 {
+		t.Errorf("ExecTime = %v", r.ExecTime())
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.RecordTask(TaskRecord{})
+	tr.RecordTransfer(xfer.Record{})
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("events = %d, want 5", len(events))
+	}
+	foundTask, foundXfer := false, false
+	for _, ev := range events {
+		switch ev["cat"] {
+		case "task":
+			foundTask = true
+			if !strings.Contains(ev["name"].(string), "/") {
+				t.Errorf("task name = %v", ev["name"])
+			}
+		case "transfer":
+			foundXfer = true
+			if !strings.Contains(ev["name"].(string), "Input Tx") {
+				t.Errorf("transfer name = %v", ev["name"])
+			}
+		}
+		if ev["ph"] != "X" {
+			t.Errorf("phase = %v", ev["ph"])
+		}
+	}
+	if !foundTask || !foundXfer {
+		t.Error("missing task or transfer events")
+	}
+}

@@ -1,0 +1,140 @@
+package verprof
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWelfordMatchesDirectComputation(t *testing.T) {
+	samples := []time.Duration{10, 12, 9, 15, 11, 30, 8}
+	s := NewStore(1)
+	g := s.GroupFor("t", 100, []string{"v"})
+	var sum float64
+	for _, d := range samples {
+		g.Record("v", d)
+		sum += float64(d)
+	}
+	mean := sum / float64(len(samples))
+	var m2 float64
+	for _, d := range samples {
+		m2 += (float64(d) - mean) * (float64(d) - mean)
+	}
+	wantVar := m2 / float64(len(samples)-1)
+
+	st := g.Stats("v")
+	if math.Abs(st.MeanNs-mean) > 1e-9 {
+		t.Errorf("mean = %v, want %v", st.MeanNs, mean)
+	}
+	if math.Abs(st.VarNs2-wantVar) > 1e-6 {
+		t.Errorf("var = %v, want %v", st.VarNs2, wantVar)
+	}
+	if st.Stddev() != time.Duration(math.Sqrt(wantVar)) {
+		t.Errorf("stddev = %v", st.Stddev())
+	}
+}
+
+func TestVarianceZeroForConstantSamples(t *testing.T) {
+	s := NewStore(1)
+	g := s.GroupFor("t", 100, []string{"v"})
+	for i := 0; i < 10; i++ {
+		g.Record("v", 42*time.Microsecond)
+	}
+	st := g.Stats("v")
+	if st.Stddev() != 0 || st.CV() != 0 {
+		t.Errorf("constant samples: stddev=%v cv=%v", st.Stddev(), st.CV())
+	}
+}
+
+func TestVarianceNonNegativeProperty(t *testing.T) {
+	prop := func(raw []uint32) bool {
+		s := NewStore(1)
+		g := s.GroupFor("t", 1, []string{"v"})
+		for _, r := range raw {
+			g.Record("v", time.Duration(r%1_000_000)+1)
+		}
+		st := g.Stats("v")
+		return st.VarNs2 >= 0 && st.CV() >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEWMAVarianceTracksRecentDispersion(t *testing.T) {
+	s := NewStore(1)
+	s.EWMAAlpha = 0.3
+	g := s.GroupFor("t", 100, []string{"v"})
+	// Stable phase: variance decays toward zero.
+	for i := 0; i < 50; i++ {
+		g.Record("v", time.Millisecond)
+	}
+	stable := g.Stats("v").VarNs2
+	// Noisy phase: variance must grow.
+	for i := 0; i < 20; i++ {
+		d := time.Millisecond
+		if i%2 == 0 {
+			d = 3 * time.Millisecond
+		}
+		g.Record("v", d)
+	}
+	noisy := g.Stats("v").VarNs2
+	if noisy <= stable {
+		t.Errorf("EWMA variance did not react: stable %v, noisy %v", stable, noisy)
+	}
+}
+
+func TestConfidenceGateHoldsNoisyGroups(t *testing.T) {
+	s := NewStore(2)
+	s.ConfidenceCV = 0.10
+	g := s.GroupFor("t", 100, []string{"v"})
+	// Two wildly different samples: lambda satisfied, CV >> 0.1.
+	g.Record("v", 1*time.Millisecond)
+	g.Record("v", 9*time.Millisecond)
+	if g.Reliable() {
+		t.Fatal("noisy group became reliable at lambda")
+	}
+	// Steady repeats drive the CV down; the group must eventually pass.
+	for i := 0; i < 40 && !g.Reliable(); i++ {
+		g.Record("v", 5*time.Millisecond)
+	}
+	if !g.Reliable() {
+		t.Error("confidence gate never released a converged group")
+	}
+}
+
+func TestConfidenceGateCapsAtBoundedSamples(t *testing.T) {
+	s := NewStore(2)
+	s.ConfidenceCV = 0.0001 // practically unreachable
+	g := s.GroupFor("t", 100, []string{"v"})
+	// Alternate between two values forever: the CV never converges, but
+	// the cap must force reliability after ConfidenceCap*lambda runs.
+	for i := 0; i < ConfidenceCap*2; i++ {
+		d := time.Millisecond
+		if i%2 == 0 {
+			d = 2 * time.Millisecond
+		}
+		g.Record("v", d)
+	}
+	if !g.Reliable() {
+		t.Errorf("cap did not force reliability after %d runs", ConfidenceCap*2)
+	}
+}
+
+func TestConfidenceGateOffByDefault(t *testing.T) {
+	s := NewStore(2)
+	g := s.GroupFor("t", 100, []string{"v"})
+	g.Record("v", 1*time.Millisecond)
+	g.Record("v", 100*time.Millisecond) // huge scatter
+	if !g.Reliable() {
+		t.Error("without ConfidenceCV the paper's lambda gate must decide alone")
+	}
+}
+
+func TestCVZeroWithoutMean(t *testing.T) {
+	var st VersionStats
+	if st.CV() != 0 || st.Stddev() != 0 {
+		t.Error("zero-value stats must report zero dispersion")
+	}
+}

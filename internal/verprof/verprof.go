@@ -1,0 +1,388 @@
+// Package verprof implements the versioning scheduler's profiling store:
+// the TaskVersionSet structure of Table I. For every task type (a set of
+// versions implementing the same task) the store keeps one group per
+// distinct data-set size, and within each group, per version, the number
+// of executions and their mean execution time. Groups pass from the
+// initial learning phase to the reliable information phase once every
+// version has run at least lambda times (Section IV-B).
+//
+// Two of the paper's future-work refinements (Section VII) are available
+// as options, both off by default:
+//
+//   - SizeTolerance joins calls whose data-set sizes differ by at most a
+//     relative tolerance into one group, instead of the paper's
+//     exact-byte matching ("if the data needed by two calls varies from
+//     only 1 byte, the scheduler will consider different groups");
+//   - EWMAAlpha weights recent executions more than old ones instead of
+//     the plain arithmetic mean.
+package verprof
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// DefaultLambda is the default learning threshold: the minimum number of
+// executions of every version of a size group before the group's
+// information is considered reliable. Configurable by the user, as in
+// the paper (footnote 4).
+const DefaultLambda = 3
+
+// VersionStats is the per-implementation record <VersionId, ExecTime,
+// #Exec> of Table I, extended with a running dispersion measure.
+type VersionStats struct {
+	Version string
+	MeanNs  float64
+	Count   int64
+	// VarNs2 is the running variance estimate in ns^2: Welford's sample
+	// variance under the arithmetic mean, the exponentially weighted
+	// variance under EWMA. It backs the optional confidence-based
+	// reliability gate (Store.ConfidenceCV).
+	VarNs2 float64
+}
+
+// Mean returns the mean execution time.
+func (s VersionStats) Mean() time.Duration { return time.Duration(s.MeanNs) }
+
+// Stddev returns the standard deviation of the recorded execution times
+// (zero with fewer than two records).
+func (s VersionStats) Stddev() time.Duration {
+	if s.VarNs2 <= 0 {
+		return 0
+	}
+	return time.Duration(math.Sqrt(s.VarNs2))
+}
+
+// CV returns the coefficient of variation (stddev / mean), the
+// scale-free noisiness of the version's timings.
+func (s VersionStats) CV() float64 {
+	if s.MeanNs <= 0 {
+		return 0
+	}
+	return math.Sqrt(math.Max(s.VarNs2, 0)) / s.MeanNs
+}
+
+// Group is one data-set-size group of a TaskVersionSet.
+type Group struct {
+	Size     int64
+	store    *Store
+	versions []string // registration order
+	stats    map[string]*VersionStats
+}
+
+// Set is one TaskVersionSet: all profiling groups of one task type.
+type Set struct {
+	Type   string
+	groups []*Group
+}
+
+// Store holds every TaskVersionSet. The zero value is not usable; call
+// NewStore.
+type Store struct {
+	// Lambda is the learning threshold (>= 1).
+	Lambda int
+	// SizeTolerance is the relative tolerance for joining data-set sizes
+	// into one group (0 = exact match, paper behaviour).
+	SizeTolerance float64
+	// EWMAAlpha, if > 0, makes Record update means as an exponentially
+	// weighted moving average with that alpha (paper footnote 3 mentions
+	// the idea as untried).
+	EWMAAlpha float64
+	// ConfidenceCV, if > 0, strengthens the reliability gate: besides the
+	// lambda executions the paper requires, a group stays in the learning
+	// phase until every version's coefficient of variation drops to this
+	// bound — so noisy timings buy more samples before the scheduler
+	// trusts them. To guarantee progress on inherently noisy versions the
+	// gate caps at ConfidenceCap x lambda executions. An extension beyond
+	// the paper; off by default.
+	ConfidenceCV float64
+
+	sets map[string]*Set
+}
+
+// ConfidenceCap bounds how many extra samples the ConfidenceCV gate may
+// demand, as a multiple of lambda.
+const ConfidenceCap = 10
+
+// NewStore returns a store with the given learning threshold; lambda < 1
+// is clamped to DefaultLambda.
+func NewStore(lambda int) *Store {
+	if lambda < 1 {
+		lambda = DefaultLambda
+	}
+	return &Store{Lambda: lambda, sets: make(map[string]*Set)}
+}
+
+// Set returns the TaskVersionSet for a task type, creating it on first
+// use.
+func (s *Store) Set(taskType string) *Set {
+	set, ok := s.sets[taskType]
+	if !ok {
+		set = &Set{Type: taskType}
+		s.sets[taskType] = set
+	}
+	return set
+}
+
+// GroupFor returns the group matching the data-set size, creating one
+// (with zeroed stats for the given versions) if no existing group
+// matches. With SizeTolerance == 0 a group matches only on the exact
+// size; otherwise sizes within the relative tolerance reuse the group.
+func (s *Store) GroupFor(taskType string, size int64, versions []string) *Group {
+	set := s.Set(taskType)
+	for _, g := range set.groups {
+		if s.sizeMatches(g.Size, size) {
+			g.ensureVersions(versions)
+			return g
+		}
+	}
+	g := &Group{Size: size, store: s, stats: make(map[string]*VersionStats)}
+	g.ensureVersions(versions)
+	set.groups = append(set.groups, g)
+	return g
+}
+
+func (s *Store) sizeMatches(groupSize, size int64) bool {
+	if groupSize == size {
+		return true
+	}
+	if s.SizeTolerance <= 0 {
+		return false
+	}
+	diff := groupSize - size
+	if diff < 0 {
+		diff = -diff
+	}
+	return float64(diff) <= s.SizeTolerance*float64(groupSize)
+}
+
+func (g *Group) ensureVersions(versions []string) {
+	for _, v := range versions {
+		if _, ok := g.stats[v]; !ok {
+			g.versions = append(g.versions, v)
+			g.stats[v] = &VersionStats{Version: v}
+		}
+	}
+}
+
+// Record folds one realized execution time into the version's mean. The
+// scheduler records in both phases: "the scheduler is always learning"
+// (Section IV-B).
+func (g *Group) Record(version string, d time.Duration) {
+	st, ok := g.stats[version]
+	if !ok {
+		g.versions = append(g.versions, version)
+		st = &VersionStats{Version: version}
+		g.stats[version] = st
+	}
+	st.Count++
+	x := float64(d.Nanoseconds())
+	switch {
+	case st.Count == 1:
+		st.MeanNs = x
+		st.VarNs2 = 0
+	case g.store != nil && g.store.EWMAAlpha > 0:
+		a := g.store.EWMAAlpha
+		diff := x - st.MeanNs
+		st.MeanNs = a*x + (1-a)*st.MeanNs
+		st.VarNs2 = (1 - a) * (st.VarNs2 + a*diff*diff)
+	default:
+		// Welford: unbiased running sample variance.
+		delta := x - st.MeanNs
+		st.MeanNs += delta / float64(st.Count)
+		st.VarNs2 += (delta*(x-st.MeanNs) - st.VarNs2) / float64(st.Count-1)
+	}
+}
+
+// Seed pre-loads a version's statistics (external hints, Section VII).
+func (g *Group) Seed(version string, mean time.Duration, count int64) {
+	g.SeedWithVariance(version, mean, count, 0)
+}
+
+// SeedWithVariance is Seed with an explicit variance estimate (ns^2), so
+// hint files can also warm-start the confidence-gated reliability check.
+func (g *Group) SeedWithVariance(version string, mean time.Duration, count int64, varNs2 float64) {
+	if count < 0 {
+		panic("verprof: negative seed count")
+	}
+	if varNs2 < 0 {
+		panic("verprof: negative seed variance")
+	}
+	st, ok := g.stats[version]
+	if !ok {
+		g.versions = append(g.versions, version)
+		st = &VersionStats{Version: version}
+		g.stats[version] = st
+	}
+	st.MeanNs = float64(mean.Nanoseconds())
+	st.Count = count
+	st.VarNs2 = varNs2
+}
+
+// Mean returns the version's mean execution time; ok is false while the
+// version has never run.
+func (g *Group) Mean(version string) (time.Duration, bool) {
+	st, ok := g.stats[version]
+	if !ok || st.Count == 0 {
+		return 0, false
+	}
+	return st.Mean(), true
+}
+
+// Count returns the version's execution count.
+func (g *Group) Count(version string) int64 {
+	st, ok := g.stats[version]
+	if !ok {
+		return 0
+	}
+	return st.Count
+}
+
+// Reliable reports whether every registered version has run at least
+// lambda times: the group has left the initial learning phase. With the
+// ConfidenceCV extension enabled, versions whose timing scatter is still
+// above the bound hold the group in the learning phase for up to
+// ConfidenceCap x lambda executions.
+func (g *Group) Reliable() bool {
+	lambda := DefaultLambda
+	confidence := 0.0
+	if g.store != nil {
+		lambda = g.store.Lambda
+		confidence = g.store.ConfidenceCV
+	}
+	for _, v := range g.versions {
+		st := g.stats[v]
+		if st.Count < int64(lambda) {
+			return false
+		}
+		if confidence > 0 && st.Count < int64(ConfidenceCap*lambda) && st.CV() > confidence {
+			return false
+		}
+	}
+	return len(g.versions) > 0
+}
+
+// LeastExecuted returns the version with the fewest executions
+// (registration order breaks ties): the round-robin pick of the learning
+// phase.
+func (g *Group) LeastExecuted() string {
+	best := ""
+	var bestCount int64
+	for _, v := range g.versions {
+		c := g.stats[v].Count
+		if best == "" || c < bestCount {
+			best = v
+			bestCount = c
+		}
+	}
+	return best
+}
+
+// Fastest returns the version with the smallest mean among those that
+// have run ("fastest executor" basis); ok is false if none has run.
+func (g *Group) Fastest() (string, bool) {
+	best := ""
+	var bestMean float64
+	for _, v := range g.versions {
+		st := g.stats[v]
+		if st.Count == 0 {
+			continue
+		}
+		if best == "" || st.MeanNs < bestMean {
+			best = v
+			bestMean = st.MeanNs
+		}
+	}
+	return best, best != ""
+}
+
+// Versions returns the registered version names in registration order.
+func (g *Group) Versions() []string {
+	out := make([]string, len(g.versions))
+	copy(out, g.versions)
+	return out
+}
+
+// Stats returns a copy of the version's statistics.
+func (g *Group) Stats(version string) VersionStats {
+	if st, ok := g.stats[version]; ok {
+		return *st
+	}
+	return VersionStats{Version: version}
+}
+
+// --- snapshotting (Table I rendering and XML hints) ---
+
+// GroupSnapshot is an exportable view of one size group.
+type GroupSnapshot struct {
+	Size     int64
+	Versions []VersionStats
+}
+
+// SetSnapshot is an exportable view of one TaskVersionSet.
+type SetSnapshot struct {
+	Type   string
+	Groups []GroupSnapshot
+}
+
+// Snapshot exports the whole store, sorted by type name and group size,
+// versions in registration order — the layout of Table I.
+func (s *Store) Snapshot() []SetSnapshot {
+	var out []SetSnapshot
+	var names []string
+	for n := range s.sets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		set := s.sets[n]
+		ss := SetSnapshot{Type: n}
+		groups := append([]*Group(nil), set.groups...)
+		sort.Slice(groups, func(i, j int) bool { return groups[i].Size < groups[j].Size })
+		for _, g := range groups {
+			gs := GroupSnapshot{Size: g.Size}
+			for _, v := range g.versions {
+				gs.Versions = append(gs.Versions, *g.stats[v])
+			}
+			ss.Groups = append(ss.Groups, gs)
+		}
+		out = append(out, ss)
+	}
+	return out
+}
+
+// FormatTable renders the snapshot in the shape of the paper's Table I.
+func FormatTable(snap []SetSnapshot) string {
+	out := "TaskVersionSet | DataSetSize | <VersionId, ExecTime, #Exec>\n"
+	for _, set := range snap {
+		for gi, g := range set.Groups {
+			for vi, v := range g.Versions {
+				name := ""
+				if gi == 0 && vi == 0 {
+					name = set.Type
+				}
+				size := ""
+				if vi == 0 {
+					size = formatBytes(g.Size)
+				}
+				out += fmt.Sprintf("%-14s | %-11s | <%s, %v, %d>\n", name, size, v.Version, v.Mean().Round(10*time.Microsecond), v.Count)
+			}
+		}
+	}
+	return out
+}
+
+func formatBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}

@@ -1,0 +1,83 @@
+package ompss
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// Environment variables honoured by FromEnv, mirroring the OmpSs runtime's
+// configuration-by-environment mechanism (Section III: "we just have to
+// set the appropriate environment variables ... just before each
+// execution").
+const (
+	// EnvSchedule selects the scheduling policy (NX_SCHEDULE in OmpSs).
+	EnvSchedule = "NX_SCHEDULE"
+	// EnvSMPWorkers sets the number of SMP worker threads.
+	EnvSMPWorkers = "NX_SMP_WORKERS"
+	// EnvGPUs sets the number of GPU workers (NX_GPUS in OmpSs).
+	EnvGPUs = "NX_GPUS"
+	// EnvLambda sets the versioning learning threshold.
+	EnvLambda = "NX_VERSIONING_LAMBDA"
+	// EnvHints names the XML hints file for the versioning scheduler.
+	EnvHints = "NX_VERSIONING_HINTS"
+	// EnvNoPrefetch disables transfer/compute overlap when set to 1.
+	EnvNoPrefetch = "NX_DISABLE_PREFETCH"
+	// EnvSeed seeds the jitter RNG.
+	EnvSeed = "NX_SEED"
+	// EnvNoise sets the execution-time jitter sigma.
+	EnvNoise = "NX_NOISE_SIGMA"
+)
+
+// FromEnv builds a Config from the NX_* environment variables, applying
+// the given defaults first. Unset variables leave the default untouched;
+// malformed values return an error.
+func FromEnv(def Config) (Config, error) {
+	cfg := def
+	if v := os.Getenv(EnvSchedule); v != "" {
+		cfg.Scheduler = v
+	}
+	var err error
+	if cfg.SMPWorkers, err = intEnv(EnvSMPWorkers, cfg.SMPWorkers); err != nil {
+		return cfg, err
+	}
+	if cfg.GPUs, err = intEnv(EnvGPUs, cfg.GPUs); err != nil {
+		return cfg, err
+	}
+	if cfg.Lambda, err = intEnv(EnvLambda, cfg.Lambda); err != nil {
+		return cfg, err
+	}
+	if v := os.Getenv(EnvHints); v != "" {
+		cfg.HintsFile = v
+	}
+	if v := os.Getenv(EnvNoPrefetch); v == "1" || v == "true" {
+		cfg.NoPrefetch = true
+	}
+	if v := os.Getenv(EnvSeed); v != "" {
+		s, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return cfg, fmt.Errorf("ompss: %s=%q: %w", EnvSeed, v, err)
+		}
+		cfg.Seed = s
+	}
+	if v := os.Getenv(EnvNoise); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return cfg, fmt.Errorf("ompss: %s=%q: %w", EnvNoise, v, err)
+		}
+		cfg.NoiseSigma = f
+	}
+	return cfg, nil
+}
+
+func intEnv(name string, def int) (int, error) {
+	v := os.Getenv(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def, fmt.Errorf("ompss: %s=%q: %w", name, v, err)
+	}
+	return n, nil
+}
