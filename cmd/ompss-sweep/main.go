@@ -1,0 +1,160 @@
+// Command ompss-sweep runs parallel experiment campaigns: it expands a
+// declarative grid (apps x schedulers x machine shapes x noise x seed
+// replicas) into independent simulation runs, executes them across a
+// bounded worker pool, and writes per-cell percentile/CI summaries as
+// CSV, JSON and a text table.
+//
+// Each run's simulation engine is single-threaded and deterministic, so
+// the CSV/JSON outputs are byte-identical at any -parallel value.
+//
+// Usage:
+//
+//	ompss-sweep                              # default 96-run campaign
+//	ompss-sweep -parallel 8 -csv out.csv     # 8 workers, CSV to a file
+//	ompss-sweep -apps matmul-hyb,pbpi-hyb -schedulers dep,versioning \
+//	            -smp 1,2,4 -gpus 1,2 -noise 0.02,0.1 -replicas 5
+//	ompss-sweep -list-apps                   # registered applications
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		appsFlag  = flag.String("apps", strings.Join(exp.DefaultApps(), ","), "comma-separated app names")
+		schedFlag = flag.String("schedulers", strings.Join(exp.DefaultSchedulers(), ","), "comma-separated scheduler names")
+		smpFlag   = flag.String("smp", "2,4", "comma-separated SMP worker counts")
+		gpuFlag   = flag.String("gpus", "1,2", "comma-separated GPU counts")
+		noiseFlag = flag.String("noise", "0.05", "comma-separated jitter sigmas")
+		replicas  = flag.Int("replicas", 3, "seed replicas per cell")
+		seed      = flag.Int64("seed", 1, "base seed for the replica seeds (0 = default 1)")
+		sizeFlag  = flag.String("size", "tiny", "problem size tier: tiny, quick or full")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size (1 = serial)")
+		csvPath   = flag.String("csv", "", "write per-cell CSV to this file (- for stdout)")
+		jsonPath  = flag.String("json", "", "write per-cell JSON to this file (- for stdout)")
+		quiet     = flag.Bool("quiet", false, "suppress the progress line")
+		noSummary = flag.Bool("no-summary", false, "suppress the text summary table")
+		listApps  = flag.Bool("list-apps", false, "list registered applications and exit")
+	)
+	flag.Parse()
+
+	if *listApps {
+		fmt.Println(strings.Join(exp.AppNames(), "\n"))
+		return
+	}
+
+	size, err := exp.ParseSize(*sizeFlag)
+	if err != nil {
+		fatal(err)
+	}
+	grid := exp.Grid{
+		Apps:       splitList(*appsFlag),
+		Schedulers: splitList(*schedFlag),
+		SMPWorkers: mustInts(*smpFlag),
+		GPUs:       mustInts(*gpuFlag),
+		Noise:      mustFloats(*noiseFlag),
+		Size:       size,
+		Replicas:   *replicas,
+		BaseSeed:   *seed,
+	}
+	if err := grid.Validate(); err != nil {
+		fatal(err)
+	}
+
+	opts := exp.SweepOptions{Parallel: *parallel}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "ompss-sweep: %d runs (%d cells x %d replicas), %d workers\n",
+			grid.NumRuns(), grid.NumCells(), *replicas, *parallel)
+		opts.Progress = func(done, total int, r exp.RunResult) {
+			// \x1b[K clears the remnants of a longer previous line;
+			// the terminating newline comes after Sweep returns since
+			// progress calls may arrive slightly out of done-order.
+			fmt.Fprintf(os.Stderr, "\r\x1b[K[%d/%d] %v", done, total, r.Spec)
+		}
+	}
+
+	res, err := exp.Sweep(grid, opts)
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *csvPath != "" {
+		if err := writeTo(*csvPath, res, exp.WriteCSV); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonPath != "" {
+		if err := writeTo(*jsonPath, res, exp.WriteJSON); err != nil {
+			fatal(err)
+		}
+	}
+	if !*noSummary {
+		fmt.Print(exp.FormatSummary(res))
+	}
+}
+
+func writeTo(path string, res *exp.SweepResult, write func(w io.Writer, res *exp.SweepResult) error) error {
+	if path == "-" {
+		return write(os.Stdout, res)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f, res); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func mustInts(s string) []int {
+	var out []int
+	for _, p := range splitList(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			fatal(fmt.Errorf("bad integer %q: %w", p, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func mustFloats(s string) []float64 {
+	var out []float64
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad float %q: %w", p, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ompss-sweep: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,225 @@
+// Package exp is the experiment-sweep subsystem: it expands a
+// declarative grid of scenarios (application x scheduler x machine shape
+// x noise x seed replica) into independent simulation runs, executes
+// them concurrently on a bounded worker pool, and aggregates every grid
+// cell's replicas into percentile/confidence summaries.
+//
+// Each run owns a private sim.Engine, which is single-threaded and
+// deterministic, so the fan-out is embarrassingly parallel: results
+// depend only on the RunSpec, never on worker interleaving. The
+// cmd/ompss-sweep CLI drives campaigns through this package, and the
+// paper experiments in internal/harness are thin wrappers over Run.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+	"repro/ompss"
+)
+
+// Size selects a problem-size tier for every registered application.
+type Size string
+
+const (
+	// SizeTiny is sweep scale: seconds of virtual time, thousands of
+	// runs per minute. The default for ompss-sweep campaigns and tests.
+	SizeTiny Size = "tiny"
+	// SizeQuick matches the harness -quick sizes (CI scale).
+	SizeQuick Size = "quick"
+	// SizeFull matches the paper's evaluation sizes.
+	SizeFull Size = "full"
+)
+
+// ParseSize validates a size name.
+func ParseSize(s string) (Size, error) {
+	switch Size(s) {
+	case SizeTiny, SizeQuick, SizeFull:
+		return Size(s), nil
+	case "":
+		return SizeTiny, nil
+	}
+	return "", fmt.Errorf("exp: unknown size %q (have tiny, quick, full)", s)
+}
+
+// App is a registered application: a named builder that declares task
+// types and the master function on a fresh runtime at a given size.
+type App struct {
+	Name string
+	// MinGPUs guards shapes the app cannot run on: most apps' main
+	// implementations are CUDA, so non-versioning schedulers would
+	// deadlock without a GPU worker.
+	MinGPUs int
+	Build   func(r *ompss.Runtime, size Size) error
+}
+
+var (
+	appMu   sync.RWMutex
+	appReg  = make(map[string]App)
+	appList []string // registration order
+)
+
+// RegisterApp adds an application to the sweep registry. Registering the
+// same name twice panics, mirroring the scheduler plug-in registry.
+func RegisterApp(a App) {
+	if a.Name == "" || a.Build == nil {
+		panic("exp: RegisterApp needs a name and a builder")
+	}
+	appMu.Lock()
+	defer appMu.Unlock()
+	if _, dup := appReg[a.Name]; dup {
+		panic(fmt.Sprintf("exp: duplicate app %q", a.Name))
+	}
+	appReg[a.Name] = a
+	appList = append(appList, a.Name)
+}
+
+// LookupApp finds a registered application.
+func LookupApp(name string) (App, bool) {
+	appMu.RLock()
+	defer appMu.RUnlock()
+	a, ok := appReg[name]
+	return a, ok
+}
+
+// AppNames lists the registered applications, sorted.
+func AppNames() []string {
+	appMu.RLock()
+	defer appMu.RUnlock()
+	out := make([]string, len(appList))
+	copy(out, appList)
+	sort.Strings(out)
+	return out
+}
+
+// RunSpec fully determines one simulation run: the same spec always
+// produces the same result, byte for byte.
+type RunSpec struct {
+	// App names a registered application (see AppNames).
+	App string `json:"app"`
+	// Size selects the problem-size tier (default tiny).
+	Size Size `json:"size"`
+	// Scheduler is the policy name ("bf", "dep", "affinity", "wf",
+	// "random" or "versioning"; default versioning).
+	Scheduler string `json:"scheduler"`
+	// SMPWorkers and GPUs shape the simulated machine.
+	SMPWorkers int `json:"smp"`
+	GPUs       int `json:"gpus"`
+	// NoiseSigma is the log-normal execution-time jitter (0 = exact).
+	NoiseSigma float64 `json:"noise"`
+	// Seed seeds the jitter RNG (and any seedable scheduler).
+	Seed int64 `json:"seed"`
+	// Machine optionally overrides the node model (nil = MinoTauro sized
+	// to the worker counts). Cluster experiments use this.
+	Machine *ompss.Machine `json:"-"`
+}
+
+// Config is the shared run-spec -> ompss.Config plumbing every
+// experiment goes through (the harness wrappers included).
+func (s RunSpec) Config() ompss.Config {
+	return ompss.Config{
+		Machine:    s.Machine,
+		Scheduler:  s.Scheduler,
+		SMPWorkers: s.SMPWorkers,
+		GPUs:       s.GPUs,
+		NoiseSigma: s.NoiseSigma,
+		Seed:       s.Seed,
+	}
+}
+
+// String is a compact human-readable cell label.
+func (s RunSpec) String() string {
+	return fmt.Sprintf("%s/%s/%s smp=%d gpu=%d noise=%g seed=%d",
+		s.App, s.Size, s.Scheduler, s.SMPWorkers, s.GPUs, s.NoiseSigma, s.Seed)
+}
+
+func (s *RunSpec) fillDefaults() {
+	if s.Size == "" {
+		s.Size = SizeTiny
+	}
+	if s.Scheduler == "" {
+		s.Scheduler = "versioning"
+	}
+	if s.SMPWorkers <= 0 {
+		s.SMPWorkers = 1
+	}
+}
+
+// RunResult is the outcome of one run: the spec it came from, the
+// virtual-time metrics, and the wall-clock cost of simulating it.
+type RunResult struct {
+	Spec RunSpec
+	ompss.Result
+	// Wall is the host time spent simulating (excluded from CSV/JSON so
+	// outputs stay deterministic).
+	Wall time.Duration
+}
+
+// Build constructs the runtime for a spec and installs the application,
+// but does not execute it: callers that need the runtime afterwards
+// (trace extraction, energy reports, profile dumps) use Build + Execute;
+// everyone else uses Run.
+func Build(spec RunSpec) (*ompss.Runtime, error) {
+	spec.fillDefaults()
+	if _, err := ParseSize(string(spec.Size)); err != nil {
+		return nil, err
+	}
+	app, ok := LookupApp(spec.App)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown app %q (have %v)", spec.App, AppNames())
+	}
+	if spec.GPUs < app.MinGPUs {
+		return nil, fmt.Errorf("exp: app %q needs at least %d GPU(s), spec has %d",
+			spec.App, app.MinGPUs, spec.GPUs)
+	}
+	r, err := ompss.NewRuntime(spec.Config())
+	if err != nil {
+		return nil, err
+	}
+	if err := app.Build(r, spec.Size); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Run executes one spec to completion. A panicking simulation (e.g. a
+// deadlocked schedule) is recovered into an error so one bad cell cannot
+// kill a whole sweep.
+func Run(spec RunSpec) (rr RunResult, err error) {
+	spec.fillDefaults()
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("exp: run %v panicked: %v", spec, p)
+		}
+	}()
+	r, err := Build(spec)
+	if err != nil {
+		return RunResult{}, err
+	}
+	start := time.Now()
+	res := r.Execute()
+	return RunResult{Spec: spec, Result: res, Wall: time.Since(start)}, nil
+}
+
+// TraceString serializes a run's task trace deterministically (submission
+// order, every timestamp and placement). Two runs of the same spec must
+// produce byte-identical trace strings; the determinism regression tests
+// assert exactly that.
+func TraceString(tr *trace.Tracer) string {
+	var b strings.Builder
+	for _, r := range tr.Tasks {
+		fmt.Fprintf(&b, "%d %s %s w%d %s submit=%d ready=%d start=%d end=%d size=%d preds=%v\n",
+			r.TaskID, r.Type, r.Version, r.Worker, r.Device,
+			int64(r.Submit), int64(r.Ready), int64(r.Start), int64(r.End),
+			r.DataSetSize, r.Preds)
+	}
+	for _, x := range tr.Transfers {
+		fmt.Fprintf(&b, "x %s %d->%d cat=%v bytes=%d start=%d end=%d\n",
+			x.Tag, x.From, x.To, x.Category, x.Bytes, int64(x.Start), int64(x.End))
+	}
+	return b.String()
+}

@@ -1,0 +1,475 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/ompss"
+)
+
+// fakeRun returns a deterministic synthetic result: makespan derived
+// from the replica index, GFLOP/s and transfer bytes from the spec. It
+// lets grid/pool/aggregation/output tests run without simulating.
+func fakeRun(spec RunSpec) (RunResult, error) {
+	rep := (spec.Seed - 1) / replicaSeedStride // replica index under BaseSeed 1
+	return RunResult{
+		Spec: spec,
+		Result: ompss.Result{
+			Scheduler:    spec.Scheduler,
+			SMPWorkers:   spec.SMPWorkers,
+			GPUs:         spec.GPUs,
+			Elapsed:      time.Duration(rep+1) * 100 * time.Millisecond,
+			GFlops:       float64(100 * spec.GPUs),
+			Tasks:        42,
+			InputTxBytes: 1000,
+		},
+	}, nil
+}
+
+func TestGridExpansionCardinality(t *testing.T) {
+	cases := []struct {
+		name      string
+		grid      Grid
+		wantCells int
+		wantRuns  int
+	}{
+		{
+			name: "full-axes",
+			grid: Grid{
+				Apps:       []string{"matmul-hyb", "cholesky-potrf-hyb"},
+				Schedulers: []string{"bf", "dep", "affinity", "versioning"},
+				SMPWorkers: []int{2, 4},
+				GPUs:       []int{1, 2},
+				Noise:      []float64{0.05},
+				Replicas:   3,
+			},
+			wantCells: 32,
+			wantRuns:  96,
+		},
+		{
+			name: "single-cell",
+			grid: Grid{
+				Apps:       []string{"matmul-hyb"},
+				Schedulers: []string{"dep"},
+				SMPWorkers: []int{1},
+				GPUs:       []int{1},
+				Noise:      []float64{0},
+				Replicas:   1,
+			},
+			wantCells: 1,
+			wantRuns:  1,
+		},
+		{
+			name: "noise-axis",
+			grid: Grid{
+				Apps:       []string{"stencil"},
+				Schedulers: []string{"bf", "versioning"},
+				SMPWorkers: []int{2},
+				GPUs:       []int{1},
+				Noise:      []float64{0, 0.02, 0.1},
+				Replicas:   5,
+			},
+			wantCells: 6,
+			wantRuns:  30,
+		},
+		{
+			name:      "defaults",
+			grid:      Grid{}, // replicas default to 1
+			wantCells: 32,     // 2 apps x 4 scheds x 2 smp x 2 gpus x 1 noise
+			wantRuns:  32,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.grid.NumCells(); got != c.wantCells {
+				t.Errorf("NumCells = %d, want %d", got, c.wantCells)
+			}
+			if got := c.grid.NumRuns(); got != c.wantRuns {
+				t.Errorf("NumRuns = %d, want %d", got, c.wantRuns)
+			}
+			specs := c.grid.Runs()
+			if len(specs) != c.wantRuns {
+				t.Fatalf("len(Runs()) = %d, want %d", len(specs), c.wantRuns)
+			}
+			// Every spec must be unique and replicas of one cell adjacent.
+			seen := make(map[string]bool)
+			for _, s := range specs {
+				k := s.String()
+				if seen[k] {
+					t.Errorf("duplicate spec %v", s)
+				}
+				seen[k] = true
+			}
+		})
+	}
+}
+
+func TestGridExpansionDeterministicOrder(t *testing.T) {
+	g := Grid{Replicas: 2}
+	a, b := g.Runs(), g.Runs()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("expansion order changed at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGridValidate(t *testing.T) {
+	bad := Grid{Apps: []string{"no-such-app"}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "no-such-app") {
+		t.Errorf("Validate(unknown app) = %v", err)
+	}
+	badSched := Grid{Schedulers: []string{"no-such-sched"}}
+	if err := badSched.Validate(); err == nil || !strings.Contains(err.Error(), "no-such-sched") {
+		t.Errorf("Validate(unknown scheduler) = %v", err)
+	}
+	badSize := Grid{Size: "huge"}
+	if err := badSize.Validate(); err == nil || !strings.Contains(err.Error(), "huge") {
+		t.Errorf("Validate(unknown size) = %v", err)
+	}
+	badSMP := Grid{SMPWorkers: []int{0, 2}}
+	if err := badSMP.Validate(); err == nil || !strings.Contains(err.Error(), "positive") {
+		t.Errorf("Validate(non-positive smp) = %v", err)
+	}
+	badGPU := Grid{GPUs: []int{-1}}
+	if err := badGPU.Validate(); err == nil {
+		t.Error("Validate(negative gpus) passed")
+	}
+	if err := (Grid{}).Validate(); err != nil {
+		t.Errorf("Validate(defaults) = %v", err)
+	}
+}
+
+func TestSweepWorkerPoolBounded(t *testing.T) {
+	for _, parallel := range []int{1, 3} {
+		parallel := parallel
+		t.Run(fmt.Sprint(parallel), func(t *testing.T) {
+			var cur, peak int64
+			counting := func(spec RunSpec) (RunResult, error) {
+				n := atomic.AddInt64(&cur, 1)
+				for {
+					p := atomic.LoadInt64(&peak)
+					if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+						break
+					}
+				}
+				time.Sleep(2 * time.Millisecond) // hold the slot so overlap is observable
+				atomic.AddInt64(&cur, -1)
+				return fakeRun(spec)
+			}
+			g := Grid{
+				Apps:       []string{"matmul-hyb"},
+				Schedulers: []string{"bf", "dep"},
+				SMPWorkers: []int{1, 2},
+				GPUs:       []int{1},
+				Noise:      []float64{0},
+				Replicas:   5,
+			} // 20 runs
+			res, err := sweep(g, SweepOptions{Parallel: parallel}, counting)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Runs) != 20 {
+				t.Fatalf("ran %d, want 20", len(res.Runs))
+			}
+			got := atomic.LoadInt64(&peak)
+			if got > int64(parallel) {
+				t.Errorf("peak concurrency %d exceeds -parallel %d", got, parallel)
+			}
+			if parallel > 1 && got < 2 {
+				t.Errorf("peak concurrency %d: pool never overlapped despite -parallel %d", got, parallel)
+			}
+		})
+	}
+}
+
+func TestSweepProgressAndOrder(t *testing.T) {
+	g := Grid{
+		Apps:       []string{"matmul-hyb"},
+		Schedulers: []string{"bf"},
+		SMPWorkers: []int{1, 2, 4},
+		GPUs:       []int{1},
+		Noise:      []float64{0},
+		Replicas:   2,
+	}
+	var calls int32
+	res, err := sweep(g, SweepOptions{
+		Parallel: 4,
+		Progress: func(done, total int, r RunResult) {
+			atomic.AddInt32(&calls, 1)
+			if total != 6 {
+				t.Errorf("progress total = %d, want 6", total)
+			}
+		},
+	}, fakeRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 6 {
+		t.Errorf("progress called %d times, want 6", calls)
+	}
+	// Results must be in expansion order regardless of completion order.
+	want := g.Runs()
+	for i, r := range res.Runs {
+		if r.Spec != want[i] {
+			t.Errorf("run %d out of order: %v, want %v", i, r.Spec, want[i])
+		}
+	}
+}
+
+func TestSweepAbortsOnError(t *testing.T) {
+	boom := fmt.Errorf("boom")
+	var ran int32
+	failing := func(spec RunSpec) (RunResult, error) {
+		if atomic.AddInt32(&ran, 1) == 3 {
+			return RunResult{}, boom
+		}
+		return fakeRun(spec)
+	}
+	g := Grid{
+		Apps:       []string{"matmul-hyb"},
+		Schedulers: []string{"bf"},
+		SMPWorkers: []int{1},
+		GPUs:       []int{1},
+		Noise:      []float64{0},
+		Replicas:   50,
+	}
+	if _, err := sweep(g, SweepOptions{Parallel: 1}, failing); err == nil {
+		t.Fatal("sweep did not surface the run error")
+	}
+	if n := atomic.LoadInt32(&ran); n > 4 {
+		t.Errorf("sweep kept running after the error: %d runs", n)
+	}
+}
+
+func TestAggregationPercentiles(t *testing.T) {
+	// 4 replicas with fake makespans 0.1, 0.2, 0.3, 0.4 s: hand-computed
+	// mean 0.25, median 0.25, p10 0.13, p90 0.37, std sqrt(0.05/3).
+	g := Grid{
+		Apps:       []string{"matmul-hyb"},
+		Schedulers: []string{"bf"},
+		SMPWorkers: []int{2},
+		GPUs:       []int{2},
+		Noise:      []float64{0},
+		Replicas:   4,
+	}
+	res, err := sweep(g, SweepOptions{Parallel: 2}, fakeRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 {
+		t.Fatalf("cells = %d, want 1", len(res.Cells))
+	}
+	c := res.Cells[0]
+	if c.Replicas != 4 || c.Tasks != 42 {
+		t.Errorf("cell meta = %+v", c)
+	}
+	m := c.MakespanSec
+	check := func(name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	check("mean", m.Mean, 0.25)
+	check("median", m.Median, 0.25)
+	check("min", m.Min, 0.1)
+	check("max", m.Max, 0.4)
+	check("p10", m.P10, 0.13)
+	check("p90", m.P90, 0.37)
+	check("std", m.Std, math.Sqrt(0.05/3))
+	check("ci95lo", m.CI95Low, 0.25-1.96*math.Sqrt(0.05/3)/2)
+	check("gflops", c.GFlops.Mean, 200)
+	check("tx", c.TxBytes.Mean, 1000)
+}
+
+func TestCSVGolden(t *testing.T) {
+	g := Grid{
+		Apps:       []string{"matmul-hyb", "stencil"},
+		Schedulers: []string{"dep"},
+		SMPWorkers: []int{4},
+		GPUs:       []int{2},
+		Noise:      []float64{0.05},
+		Replicas:   1,
+	}
+	res, err := sweep(g, SweepOptions{Parallel: 3}, fakeRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"app,size,scheduler,smp,gpus,noise,replicas,tasks,makespan_mean_s,makespan_std_s,makespan_min_s,makespan_p10_s,makespan_median_s,makespan_p90_s,makespan_max_s,makespan_ci95_lo_s,makespan_ci95_hi_s,gflops_mean,tx_mean_bytes",
+		"matmul-hyb,tiny,dep,4,2,0.05,1,42,0.1,0,0.1,0.1,0.1,0.1,0.1,0.1,0.1,200,1000",
+		"stencil,tiny,dep,4,2,0.05,1,42,0.1,0,0.1,0.1,0.1,0.1,0.1,0.1,0.1,200,1000",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Errorf("CSV mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestJSONGolden(t *testing.T) {
+	g := Grid{
+		Apps:       []string{"stencil"},
+		Schedulers: []string{"bf"},
+		SMPWorkers: []int{2},
+		GPUs:       []int{1},
+		Noise:      []float64{0},
+		Replicas:   1,
+	}
+	res, err := sweep(g, SweepOptions{Parallel: 1}, fakeRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "grid": {
+    "apps": [
+      "stencil"
+    ],
+    "schedulers": [
+      "bf"
+    ],
+    "smp": [
+      2
+    ],
+    "gpus": [
+      1
+    ],
+    "noise": [
+      0
+    ],
+    "size": "tiny",
+    "replicas": 1,
+    "base_seed": 1
+  },
+  "cells": [
+    {
+      "app": "stencil",
+      "size": "tiny",
+      "scheduler": "bf",
+      "smp": 2,
+      "gpus": 1,
+      "noise": 0,
+      "replicas": 1,
+      "tasks": 42,
+      "makespan_s": {
+        "n": 1,
+        "mean": 0.1,
+        "std": 0,
+        "min": 0.1,
+        "p10": 0.1,
+        "p25": 0.1,
+        "median": 0.1,
+        "p75": 0.1,
+        "p90": 0.1,
+        "max": 0.1,
+        "ci95_low": 0.1,
+        "ci95_high": 0.1
+      },
+      "gflops": {
+        "n": 1,
+        "mean": 100,
+        "std": 0,
+        "min": 100,
+        "p10": 100,
+        "p25": 100,
+        "median": 100,
+        "p75": 100,
+        "p90": 100,
+        "max": 100,
+        "ci95_low": 100,
+        "ci95_high": 100
+      },
+      "tx_bytes": {
+        "n": 1,
+        "mean": 1000,
+        "std": 0,
+        "min": 1000,
+        "p10": 1000,
+        "p25": 1000,
+        "median": 1000,
+        "p75": 1000,
+        "p90": 1000,
+        "max": 1000,
+        "ci95_low": 1000,
+        "ci95_high": 1000
+      }
+    }
+  ]
+}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("JSON mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(RunSpec{App: "no-such-app", GPUs: 1}); err == nil {
+		t.Error("unknown app did not error")
+	}
+	// A typo'd size must fail fast, not silently run full paper scale.
+	if _, err := Run(RunSpec{App: "matmul-hyb", Size: "small", GPUs: 1}); err == nil {
+		t.Error("unknown size did not error")
+	}
+	// matmul's main implementation is CUBLAS: the MinGPUs guard must
+	// reject a GPU-less shape instead of deadlocking the simulation.
+	if _, err := Run(RunSpec{App: "matmul-hyb", Scheduler: "bf", SMPWorkers: 2, GPUs: 0}); err == nil {
+		t.Error("GPU-less shape for a GPU-main app did not error")
+	}
+	// pbpi-smp genuinely runs without GPUs.
+	if _, err := Run(RunSpec{App: "pbpi-smp", Scheduler: "dep", SMPWorkers: 2, GPUs: 0, Size: SizeTiny}); err != nil {
+		t.Errorf("pbpi-smp without GPUs: %v", err)
+	}
+}
+
+func TestRegisterAppDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate RegisterApp did not panic")
+		}
+	}()
+	RegisterApp(App{Name: "matmul-hyb", Build: func(*ompss.Runtime, Size) error { return nil }})
+}
+
+// TestCSVIdenticalAcrossParallelism runs a real (simulated) sweep twice —
+// serial and with 4 workers — and asserts byte-identical CSV, the
+// acceptance property of the sweep subsystem.
+func TestCSVIdenticalAcrossParallelism(t *testing.T) {
+	g := Grid{
+		Apps:       []string{"matmul-hyb", "cholesky-potrf-hyb"},
+		Schedulers: []string{"bf", "versioning"},
+		SMPWorkers: []int{2},
+		GPUs:       []int{2},
+		Noise:      []float64{0.05},
+		Size:       SizeTiny,
+		Replicas:   2,
+	}
+	render := func(parallel int) string {
+		res, err := Sweep(g, SweepOptions{Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := render(1)
+	parallel := render(4)
+	if serial != parallel {
+		t.Errorf("CSV differs between -parallel 1 and -parallel 4:\n%s\nvs\n%s", serial, parallel)
+	}
+}

@@ -1,0 +1,128 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// replicaSeedStride spaces replica seeds so adjacent cells never share a
+// jitter stream even if a caller picks adjacent base seeds.
+const replicaSeedStride = 1_000_003
+
+// Grid declares a sweep: the cartesian product of every axis, replicated
+// Replicas times with distinct seeds. Expansion order is fixed (apps
+// outermost, replicas innermost), so run indexes — and therefore all
+// outputs — are independent of how many workers execute the sweep.
+type Grid struct {
+	Apps       []string  `json:"apps"`
+	Schedulers []string  `json:"schedulers"`
+	SMPWorkers []int     `json:"smp"`
+	GPUs       []int     `json:"gpus"`
+	Noise      []float64 `json:"noise"`
+	Size       Size      `json:"size"`
+	// Replicas is the number of seed replicas per cell (default 1).
+	Replicas int `json:"replicas"`
+	// BaseSeed derives replica seeds: seed(i) = BaseSeed + i*stride.
+	// 0 selects the default of 1 (a zero base cannot be expressed;
+	// pick any other seed for an independent campaign).
+	BaseSeed int64 `json:"base_seed"`
+}
+
+func (g *Grid) fillDefaults() {
+	if len(g.Apps) == 0 {
+		g.Apps = DefaultApps()
+	}
+	if len(g.Schedulers) == 0 {
+		g.Schedulers = DefaultSchedulers()
+	}
+	if len(g.SMPWorkers) == 0 {
+		g.SMPWorkers = []int{2, 4}
+	}
+	if len(g.GPUs) == 0 {
+		g.GPUs = []int{1, 2}
+	}
+	if len(g.Noise) == 0 {
+		g.Noise = []float64{0.05}
+	}
+	if g.Size == "" {
+		g.Size = SizeTiny
+	}
+	if g.Replicas <= 0 {
+		g.Replicas = 1
+	}
+	if g.BaseSeed == 0 {
+		g.BaseSeed = 1
+	}
+}
+
+// Validate checks every axis value against the registries before any
+// simulation starts, so a typo fails fast instead of 40 cells in.
+func (g Grid) Validate() error {
+	g.fillDefaults()
+	if _, err := ParseSize(string(g.Size)); err != nil {
+		return err
+	}
+	for _, n := range g.SMPWorkers {
+		if n <= 0 {
+			return fmt.Errorf("exp: grid SMP worker count %d must be positive", n)
+		}
+	}
+	for _, n := range g.GPUs {
+		if n < 0 {
+			return fmt.Errorf("exp: grid GPU count %d must be non-negative", n)
+		}
+	}
+	for _, a := range g.Apps {
+		if _, ok := LookupApp(a); !ok {
+			return fmt.Errorf("exp: grid references unknown app %q (have %v)", a, AppNames())
+		}
+	}
+	for _, s := range g.Schedulers {
+		if s == "versioning" {
+			continue // built by the ompss facade, not the plug-in registry
+		}
+		if _, err := sched.New(s); err != nil {
+			return fmt.Errorf("exp: grid references unknown scheduler: %w", err)
+		}
+	}
+	return nil
+}
+
+// NumCells is the number of distinct (app, scheduler, smp, gpus, noise)
+// cells; each runs Replicas times.
+func (g Grid) NumCells() int {
+	g.fillDefaults()
+	return len(g.Apps) * len(g.Schedulers) * len(g.SMPWorkers) * len(g.GPUs) * len(g.Noise)
+}
+
+// NumRuns is the total number of simulation runs the grid expands to.
+func (g Grid) NumRuns() int { return g.NumCells() * max(1, g.Replicas) }
+
+// Runs expands the grid into its run specs in canonical order.
+func (g Grid) Runs() []RunSpec {
+	g.fillDefaults()
+	specs := make([]RunSpec, 0, g.NumRuns())
+	for _, app := range g.Apps {
+		for _, sched := range g.Schedulers {
+			for _, smp := range g.SMPWorkers {
+				for _, gpus := range g.GPUs {
+					for _, noise := range g.Noise {
+						for rep := 0; rep < g.Replicas; rep++ {
+							specs = append(specs, RunSpec{
+								App:        app,
+								Size:       g.Size,
+								Scheduler:  sched,
+								SMPWorkers: smp,
+								GPUs:       gpus,
+								NoiseSigma: noise,
+								Seed:       g.BaseSeed + int64(rep)*replicaSeedStride,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return specs
+}

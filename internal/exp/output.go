@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// csvHeader is the stable column set of WriteCSV. Only virtual-time
+// metrics appear: wall-clock is excluded so identical grids produce
+// byte-identical files at any parallelism.
+var csvHeader = []string{
+	"app", "size", "scheduler", "smp", "gpus", "noise", "replicas", "tasks",
+	"makespan_mean_s", "makespan_std_s", "makespan_min_s", "makespan_p10_s",
+	"makespan_median_s", "makespan_p90_s", "makespan_max_s",
+	"makespan_ci95_lo_s", "makespan_ci95_hi_s",
+	"gflops_mean", "tx_mean_bytes",
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteCSV renders the per-cell aggregation as CSV, one row per grid
+// cell in expansion order.
+func WriteCSV(w io.Writer, res *SweepResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, c := range res.Cells {
+		m := c.MakespanSec
+		row := []string{
+			c.App, string(c.Size), c.Scheduler,
+			strconv.Itoa(c.SMPWorkers), strconv.Itoa(c.GPUs),
+			ftoa(c.Noise), strconv.Itoa(c.Replicas), strconv.Itoa(c.Tasks),
+			ftoa(m.Mean), ftoa(m.Std), ftoa(m.Min), ftoa(m.P10),
+			ftoa(m.Median), ftoa(m.P90), ftoa(m.Max),
+			ftoa(m.CI95Low), ftoa(m.CI95High),
+			ftoa(c.GFlops.Mean), ftoa(c.TxBytes.Mean),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON renders the grid and per-cell aggregation as indented JSON
+// (runs and wall-clock are excluded, keeping the output deterministic).
+func WriteJSON(w io.Writer, res *SweepResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// FormatSummary renders a human-readable per-cell table plus sweep
+// totals (the only place wall-clock appears).
+func FormatSummary(res *SweepResult) string {
+	var b strings.Builder
+	header := []string{"app", "sched", "smp", "gpu", "noise", "reps",
+		"makespan mean", "p10", "p90", "GFLOP/s", "tx (GB)"}
+	rows := make([][]string, 0, len(res.Cells))
+	for _, c := range res.Cells {
+		m := c.MakespanSec
+		rows = append(rows, []string{
+			c.App, c.Scheduler, strconv.Itoa(c.SMPWorkers), strconv.Itoa(c.GPUs),
+			fmt.Sprintf("%g", c.Noise), strconv.Itoa(c.Replicas),
+			fmt.Sprintf("%.4fs", m.Mean), fmt.Sprintf("%.4fs", m.P10),
+			fmt.Sprintf("%.4fs", m.P90),
+			fmt.Sprintf("%.1f", c.GFlops.Mean),
+			fmt.Sprintf("%.3f", c.TxBytes.Mean/1e9),
+		})
+	}
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+
+	var simulated float64
+	var events int
+	for _, r := range res.Runs {
+		simulated += r.Elapsed.Seconds()
+		events += r.Tasks
+	}
+	fmt.Fprintf(&b, "%d runs (%d cells x %d replicas), %d tasks, %.2fs virtual time in %v wall (%.1f runs/s)\n",
+		len(res.Runs), len(res.Cells), res.Grid.Replicas, events, simulated,
+		res.Wall.Round(1e6), float64(len(res.Runs))/res.Wall.Seconds())
+	return b.String()
+}

@@ -1,0 +1,171 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// SweepOptions tune sweep execution. The zero value runs with one worker
+// per CPU and no progress reporting.
+type SweepOptions struct {
+	// Parallel bounds the worker pool (<=0 selects GOMAXPROCS).
+	Parallel int
+	// Progress, if set, is called after every completed run, serialized
+	// under its own lock (done counts completions so far; calls may
+	// arrive slightly out of done-order under contention).
+	Progress func(done, total int, r RunResult)
+}
+
+// CellSummary aggregates one grid cell's seed replicas.
+type CellSummary struct {
+	App        string  `json:"app"`
+	Size       Size    `json:"size"`
+	Scheduler  string  `json:"scheduler"`
+	SMPWorkers int     `json:"smp"`
+	GPUs       int     `json:"gpus"`
+	Noise      float64 `json:"noise"`
+	Replicas   int     `json:"replicas"`
+	// Tasks is the per-run task count (identical across replicas — the
+	// graph does not depend on the seed).
+	Tasks int `json:"tasks"`
+	// MakespanSec aggregates the virtual makespans, in seconds.
+	MakespanSec stats.Dist `json:"makespan_s"`
+	// GFlops aggregates achieved GFLOP/s.
+	GFlops stats.Dist `json:"gflops"`
+	// TxBytes aggregates total transferred bytes (input+output+device).
+	TxBytes stats.Dist `json:"tx_bytes"`
+}
+
+// SweepResult is a completed sweep: every run in grid-expansion order
+// plus the per-cell aggregation.
+type SweepResult struct {
+	Grid  Grid          `json:"grid"`
+	Runs  []RunResult   `json:"-"`
+	Cells []CellSummary `json:"cells"`
+	// Wall is the host time for the whole sweep (not written to CSV/JSON
+	// outputs, which must be deterministic).
+	Wall time.Duration `json:"-"`
+}
+
+// Sweep expands the grid and executes every run across a bounded worker
+// pool. Results are stored by expansion index, so the returned runs,
+// cells, and any output rendered from them are byte-identical regardless
+// of Parallel. The first run error aborts the remaining runs and is
+// returned.
+func Sweep(g Grid, o SweepOptions) (*SweepResult, error) {
+	return sweep(g, o, Run)
+}
+
+// sweep is Sweep with an injectable runner, so tests can bound-check the
+// pool and build golden outputs without simulating.
+func sweep(g Grid, o SweepOptions, run func(RunSpec) (RunResult, error)) (*SweepResult, error) {
+	g.fillDefaults()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	specs := g.Runs()
+	workers := o.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+
+	start := time.Now()
+	results := make([]RunResult, len(specs))
+	jobs := make(chan int)
+	var (
+		wg         sync.WaitGroup
+		mu         sync.Mutex // guards done/firstErr and the results commit
+		progressMu sync.Mutex // serializes Progress without stalling commits
+		done       int
+		firstErr   error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				mu.Lock()
+				abort := firstErr != nil
+				mu.Unlock()
+				if abort {
+					continue // drain remaining jobs without running them
+				}
+				rr, err := run(specs[idx])
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				results[idx] = rr
+				done++
+				n := done
+				mu.Unlock()
+				if o.Progress != nil {
+					progressMu.Lock()
+					o.Progress(n, len(specs), rr)
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	for idx := range specs {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	return &SweepResult{
+		Grid:  g,
+		Runs:  results,
+		Cells: aggregate(results, g.Replicas),
+		Wall:  time.Since(start),
+	}, nil
+}
+
+// aggregate groups consecutive replicas (expansion order puts a cell's
+// replicas adjacent) into CellSummaries.
+func aggregate(runs []RunResult, replicas int) []CellSummary {
+	if replicas <= 0 {
+		replicas = 1
+	}
+	cells := make([]CellSummary, 0, len(runs)/replicas)
+	for i := 0; i < len(runs); i += replicas {
+		group := runs[i : i+replicas]
+		spec := group[0].Spec
+		c := CellSummary{
+			App:        spec.App,
+			Size:       spec.Size,
+			Scheduler:  spec.Scheduler,
+			SMPWorkers: spec.SMPWorkers,
+			GPUs:       spec.GPUs,
+			Noise:      spec.NoiseSigma,
+			Replicas:   len(group),
+			Tasks:      group[0].Tasks,
+		}
+		makespans := make([]float64, len(group))
+		gflops := make([]float64, len(group))
+		tx := make([]float64, len(group))
+		for j, r := range group {
+			makespans[j] = r.Elapsed.Seconds()
+			gflops[j] = r.GFlops
+			tx[j] = float64(r.TotalTxBytes())
+		}
+		c.MakespanSec = stats.NewDist(makespans)
+		c.GFlops = stats.NewDist(gflops)
+		c.TxBytes = stats.NewDist(tx)
+		cells = append(cells, c)
+	}
+	return cells
+}

@@ -7,25 +7,10 @@ import (
 	"repro/ompss"
 )
 
+// choleskyCase runs one Cholesky configuration through the sweep
+// subsystem ("cholesky-potrf-{smp,gpu,hyb}"; paper sizes at full).
 func choleskyCase(variant apps.CholeskyVariant, schedName string, smp, gpus int, opts Options) (ompss.Result, error) {
-	n := 32768 // paper size: 32768x32768 floats, 2048x2048 tiles
-	if opts.Quick {
-		n = 16384
-	}
-	r, err := ompss.NewRuntime(ompss.Config{
-		Scheduler:  schedName,
-		SMPWorkers: smp,
-		GPUs:       gpus,
-		Seed:       opts.Seed,
-		NoiseSigma: opts.Noise,
-	})
-	if err != nil {
-		return ompss.Result{}, err
-	}
-	if _, err := apps.BuildCholesky(r, apps.CholeskyConfig{N: n, BS: 2048, Variant: variant}); err != nil {
-		return ompss.Result{}, err
-	}
-	return r.Execute(), nil
+	return expCase("cholesky-"+string(variant), schedName, smp, gpus, opts)
 }
 
 // choleskySeries are the series of Figure 9.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/apps"
+	"repro/internal/exp"
 	"repro/ompss"
 )
 
@@ -39,31 +40,19 @@ func runExtSched(opts Options) (*Report, error) {
 			"same seeded layered DAG for every policy; 8 SMP + 2 GPU workers",
 			"only the versioning scheduler may use non-main implementations",
 		}}
-	layers, width := 20, 24
-	if opts.Quick {
-		layers, width = 10, 12
-	}
-	rep.Notes[0] = fmt.Sprintf("same seeded %d-task layered DAG for every policy; 8 SMP + 2 GPU workers", layers*width)
+	tasks := 0
 	for _, s := range []string{"versioning", "bf", "dep", "affinity", "wf", "random"} {
-		r, err := ompss.NewRuntime(ompss.Config{
-			Scheduler:  s,
-			SMPWorkers: 8,
-			GPUs:       2,
-			Seed:       opts.Seed,
-			NoiseSigma: opts.Noise,
-		})
+		res, err := expCase("randdag", s, 8, 2, opts)
 		if err != nil {
 			return nil, err
 		}
-		if _, err := apps.BuildRandDAG(r, apps.RandDAGConfig{Seed: 1, Layers: layers, Width: width}); err != nil {
-			return nil, err
-		}
-		res := r.Execute()
+		tasks = res.Tasks // same fixed-seed DAG for every policy
 		rep.Rows = append(rep.Rows, []string{
 			s, fmt.Sprintf("%.4f", res.Elapsed.Seconds()),
 			fmt.Sprintf("%d", res.Tasks), gb(res.TotalTxBytes()),
 		})
 	}
+	rep.Notes[0] = fmt.Sprintf("same seeded %d-task layered DAG for every policy; 8 SMP + 2 GPU workers", tasks)
 	return rep, nil
 }
 
@@ -74,10 +63,6 @@ func runExtCluster(opts Options) (*Report, error) {
 		Notes: []string{
 			"remote GPU data stages over two hops: InfiniBand to the node, PCIe onward",
 		}}
-	n := 16384
-	if opts.Quick {
-		n = 8192
-	}
 	cases := []struct {
 		name    string
 		machine *ompss.Machine
@@ -90,21 +75,20 @@ func runExtCluster(opts Options) (*Report, error) {
 		{"+4 nodes (1 GPU each)", ompss.ClusterGPU(8, 2, 4, 6, 1), 32, 6},
 	}
 	for _, c := range cases {
-		r, err := ompss.NewRuntime(ompss.Config{
-			Machine:    c.machine,
+		rr, err := exp.Run(exp.RunSpec{
+			App:        "matmul-" + string(apps.MatmulHybrid),
+			Size:       expSize(opts),
 			Scheduler:  "versioning",
 			SMPWorkers: c.smp,
 			GPUs:       c.gpus,
-			Seed:       opts.Seed,
 			NoiseSigma: opts.Noise,
+			Seed:       opts.Seed,
+			Machine:    c.machine,
 		})
 		if err != nil {
 			return nil, err
 		}
-		if _, err := apps.BuildMatmul(r, apps.MatmulConfig{N: n, BS: 1024, Variant: apps.MatmulHybrid}); err != nil {
-			return nil, err
-		}
-		res := r.Execute()
+		res := rr.Result
 		rep.Rows = append(rep.Rows, []string{
 			c.name, fmt.Sprintf("%d smp + %d gpu", c.smp, c.gpus),
 			fmt.Sprintf("%.1f", res.GFlops),
@@ -122,26 +106,23 @@ func runExtEnergy(opts Options) (*Report, error) {
 			"MinoTauro power model: Xeon cores 13.3/2.5 W busy/idle, M2090 225/40 W, 90 W base",
 			"baselines run potrf-gpu (their best); versioning runs potrf-hyb",
 		}}
-	n := 32768
-	if opts.Quick {
-		n = 16384
-	}
 	for _, s := range []string{"bf", "dep", "affinity", "versioning"} {
 		variant := apps.CholeskyPotrfGPU
 		if s == "versioning" {
 			variant = apps.CholeskyPotrfHybrid
 		}
-		r, err := ompss.NewRuntime(ompss.Config{
+		// Build+Execute instead of Run: the energy account needs the
+		// runtime after the simulation finishes.
+		r, err := exp.Build(exp.RunSpec{
+			App:        "cholesky-" + string(variant),
+			Size:       expSize(opts),
 			Scheduler:  s,
 			SMPWorkers: 8,
 			GPUs:       2,
-			Seed:       opts.Seed,
 			NoiseSigma: opts.Noise,
+			Seed:       opts.Seed,
 		})
 		if err != nil {
-			return nil, err
-		}
-		if _, err := apps.BuildCholesky(r, apps.CholeskyConfig{N: n, BS: 2048, Variant: variant}); err != nil {
 			return nil, err
 		}
 		res := r.Execute()

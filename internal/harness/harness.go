@@ -12,6 +12,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/exp"
+	"repro/ompss"
 )
 
 // Options tune an experiment run.
@@ -109,6 +112,30 @@ func IDs() []string {
 	}
 	sort.Strings(ids)
 	return ids
+}
+
+// expSize maps harness options onto the sweep subsystem's size tiers.
+func expSize(opts Options) exp.Size {
+	if opts.Quick {
+		return exp.SizeQuick
+	}
+	return exp.SizeFull
+}
+
+// expCase runs one experiment cell through internal/exp's shared
+// run-spec -> ompss.Config plumbing; every figure experiment is a thin
+// wrapper over this.
+func expCase(app, sched string, smp, gpus int, opts Options) (ompss.Result, error) {
+	rr, err := exp.Run(exp.RunSpec{
+		App:        app,
+		Size:       expSize(opts),
+		Scheduler:  sched,
+		SMPWorkers: smp,
+		GPUs:       gpus,
+		NoiseSigma: opts.Noise,
+		Seed:       opts.Seed,
+	})
+	return rr.Result, err
 }
 
 // gb formats bytes as decimal gigabytes, the unit of Figures 7/10/13.

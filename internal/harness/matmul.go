@@ -7,26 +7,11 @@ import (
 	"repro/ompss"
 )
 
-// matmulCase runs one matrix-multiplication configuration.
+// matmulCase runs one matrix-multiplication configuration through the
+// sweep subsystem ("matmul-gpu"/"matmul-hyb"; paper sizes at full,
+// harness -quick sizes at quick).
 func matmulCase(variant apps.MatmulVariant, schedName string, smp, gpus int, opts Options) (ompss.Result, error) {
-	n := 16384 // paper size: 16384x16384 doubles, 1024x1024 tiles
-	if opts.Quick {
-		n = 8192
-	}
-	r, err := ompss.NewRuntime(ompss.Config{
-		Scheduler:  schedName,
-		SMPWorkers: smp,
-		GPUs:       gpus,
-		Seed:       opts.Seed,
-		NoiseSigma: opts.Noise,
-	})
-	if err != nil {
-		return ompss.Result{}, err
-	}
-	if _, err := apps.BuildMatmul(r, apps.MatmulConfig{N: n, BS: 1024, Variant: variant}); err != nil {
-		return ompss.Result{}, err
-	}
-	return r.Execute(), nil
+	return expCase("matmul-"+string(variant), schedName, smp, gpus, opts)
 }
 
 // matmulSeries are the series of Figure 6: the regular application under

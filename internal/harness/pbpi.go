@@ -7,25 +7,10 @@ import (
 	"repro/ompss"
 )
 
+// pbpiCase runs one PBPI configuration through the sweep subsystem
+// ("pbpi-{smp,gpu,hyb}"; 120 generations at full, 25 at quick).
 func pbpiCase(variant apps.PBPIVariant, schedName string, smp, gpus int, opts Options) (ompss.Result, error) {
-	gens := 120
-	if opts.Quick {
-		gens = 25
-	}
-	r, err := ompss.NewRuntime(ompss.Config{
-		Scheduler:  schedName,
-		SMPWorkers: smp,
-		GPUs:       gpus,
-		Seed:       opts.Seed,
-		NoiseSigma: opts.Noise,
-	})
-	if err != nil {
-		return ompss.Result{}, err
-	}
-	if _, err := apps.BuildPBPI(r, apps.PBPIConfig{Generations: gens, Variant: variant}); err != nil {
-		return ompss.Result{}, err
-	}
-	return r.Execute(), nil
+	return expCase("pbpi-"+string(variant), schedName, smp, gpus, opts)
 }
 
 // pbpiSeries are the series of Figure 12. pbpi-smp has no device code,

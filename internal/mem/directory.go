@@ -92,12 +92,19 @@ func (s *objState) dirtyOwner() machine.SpaceID {
 	if !s.dirty {
 		return machine.HostSpace
 	}
+	// A dirty object may be valid in several device spaces (a peer read
+	// replicates the dirty copy); pick the lowest-numbered one so the
+	// writeback source — and with it the whole trace — is deterministic.
+	best := machine.SpaceID(-1)
 	for sp, v := range s.valid {
-		if v && sp != machine.HostSpace {
-			return sp
+		if v && sp != machine.HostSpace && (best == -1 || sp < best) {
+			best = sp
 		}
 	}
-	panic(fmt.Sprintf("mem: object %v marked dirty but no device copy", s.obj))
+	if best == -1 {
+		panic(fmt.Sprintf("mem: object %v marked dirty but no device copy", s.obj))
+	}
+	return best
 }
 
 // pendingAlloc is an allocation waiting for device memory to free up.

@@ -1,0 +1,42 @@
+package sched_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/rt"
+	"repro/internal/sched"
+)
+
+// TestRegistryConcurrentAccess hammers the plug-in registry from many
+// goroutines at once — registrations, instantiations and listings — so
+// `go test -race` proves the registry lock covers every path. The sweep
+// subsystem instantiates schedulers concurrently, making this a load-
+// bearing property, not a theoretical one.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("race-probe-%d", i)
+			sched.Register(name, func() rt.Scheduler { return sched.NewBreadthFirst() })
+			for j := 0; j < 50; j++ {
+				if _, err := sched.New("bf"); err != nil {
+					t.Errorf("New(bf): %v", err)
+				}
+				if _, err := sched.New(name); err != nil {
+					t.Errorf("New(%s): %v", name, err)
+				}
+				if _, err := sched.New("definitely-not-registered"); err == nil {
+					t.Error("unknown scheduler did not error")
+				}
+				if names := sched.Names(); len(names) == 0 {
+					t.Error("Names() returned empty")
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Dist summarizes a sample of replicated measurements (e.g. the jittered
+// makespans of one sweep cell): location, spread, order statistics and a
+// normal-approximation 95% confidence interval for the mean. The sweep
+// subsystem (internal/exp) aggregates every cell of an experiment grid
+// into one Dist per metric.
+type Dist struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Std    float64 `json:"std"` // sample standard deviation (n-1); 0 when N < 2
+	Min    float64 `json:"min"`
+	P10    float64 `json:"p10"`
+	P25    float64 `json:"p25"`
+	Median float64 `json:"median"`
+	P75    float64 `json:"p75"`
+	P90    float64 `json:"p90"`
+	Max    float64 `json:"max"`
+	// CI95Low/CI95High bound the mean at 95% confidence under the normal
+	// approximation (mean +/- 1.96*std/sqrt(n)); both equal Mean when
+	// N < 2.
+	CI95Low  float64 `json:"ci95_low"`
+	CI95High float64 `json:"ci95_high"`
+}
+
+// NewDist computes the distribution summary of xs. The input is not
+// modified. An empty sample yields the zero Dist.
+func NewDist(xs []float64) Dist {
+	if len(xs) == 0 {
+		return Dist{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	d := Dist{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P10:    Percentile(sorted, 0.10),
+		P25:    Percentile(sorted, 0.25),
+		Median: Percentile(sorted, 0.50),
+		P75:    Percentile(sorted, 0.75),
+		P90:    Percentile(sorted, 0.90),
+	}
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	d.Mean = sum / float64(d.N)
+	if d.N >= 2 {
+		var ss float64
+		for _, x := range sorted {
+			dev := x - d.Mean
+			ss += dev * dev
+		}
+		d.Std = math.Sqrt(ss / float64(d.N-1))
+		half := 1.96 * d.Std / math.Sqrt(float64(d.N))
+		d.CI95Low = d.Mean - half
+		d.CI95High = d.Mean + half
+	} else {
+		d.CI95Low = d.Mean
+		d.CI95High = d.Mean
+	}
+	return d
+}
+
+// Percentile returns the p-th quantile (p in [0,1]) of an ascending
+// sorted sample using linear interpolation between closest ranks (the
+// same convention as numpy's default). It panics on an empty sample and
+// clamps p into [0,1].
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Percentile of empty sample")
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("%s = %v, want %v", name, got, want)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	cases := []struct {
+		name   string
+		sorted []float64
+		p      float64
+		want   float64
+	}{
+		{"single", []float64{10}, 0.5, 10},
+		{"single-p0", []float64{10}, 0, 10},
+		{"median-even", []float64{1, 2, 3, 4}, 0.5, 2.5},
+		{"median-odd", []float64{1, 2, 3}, 0.5, 2},
+		{"q1-interp", []float64{1, 2, 3, 4}, 0.25, 1.75},
+		{"q3-interp", []float64{1, 2, 3, 4}, 0.75, 3.25},
+		{"p10-pair", []float64{1, 9}, 0.10, 1.8},
+		{"p0-min", []float64{3, 5, 8}, 0, 3},
+		{"p1-max", []float64{3, 5, 8}, 1, 8},
+		{"clamp-low", []float64{3, 5, 8}, -0.5, 3},
+		{"clamp-high", []float64{3, 5, 8}, 1.5, 8},
+		{"p90-five", []float64{10, 20, 30, 40, 50}, 0.90, 46},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			approx(t, "Percentile", Percentile(c.sorted, c.p), c.want)
+		})
+	}
+}
+
+func TestPercentileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Percentile(nil) did not panic")
+		}
+	}()
+	Percentile(nil, 0.5)
+}
+
+func TestNewDist(t *testing.T) {
+	// Hand-computed on {2, 4, 4, 4, 5, 5, 7, 9}:
+	// mean 5, sample std sqrt(32/7), median 4.5.
+	xs := []float64{9, 2, 5, 4, 4, 7, 5, 4} // unsorted on purpose
+	d := NewDist(xs)
+	if d.N != 8 {
+		t.Fatalf("N = %d, want 8", d.N)
+	}
+	approx(t, "Mean", d.Mean, 5)
+	approx(t, "Std", d.Std, math.Sqrt(32.0/7.0))
+	approx(t, "Min", d.Min, 2)
+	approx(t, "Max", d.Max, 9)
+	approx(t, "Median", d.Median, 4.5)
+	approx(t, "P25", d.P25, 4)
+	approx(t, "P90", d.P90, 7.6) // rank 6.3 between 7 and 9
+	half := 1.96 * d.Std / math.Sqrt(8)
+	approx(t, "CI95Low", d.CI95Low, 5-half)
+	approx(t, "CI95High", d.CI95High, 5+half)
+	// Input must be untouched.
+	if xs[0] != 9 || xs[1] != 2 {
+		t.Errorf("NewDist mutated its input: %v", xs)
+	}
+}
+
+func TestNewDistSmallSamples(t *testing.T) {
+	if d := NewDist(nil); d != (Dist{}) {
+		t.Errorf("NewDist(nil) = %+v, want zero", d)
+	}
+	d := NewDist([]float64{3})
+	if d.N != 1 || d.Mean != 3 || d.Std != 0 || d.CI95Low != 3 || d.CI95High != 3 {
+		t.Errorf("NewDist({3}) = %+v", d)
+	}
+	if d.Min != 3 || d.Median != 3 || d.Max != 3 {
+		t.Errorf("NewDist({3}) order stats = %+v", d)
+	}
+}
