@@ -1,0 +1,119 @@
+// Command ompss-benchdiff gates benchmark regressions: it parses
+// `go test -bench` output, takes the per-benchmark minimum ns/op across
+// -count repetitions, and compares it against a committed baseline JSON,
+// exiting non-zero when any benchmark is more than -max-slowdown slower
+// (default 25%). With -write it (re)generates the baseline instead.
+//
+// Usage:
+//
+//	go test -bench SweepLatency -benchtime 1x -count 3 -run '^$' ./internal/exp/ \
+//	    | go run ./cmd/ompss-benchdiff -baseline BENCH_baseline.json
+//
+//	go test -bench SweepLatency -benchtime 1x -count 3 -run '^$' ./internal/exp/ \
+//	    | go run ./cmd/ompss-benchdiff -write BENCH_baseline.json -note "1-core CI runner"
+//
+// The committed baseline holds only the latency-bound pool benchmarks
+// (stub runners sleeping a fixed per-run time), whose wall time measures
+// worker-pool overlap rather than CPU speed, so one baseline is valid on
+// any machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "baseline JSON to compare against")
+		writePath    = flag.String("write", "", "write a fresh baseline JSON here instead of comparing")
+		note         = flag.String("note", "", "provenance note stored in a written baseline")
+		maxSlowdown  = flag.Float64("max-slowdown", 0.25, "maximum tolerated slowdown fraction (0.25 = fail beyond +25%)")
+		inputPath    = flag.String("input", "-", "bench output to read (- for stdin)")
+	)
+	flag.Parse()
+
+	if (*baselinePath == "") == (*writePath == "") {
+		fatal(fmt.Errorf("exactly one of -baseline or -write is required"))
+	}
+
+	var in io.Reader = os.Stdin
+	if *inputPath != "-" {
+		f, err := os.Open(*inputPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	current, err := stats.ParseGoBench(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *writePath != "" {
+		f, err := os.Create(*writePath)
+		if err != nil {
+			fatal(err)
+		}
+		b := stats.BenchBaseline{Note: *note, NsPerOp: current}
+		if err := stats.WriteBenchBaseline(f, b); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ompss-benchdiff: wrote %d benchmarks to %s\n", len(current), *writePath)
+		return
+	}
+
+	bf, err := os.Open(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	baseline, err := stats.ReadBenchBaseline(bf)
+	bf.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	regs, missing := stats.CompareBenchmarks(baseline.NsPerOp, current, 1+*maxSlowdown)
+	names := make([]string, 0, len(baseline.NsPerOp))
+	for name := range baseline.NsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cur, ok := current[name]
+		if !ok {
+			continue
+		}
+		fmt.Printf("ompss-benchdiff: %s: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%)\n",
+			name, cur, baseline.NsPerOp[name], (cur/baseline.NsPerOp[name]-1)*100)
+	}
+	failed := false
+	for _, name := range missing {
+		failed = true
+		fmt.Fprintf(os.Stderr, "ompss-benchdiff: FAIL: baseline benchmark %s missing from the run (delete it from the baseline if intended)\n", name)
+	}
+	for _, r := range regs {
+		failed = true
+		fmt.Fprintf(os.Stderr, "ompss-benchdiff: FAIL: %v\n", r)
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("ompss-benchdiff: %d benchmarks within %+.0f%% of %s\n",
+		len(baseline.NsPerOp), *maxSlowdown*100, *baselinePath)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ompss-benchdiff: %v\n", err)
+	os.Exit(1)
+}

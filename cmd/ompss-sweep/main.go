@@ -1,11 +1,16 @@
 // Command ompss-sweep runs parallel experiment campaigns: it expands a
-// declarative grid (apps x schedulers x machine shapes x noise x seed
-// replicas) into independent simulation runs, executes them across a
-// bounded worker pool, and writes per-cell percentile/CI summaries as
-// CSV, JSON and a text table.
+// declarative grid (apps x schedulers x machine shapes x worker counts x
+// extension knobs x noise x seed replicas) into independent simulation
+// runs, executes them across a bounded worker pool, and writes per-cell
+// percentile/CI summaries as CSV, JSON and a text table.
 //
 // Each run's simulation engine is single-threaded and deterministic, so
 // the CSV/JSON outputs are byte-identical at any -parallel value.
+//
+// With -cache DIR campaigns are resumable: every completed run is stored
+// as a JSON file named by its spec's content hash, and later sweeps —
+// including grown grids — only simulate cells whose hash is not on disk.
+// Cached cells reproduce their fresh output byte for byte.
 //
 // Usage:
 //
@@ -13,6 +18,9 @@
 //	ompss-sweep -parallel 8 -csv out.csv     # 8 workers, CSV to a file
 //	ompss-sweep -apps matmul-hyb,pbpi-hyb -schedulers dep,versioning \
 //	            -smp 1,2,4 -gpus 1,2 -noise 0.02,0.1 -replicas 5
+//	ompss-sweep -machines node,cluster:2x4+1g -smp 12 -gpus 2
+//	ompss-sweep -lambdas 0,6 -size-tolerances 0,0.25 -locality false,true
+//	ompss-sweep -cache .sweep-cache -csv out.csv   # resumable campaign
 //	ompss-sweep -list-apps                   # registered applications
 package main
 
@@ -30,20 +38,26 @@ import (
 
 func main() {
 	var (
-		appsFlag  = flag.String("apps", strings.Join(exp.DefaultApps(), ","), "comma-separated app names")
-		schedFlag = flag.String("schedulers", strings.Join(exp.DefaultSchedulers(), ","), "comma-separated scheduler names")
-		smpFlag   = flag.String("smp", "2,4", "comma-separated SMP worker counts")
-		gpuFlag   = flag.String("gpus", "1,2", "comma-separated GPU counts")
-		noiseFlag = flag.String("noise", "0.05", "comma-separated jitter sigmas")
-		replicas  = flag.Int("replicas", 3, "seed replicas per cell")
-		seed      = flag.Int64("seed", 1, "base seed for the replica seeds (0 = default 1)")
-		sizeFlag  = flag.String("size", "tiny", "problem size tier: tiny, quick or full")
-		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size (1 = serial)")
-		csvPath   = flag.String("csv", "", "write per-cell CSV to this file (- for stdout)")
-		jsonPath  = flag.String("json", "", "write per-cell JSON to this file (- for stdout)")
-		quiet     = flag.Bool("quiet", false, "suppress the progress line")
-		noSummary = flag.Bool("no-summary", false, "suppress the text summary table")
-		listApps  = flag.Bool("list-apps", false, "list registered applications and exit")
+		appsFlag    = flag.String("apps", strings.Join(exp.DefaultApps(), ","), "comma-separated app names")
+		schedFlag   = flag.String("schedulers", strings.Join(exp.DefaultSchedulers(), ","), "comma-separated scheduler names")
+		machineFlag = flag.String("machines", "", "comma-separated machine shapes: node, cluster:RxC, cluster:RxC+Gg (default node)")
+		smpFlag     = flag.String("smp", "2,4", "comma-separated SMP worker counts")
+		gpuFlag     = flag.String("gpus", "1,2", "comma-separated GPU counts")
+		lambdaFlag  = flag.String("lambdas", "", "comma-separated versioning learning thresholds (0 = paper default 3)")
+		tolFlag     = flag.String("size-tolerances", "", "comma-separated size-grouping tolerances (0 = exact matching)")
+		ewmaFlag    = flag.String("ewma-alphas", "", "comma-separated EWMA alphas in [0,1] (0 = arithmetic mean)")
+		localFlag   = flag.String("locality", "", "comma-separated bools for the locality-aware extension (default false)")
+		noiseFlag   = flag.String("noise", "0.05", "comma-separated jitter sigmas")
+		replicas    = flag.Int("replicas", 3, "seed replicas per cell")
+		seed        = flag.Int64("seed", 1, "base seed for the replica seeds (0 = default 1)")
+		sizeFlag    = flag.String("size", "tiny", "problem size tier: tiny, quick or full")
+		parallel    = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size (1 = serial)")
+		cachePath   = flag.String("cache", "", "campaign cache directory: skip runs already on disk, store new ones")
+		csvPath     = flag.String("csv", "", "write per-cell CSV to this file (- for stdout)")
+		jsonPath    = flag.String("json", "", "write per-cell JSON to this file (- for stdout)")
+		quiet       = flag.Bool("quiet", false, "suppress the progress and cache-stats lines")
+		noSummary   = flag.Bool("no-summary", false, "suppress the text summary table")
+		listApps    = flag.Bool("list-apps", false, "list registered applications and exit")
 	)
 	flag.Parse()
 
@@ -52,25 +66,40 @@ func main() {
 		return
 	}
 
+	// The size default is decided here, visibly, not inside ParseSize:
+	// an explicitly empty -size is an error, absence means tiny (the
+	// flag's default value).
 	size, err := exp.ParseSize(*sizeFlag)
 	if err != nil {
 		fatal(err)
 	}
 	grid := exp.Grid{
-		Apps:       splitList(*appsFlag),
-		Schedulers: splitList(*schedFlag),
-		SMPWorkers: mustInts(*smpFlag),
-		GPUs:       mustInts(*gpuFlag),
-		Noise:      mustFloats(*noiseFlag),
-		Size:       size,
-		Replicas:   *replicas,
-		BaseSeed:   *seed,
+		Apps:           splitList(*appsFlag),
+		Schedulers:     splitList(*schedFlag),
+		Machines:       mustMachines(*machineFlag),
+		SMPWorkers:     mustInts(*smpFlag),
+		GPUs:           mustInts(*gpuFlag),
+		Lambdas:        mustInts(*lambdaFlag),
+		SizeTolerances: mustFloats(*tolFlag),
+		EWMAAlphas:     mustFloats(*ewmaFlag),
+		LocalityAware:  mustBools(*localFlag),
+		Noise:          mustFloats(*noiseFlag),
+		Size:           size,
+		Replicas:       *replicas,
+		BaseSeed:       *seed,
 	}
 	if err := grid.Validate(); err != nil {
 		fatal(err)
 	}
 
 	opts := exp.SweepOptions{Parallel: *parallel}
+	if *cachePath != "" {
+		cache, err := exp.OpenCache(*cachePath)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Cache = cache
+	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "ompss-sweep: %d runs (%d cells x %d replicas), %d workers\n",
 			grid.NumRuns(), grid.NumCells(), *replicas, *parallel)
@@ -78,7 +107,11 @@ func main() {
 			// \x1b[K clears the remnants of a longer previous line;
 			// the terminating newline comes after Sweep returns since
 			// progress calls may arrive slightly out of done-order.
-			fmt.Fprintf(os.Stderr, "\r\x1b[K[%d/%d] %v", done, total, r.Spec)
+			tag := ""
+			if r.Cached {
+				tag = " (cached)"
+			}
+			fmt.Fprintf(os.Stderr, "\r\x1b[K[%d/%d] %v%s", done, total, r.Spec, tag)
 		}
 	}
 
@@ -88,6 +121,12 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if opts.Cache != nil && !*quiet {
+		// Machine-greppable resume accounting; CI asserts simulated=0 on
+		// a fully warm re-run.
+		fmt.Fprintf(os.Stderr, "ompss-sweep: cache: simulated=%d cached=%d dir=%s\n",
+			res.Simulated, res.CacheHits, opts.Cache.Dir())
 	}
 
 	if *csvPath != "" {
@@ -150,6 +189,30 @@ func mustFloats(s string) []float64 {
 			fatal(fmt.Errorf("bad float %q: %w", p, err))
 		}
 		out = append(out, v)
+	}
+	return out
+}
+
+func mustBools(s string) []bool {
+	var out []bool
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseBool(p)
+		if err != nil {
+			fatal(fmt.Errorf("bad bool %q: %w", p, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func mustMachines(s string) []exp.MachineSpec {
+	var out []exp.MachineSpec
+	for _, p := range splitList(s) {
+		m, err := exp.ParseMachineSpec(p)
+		if err != nil {
+			fatal(err)
+		}
+		out = append(out, m)
 	}
 	return out
 }

@@ -1,0 +1,121 @@
+package exp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/ompss"
+)
+
+// CacheFormatVersion is the on-disk cell-file format version. Entries
+// written with a different version are treated as misses (and
+// overwritten on the next store), never parsed across versions.
+const CacheFormatVersion = 1
+
+// Cache is an on-disk, content-addressed store of completed run results:
+// one JSON file per RunSpec, named by the spec's canonical hash
+// (<dir>/<sha256-hex>.json). Sweep consults it so re-running a grown
+// campaign only simulates cells whose hash has never been seen.
+//
+// Properties the rest of the system relies on:
+//
+//   - Hits are exact: a stored ompss.Result round-trips through JSON
+//     bit-for-bit (int64 durations and shortest-form float64), so
+//     CSV/JSON rendered from cached cells is byte-identical to a cold
+//     run at any parallelism.
+//   - Corruption is safe: an unreadable, truncated, version-skewed or
+//     hash-mismatched file is a miss; the cell is re-simulated and the
+//     file atomically replaced.
+//   - Concurrent writers are safe: entries are written to a temp file
+//     and renamed into place, and two writers of the same hash are by
+//     construction writing identical bytes.
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if needed) a cache directory.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, errors.New("exp: cache directory must not be empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("exp: opening cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// cacheEntry is the JSON cell-file layout. Hash and Spec are both stored
+// so a file is self-describing (and self-validating: a loaded entry
+// whose spec does not hash to its filename is discarded).
+type cacheEntry struct {
+	Format int          `json:"format"`
+	Hash   string       `json:"hash"`
+	Spec   RunSpec      `json:"spec"`
+	Result ompss.Result `json:"result"`
+}
+
+func (c *Cache) path(hash string) string {
+	return filepath.Join(c.dir, hash+".json")
+}
+
+// Load looks a spec up. Any failure — missing file, unparsable JSON,
+// format-version skew, hash mismatch — is reported as a miss so the
+// caller falls back to simulation; the cache never fails a sweep on the
+// read side.
+func (c *Cache) Load(spec RunSpec) (RunResult, bool) {
+	spec.fillDefaults()
+	hash := spec.Hash()
+	data, err := os.ReadFile(c.path(hash))
+	if err != nil {
+		return RunResult{}, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return RunResult{}, false
+	}
+	if e.Format != CacheFormatVersion || e.Hash != hash || e.Spec.Hash() != hash {
+		return RunResult{}, false
+	}
+	return RunResult{Spec: spec, Result: e.Result, Cached: true}, true
+}
+
+// Store persists a completed run, atomically (temp file + rename), so a
+// crashed or killed campaign never leaves a half-written cell behind.
+func (c *Cache) Store(rr RunResult) error {
+	spec := rr.Spec
+	spec.fillDefaults()
+	hash := spec.Hash()
+	data, err := json.MarshalIndent(cacheEntry{
+		Format: CacheFormatVersion,
+		Hash:   hash,
+		Spec:   spec,
+		Result: rr.Result,
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("exp: encoding cache entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, hash+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("exp: writing cache entry: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("exp: writing cache entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("exp: writing cache entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(hash)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("exp: committing cache entry: %w", err)
+	}
+	return nil
+}

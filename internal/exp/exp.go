@@ -35,13 +35,16 @@ const (
 	SizeFull Size = "full"
 )
 
-// ParseSize validates a size name.
+// ParseSize validates a size name. The empty string is rejected:
+// defaulting is a policy decision that belongs to the caller (the CLI
+// flag defaults to "tiny" explicitly, RunSpec.fillDefaults fills
+// SizeTiny), not to the parser, where a silent fallback once hid typos.
 func ParseSize(s string) (Size, error) {
 	switch Size(s) {
 	case SizeTiny, SizeQuick, SizeFull:
 		return Size(s), nil
 	case "":
-		return SizeTiny, nil
+		return "", fmt.Errorf("exp: empty size (have tiny, quick, full)")
 	}
 	return "", fmt.Errorf("exp: unknown size %q (have tiny, quick, full)", s)
 }
@@ -97,7 +100,9 @@ func AppNames() []string {
 }
 
 // RunSpec fully determines one simulation run: the same spec always
-// produces the same result, byte for byte.
+// produces the same result, byte for byte. Every field is a plain value
+// (no pointers), so specs are comparable, JSON-serializable, and have a
+// stable content hash (see Hash) that keys the on-disk result cache.
 type RunSpec struct {
 	// App names a registered application (see AppNames).
 	App string `json:"app"`
@@ -106,35 +111,76 @@ type RunSpec struct {
 	// Scheduler is the policy name ("bf", "dep", "affinity", "wf",
 	// "random" or "versioning"; default versioning).
 	Scheduler string `json:"scheduler"`
-	// SMPWorkers and GPUs shape the simulated machine.
+	// Machine is the enumerable machine shape: MachineNode (default) or a
+	// cluster form like "cluster:2x6+1g" (see ParseMachineSpec).
+	Machine MachineSpec `json:"machine,omitempty"`
+	// SMPWorkers and GPUs shape the simulated machine. On cluster shapes
+	// they are machine-wide totals; the remote nodes' share is fixed by
+	// the shape and the remainder sizes node 0.
 	SMPWorkers int `json:"smp"`
 	GPUs       int `json:"gpus"`
+	// Versioning-extension knobs (ignored by non-versioning schedulers).
+	// The zero values select the paper's baseline behaviour: Lambda 0
+	// means the default learning threshold of 3, SizeTolerance 0 exact
+	// size matching, EWMAAlpha 0 the arithmetic mean, LocalityAware false
+	// the plain earliest-executor policy.
+	Lambda        int     `json:"lambda,omitempty"`
+	SizeTolerance float64 `json:"size_tolerance,omitempty"`
+	EWMAAlpha     float64 `json:"ewma_alpha,omitempty"`
+	LocalityAware bool    `json:"locality_aware,omitempty"`
 	// NoiseSigma is the log-normal execution-time jitter (0 = exact).
 	NoiseSigma float64 `json:"noise"`
 	// Seed seeds the jitter RNG (and any seedable scheduler).
 	Seed int64 `json:"seed"`
-	// Machine optionally overrides the node model (nil = MinoTauro sized
-	// to the worker counts). Cluster experiments use this.
-	Machine *ompss.Machine `json:"-"`
 }
 
 // Config is the shared run-spec -> ompss.Config plumbing every
-// experiment goes through (the harness wrappers included).
-func (s RunSpec) Config() ompss.Config {
-	return ompss.Config{
-		Machine:    s.Machine,
-		Scheduler:  s.Scheduler,
-		SMPWorkers: s.SMPWorkers,
-		GPUs:       s.GPUs,
-		NoiseSigma: s.NoiseSigma,
-		Seed:       s.Seed,
+// experiment goes through (the harness wrappers included). It fails if
+// the machine shape cannot host the worker counts.
+func (s RunSpec) Config() (ompss.Config, error) {
+	s.fillDefaults()
+	mach, err := s.Machine.Materialize(s.SMPWorkers, s.GPUs)
+	if err != nil {
+		return ompss.Config{}, err
 	}
+	return ompss.Config{
+		Machine:       mach,
+		Scheduler:     s.Scheduler,
+		SMPWorkers:    s.SMPWorkers,
+		GPUs:          s.GPUs,
+		Lambda:        s.Lambda,
+		SizeTolerance: s.SizeTolerance,
+		EWMAAlpha:     s.EWMAAlpha,
+		LocalityAware: s.LocalityAware,
+		NoiseSigma:    s.NoiseSigma,
+		Seed:          s.Seed,
+	}, nil
 }
 
-// String is a compact human-readable cell label.
+// String is a compact human-readable cell label. Non-default machine
+// shapes and extension knobs are appended only when set, so classic
+// campaign labels look exactly as before.
 func (s RunSpec) String() string {
-	return fmt.Sprintf("%s/%s/%s smp=%d gpu=%d noise=%g seed=%d",
-		s.App, s.Size, s.Scheduler, s.SMPWorkers, s.GPUs, s.NoiseSigma, s.Seed)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s/%s", s.App, s.Size, s.Scheduler)
+	if s.Machine != "" && s.Machine != MachineNode {
+		fmt.Fprintf(&b, " mach=%s", s.Machine)
+	}
+	fmt.Fprintf(&b, " smp=%d gpu=%d", s.SMPWorkers, s.GPUs)
+	if s.Lambda != 0 {
+		fmt.Fprintf(&b, " lambda=%d", s.Lambda)
+	}
+	if s.SizeTolerance != 0 {
+		fmt.Fprintf(&b, " tol=%g", s.SizeTolerance)
+	}
+	if s.EWMAAlpha != 0 {
+		fmt.Fprintf(&b, " ewma=%g", s.EWMAAlpha)
+	}
+	if s.LocalityAware {
+		b.WriteString(" locality")
+	}
+	fmt.Fprintf(&b, " noise=%g seed=%d", s.NoiseSigma, s.Seed)
+	return b.String()
 }
 
 func (s *RunSpec) fillDefaults() {
@@ -143,6 +189,9 @@ func (s *RunSpec) fillDefaults() {
 	}
 	if s.Scheduler == "" {
 		s.Scheduler = "versioning"
+	}
+	if s.Machine == "" {
+		s.Machine = MachineNode
 	}
 	if s.SMPWorkers <= 0 {
 		s.SMPWorkers = 1
@@ -157,6 +206,9 @@ type RunResult struct {
 	// Wall is the host time spent simulating (excluded from CSV/JSON so
 	// outputs stay deterministic).
 	Wall time.Duration
+	// Cached marks a result served from a campaign cache instead of a
+	// fresh simulation (also excluded from deterministic outputs).
+	Cached bool
 }
 
 // Build constructs the runtime for a spec and installs the application,
@@ -176,7 +228,11 @@ func Build(spec RunSpec) (*ompss.Runtime, error) {
 		return nil, fmt.Errorf("exp: app %q needs at least %d GPU(s), spec has %d",
 			spec.App, app.MinGPUs, spec.GPUs)
 	}
-	r, err := ompss.NewRuntime(spec.Config())
+	cfg, err := spec.Config()
+	if err != nil {
+		return nil, err
+	}
+	r, err := ompss.NewRuntime(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -306,9 +306,9 @@ func TestCSVGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := strings.Join([]string{
-		"app,size,scheduler,smp,gpus,noise,replicas,tasks,makespan_mean_s,makespan_std_s,makespan_min_s,makespan_p10_s,makespan_median_s,makespan_p90_s,makespan_max_s,makespan_ci95_lo_s,makespan_ci95_hi_s,gflops_mean,tx_mean_bytes",
-		"matmul-hyb,tiny,dep,4,2,0.05,1,42,0.1,0,0.1,0.1,0.1,0.1,0.1,0.1,0.1,200,1000",
-		"stencil,tiny,dep,4,2,0.05,1,42,0.1,0,0.1,0.1,0.1,0.1,0.1,0.1,0.1,200,1000",
+		"app,size,scheduler,machine,smp,gpus,lambda,size_tolerance,ewma_alpha,locality,noise,replicas,tasks,makespan_mean_s,makespan_std_s,makespan_min_s,makespan_p10_s,makespan_median_s,makespan_p90_s,makespan_max_s,makespan_ci95_lo_s,makespan_ci95_hi_s,gflops_mean,tx_mean_bytes",
+		"matmul-hyb,tiny,dep,node,4,2,0,0,0,false,0.05,1,42,0.1,0,0.1,0.1,0.1,0.1,0.1,0.1,0.1,200,1000",
+		"stencil,tiny,dep,node,4,2,0,0,0,false,0.05,1,42,0.1,0,0.1,0.1,0.1,0.1,0.1,0.1,0.1,200,1000",
 		"",
 	}, "\n")
 	if got := buf.String(); got != want {
@@ -359,8 +359,13 @@ func TestJSONGolden(t *testing.T) {
       "app": "stencil",
       "size": "tiny",
       "scheduler": "bf",
+      "machine": "node",
       "smp": 2,
       "gpus": 1,
+      "lambda": 0,
+      "size_tolerance": 0,
+      "ewma_alpha": 0,
+      "locality_aware": false,
       "noise": 0,
       "replicas": 1,
       "tasks": 42,
@@ -412,6 +417,192 @@ func TestJSONGolden(t *testing.T) {
 `
 	if got := buf.String(); got != want {
 		t.Errorf("JSON mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	for _, ok := range []string{"tiny", "quick", "full"} {
+		if got, err := ParseSize(ok); err != nil || string(got) != ok {
+			t.Errorf("ParseSize(%q) = %v, %v", ok, got, err)
+		}
+	}
+	// The empty string must be rejected, not silently defaulted: the
+	// default is the CLI flag's (and fillDefaults') job, and a silent
+	// fallback in the parser once masked typos upstream.
+	if _, err := ParseSize(""); err == nil {
+		t.Error("ParseSize(\"\") did not error")
+	}
+	if _, err := ParseSize("huge"); err == nil {
+		t.Error("ParseSize(\"huge\") did not error")
+	}
+}
+
+func TestGridExtensionAxes(t *testing.T) {
+	g := Grid{
+		Apps:           []string{"matmul-hyb"},
+		Schedulers:     []string{"versioning"},
+		SMPWorkers:     []int{2},
+		GPUs:           []int{1},
+		Lambdas:        []int{0, 6},
+		SizeTolerances: []float64{0, 0.25},
+		EWMAAlphas:     []float64{0, 0.3},
+		LocalityAware:  []bool{false, true},
+		Noise:          []float64{0},
+		Replicas:       2,
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.NumCells(); got != 16 {
+		t.Errorf("NumCells = %d, want 16", got)
+	}
+	specs := g.Runs()
+	if len(specs) != 32 {
+		t.Fatalf("len(Runs()) = %d, want 32", len(specs))
+	}
+	seen := make(map[RunSpec]bool)
+	for _, s := range specs {
+		if seen[s] {
+			t.Errorf("duplicate spec %v", s)
+		}
+		seen[s] = true
+	}
+	// Every knob combination must appear.
+	combos := make(map[[4]any]bool)
+	for _, s := range specs {
+		combos[[4]any{s.Lambda, s.SizeTolerance, s.EWMAAlpha, s.LocalityAware}] = true
+	}
+	if len(combos) != 16 {
+		t.Errorf("knob combinations = %d, want 16", len(combos))
+	}
+}
+
+func TestGridExtensionAxesValidate(t *testing.T) {
+	base := Grid{Apps: []string{"matmul-hyb"}, Schedulers: []string{"bf"},
+		SMPWorkers: []int{2}, GPUs: []int{1}, Noise: []float64{0}}
+	bad := base
+	bad.Lambdas = []int{-1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative lambda passed Validate")
+	}
+	bad = base
+	bad.SizeTolerances = []float64{-0.1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative size tolerance passed Validate")
+	}
+	bad = base
+	bad.EWMAAlphas = []float64{1.5}
+	if err := bad.Validate(); err == nil {
+		t.Error("EWMA alpha > 1 passed Validate")
+	}
+	bad = base
+	bad.Machines = []MachineSpec{"rack:3"}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown machine shape passed Validate")
+	}
+	bad = base
+	bad.Machines = []MachineSpec{"cluster:2x6+0g"} // alias of cluster:2x6
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "canonical") {
+		t.Errorf("non-canonical machine shape: Validate = %v", err)
+	}
+	bad = base
+	bad.Machines = []MachineSpec{"cluster:2x6"} // needs smp > 12
+	if err := bad.Validate(); err == nil {
+		t.Error("cluster shape too large for smp axis passed Validate")
+	}
+	bad = base
+	bad.Machines = []MachineSpec{MachineNode}
+	bad.SMPWorkers = []int{20} // a single node hosts at most 12 cores
+	if err := bad.Validate(); err == nil {
+		t.Error("node shape with smp=20 passed Validate")
+	}
+}
+
+func TestParseMachineSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want MachineSpec
+	}{
+		{"", MachineNode},
+		{"node", MachineNode},
+		{"cluster:2x6", "cluster:2x6"},
+		{"cluster:2x6+1g", "cluster:2x6+1g"},
+		{"cluster:2x6+0g", "cluster:2x6"}, // canonicalized
+	}
+	for _, c := range cases {
+		got, err := ParseMachineSpec(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseMachineSpec(%q) = %q, %v; want %q", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"rack", "cluster:", "cluster:x6", "cluster:2x", "cluster:0x6", "cluster:2x0", "cluster:2x6+1", "cluster:2x6+-1g"} {
+		if _, err := ParseMachineSpec(bad); err == nil {
+			t.Errorf("ParseMachineSpec(%q) did not error", bad)
+		}
+	}
+}
+
+func TestMachineSpecMaterialize(t *testing.T) {
+	if m, err := MachineNode.Materialize(4, 1); err != nil || m != nil {
+		t.Errorf("node Materialize = %v, %v; want nil machine", m, err)
+	}
+	m, err := MachineSpec("cluster:2x6+1g").Materialize(20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 keeps 8 cores + 2 GPUs; 2 remote nodes add 6 cores + 1 GPU
+	// each: 20 SMP devices and 4 CUDA devices in total.
+	if got := len(m.DevicesOfKind(ompss.SMP)); got != 20 {
+		t.Errorf("SMP devices = %d, want 20", got)
+	}
+	if got := len(m.DevicesOfKind(ompss.CUDA)); got != 4 {
+		t.Errorf("CUDA devices = %d, want 4", got)
+	}
+	// Worker counts the shape cannot host must fail, not panic — for the
+	// node shape too, so Grid.Validate fails fast instead of the sweep
+	// dying mid-campaign on a recovered runtime panic.
+	if _, err := MachineNode.Materialize(20, 2); err == nil {
+		t.Error("node with smp=20 (MinoTauro has 12 cores) did not error")
+	}
+	if _, err := MachineNode.Materialize(4, 3); err == nil {
+		t.Error("node with gpus=3 (MinoTauro has 2 GPUs) did not error")
+	}
+	if _, err := MachineSpec("cluster:2x6").Materialize(12, 0); err == nil {
+		t.Error("cluster:2x6 with smp=12 (node 0 would have 0 cores) did not error")
+	}
+	if _, err := MachineSpec("cluster:2x6").Materialize(30, 0); err == nil {
+		t.Error("cluster:2x6 with smp=30 (node 0 would need 18 cores) did not error")
+	}
+	if _, err := MachineSpec("cluster:2x6+1g").Materialize(20, 1); err == nil {
+		t.Error("cluster:2x6+1g with gpus=1 (node 0 would have -1 GPUs) did not error")
+	}
+}
+
+// TestClusterGridSweep runs a real (simulated) sweep over the machine
+// axis: the cluster shape must execute and report more transferred bytes
+// than the single node (InfiniBand staging), with everything else equal.
+func TestClusterGridSweep(t *testing.T) {
+	g := Grid{
+		Apps:       []string{"pbpi-smp"},
+		Schedulers: []string{"dep"},
+		Machines:   []MachineSpec{MachineNode, "cluster:1x2"},
+		SMPWorkers: []int{4},
+		GPUs:       []int{0},
+		Noise:      []float64{0},
+		Replicas:   1,
+	}
+	res, err := Sweep(g, SweepOptions{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(res.Cells))
+	}
+	if res.Cells[0].Machine != MachineNode || res.Cells[1].Machine != "cluster:1x2" {
+		t.Errorf("machine column wrong: %q, %q", res.Cells[0].Machine, res.Cells[1].Machine)
+	}
+	if res.Cells[0].Tasks != res.Cells[1].Tasks {
+		t.Errorf("task counts differ across machines: %d vs %d", res.Cells[0].Tasks, res.Cells[1].Tasks)
 	}
 }
 

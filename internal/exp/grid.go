@@ -14,13 +14,25 @@ const replicaSeedStride = 1_000_003
 // Replicas times with distinct seeds. Expansion order is fixed (apps
 // outermost, replicas innermost), so run indexes — and therefore all
 // outputs — are independent of how many workers execute the sweep.
+//
+// The machine and extension axes are optional: leaving one empty sweeps
+// only its default value (single node, paper-baseline knobs) and keeps
+// the grid's serialized form — and every cached cell hash — identical to
+// a grid written before the axis existed.
 type Grid struct {
-	Apps       []string  `json:"apps"`
-	Schedulers []string  `json:"schedulers"`
-	SMPWorkers []int     `json:"smp"`
-	GPUs       []int     `json:"gpus"`
-	Noise      []float64 `json:"noise"`
-	Size       Size      `json:"size"`
+	Apps       []string      `json:"apps"`
+	Schedulers []string      `json:"schedulers"`
+	Machines   []MachineSpec `json:"machines,omitempty"`
+	SMPWorkers []int         `json:"smp"`
+	GPUs       []int         `json:"gpus"`
+	// Versioning-extension knob axes (see RunSpec): empty means the
+	// single baseline value (0 / 0 / 0 / false).
+	Lambdas        []int     `json:"lambdas,omitempty"`
+	SizeTolerances []float64 `json:"size_tolerances,omitempty"`
+	EWMAAlphas     []float64 `json:"ewma_alphas,omitempty"`
+	LocalityAware  []bool    `json:"locality_aware,omitempty"`
+	Noise          []float64 `json:"noise"`
+	Size           Size      `json:"size"`
 	// Replicas is the number of seed replicas per cell (default 1).
 	Replicas int `json:"replicas"`
 	// BaseSeed derives replica seeds: seed(i) = BaseSeed + i*stride.
@@ -56,6 +68,43 @@ func (g *Grid) fillDefaults() {
 	}
 }
 
+// The optional axes keep their empty encoding (so old grids serialize —
+// and hash — unchanged); expansion reads them through these accessors.
+func (g Grid) machines() []MachineSpec {
+	if len(g.Machines) == 0 {
+		return []MachineSpec{MachineNode}
+	}
+	return g.Machines
+}
+
+func (g Grid) lambdas() []int {
+	if len(g.Lambdas) == 0 {
+		return []int{0}
+	}
+	return g.Lambdas
+}
+
+func (g Grid) sizeTolerances() []float64 {
+	if len(g.SizeTolerances) == 0 {
+		return []float64{0}
+	}
+	return g.SizeTolerances
+}
+
+func (g Grid) ewmaAlphas() []float64 {
+	if len(g.EWMAAlphas) == 0 {
+		return []float64{0}
+	}
+	return g.EWMAAlphas
+}
+
+func (g Grid) localityAware() []bool {
+	if len(g.LocalityAware) == 0 {
+		return []bool{false}
+	}
+	return g.LocalityAware
+}
+
 // Validate checks every axis value against the registries before any
 // simulation starts, so a typo fails fast instead of 40 cells in.
 func (g Grid) Validate() error {
@@ -86,38 +135,92 @@ func (g Grid) Validate() error {
 			return fmt.Errorf("exp: grid references unknown scheduler: %w", err)
 		}
 	}
+	for _, l := range g.lambdas() {
+		if l < 0 {
+			return fmt.Errorf("exp: grid lambda %d must be non-negative (0 = default)", l)
+		}
+	}
+	for _, tol := range g.sizeTolerances() {
+		if tol < 0 {
+			return fmt.Errorf("exp: grid size tolerance %g must be non-negative", tol)
+		}
+	}
+	for _, a := range g.ewmaAlphas() {
+		if a < 0 || a > 1 {
+			return fmt.Errorf("exp: grid EWMA alpha %g must be in [0, 1]", a)
+		}
+	}
+	// Machine shapes must be canonical (so equal cells share one cache
+	// hash) and able to host every swept worker-count combination.
+	for _, m := range g.machines() {
+		canon, err := ParseMachineSpec(string(m))
+		if err != nil {
+			return err
+		}
+		if canon != m {
+			return fmt.Errorf("exp: grid machine %q is not canonical (want %q)", m, canon)
+		}
+		for _, smp := range g.SMPWorkers {
+			for _, gpus := range g.GPUs {
+				if _, err := m.Materialize(smp, gpus); err != nil {
+					return err
+				}
+			}
+		}
+	}
 	return nil
 }
 
-// NumCells is the number of distinct (app, scheduler, smp, gpus, noise)
-// cells; each runs Replicas times.
+// NumCells is the number of distinct (app, scheduler, machine, smp,
+// gpus, knobs, noise) cells; each runs Replicas times.
 func (g Grid) NumCells() int {
 	g.fillDefaults()
-	return len(g.Apps) * len(g.Schedulers) * len(g.SMPWorkers) * len(g.GPUs) * len(g.Noise)
+	return len(g.Apps) * len(g.Schedulers) * len(g.machines()) *
+		len(g.SMPWorkers) * len(g.GPUs) *
+		len(g.lambdas()) * len(g.sizeTolerances()) * len(g.ewmaAlphas()) * len(g.localityAware()) *
+		len(g.Noise)
 }
 
 // NumRuns is the total number of simulation runs the grid expands to.
 func (g Grid) NumRuns() int { return g.NumCells() * max(1, g.Replicas) }
 
-// Runs expands the grid into its run specs in canonical order.
+// Runs expands the grid into its run specs in canonical order: apps
+// outermost, then schedulers, machines, SMP, GPUs, the extension knobs,
+// noise, and seed replicas innermost (so one cell's replicas stay
+// adjacent for aggregation).
 func (g Grid) Runs() []RunSpec {
 	g.fillDefaults()
 	specs := make([]RunSpec, 0, g.NumRuns())
 	for _, app := range g.Apps {
 		for _, sched := range g.Schedulers {
-			for _, smp := range g.SMPWorkers {
-				for _, gpus := range g.GPUs {
-					for _, noise := range g.Noise {
-						for rep := 0; rep < g.Replicas; rep++ {
-							specs = append(specs, RunSpec{
-								App:        app,
-								Size:       g.Size,
-								Scheduler:  sched,
-								SMPWorkers: smp,
-								GPUs:       gpus,
-								NoiseSigma: noise,
-								Seed:       g.BaseSeed + int64(rep)*replicaSeedStride,
-							})
+			for _, mach := range g.machines() {
+				for _, smp := range g.SMPWorkers {
+					for _, gpus := range g.GPUs {
+						for _, lambda := range g.lambdas() {
+							for _, tol := range g.sizeTolerances() {
+								for _, alpha := range g.ewmaAlphas() {
+									for _, loc := range g.localityAware() {
+										for _, noise := range g.Noise {
+											for rep := 0; rep < g.Replicas; rep++ {
+												specs = append(specs, RunSpec{
+													App:           app,
+													Size:          g.Size,
+													Scheduler:     sched,
+													Machine:       mach,
+													SMPWorkers:    smp,
+													GPUs:          gpus,
+													Lambda:        lambda,
+													SizeTolerance: tol,
+													EWMAAlpha:     alpha,
+													LocalityAware: loc,
+													NoiseSigma:    noise,
+													Seed:          g.BaseSeed + int64(rep)*replicaSeedStride,
+												})
+											}
+										}
+									}
+								}
+							}
 						}
 					}
 				}

@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/ompss"
+)
+
+// MachineSpec is a grid-enumerable machine shape. Unlike a raw
+// *ompss.Machine it is a plain value: comparable, serializable, and
+// stable under hashing, so campaigns can sweep cluster topologies and
+// cache their results content-addressed.
+//
+// Canonical forms:
+//
+//	node               single MinoTauro node sized to the worker counts
+//	cluster:RxC        R remote nodes with C SMP cores each (InfiniBand)
+//	cluster:RxC+Gg     ... plus G GPUs per remote node (PCIe behind IB)
+//
+// The empty string means MachineNode everywhere a spec is consumed.
+type MachineSpec string
+
+// MachineNode is the default single-node shape (the paper's MinoTauro
+// evaluation node).
+const MachineNode MachineSpec = "node"
+
+// ParseMachineSpec validates a machine-shape name and returns its
+// canonical form (e.g. "cluster:2x6+0g" canonicalizes to "cluster:2x6",
+// so aliases cannot split the result cache).
+func ParseMachineSpec(s string) (MachineSpec, error) {
+	remote, cores, gpusPer, err := parseMachineShape(s)
+	if err != nil {
+		return "", err
+	}
+	if remote == 0 {
+		return MachineNode, nil
+	}
+	if gpusPer > 0 {
+		return MachineSpec(fmt.Sprintf("cluster:%dx%d+%dg", remote, cores, gpusPer)), nil
+	}
+	return MachineSpec(fmt.Sprintf("cluster:%dx%d", remote, cores)), nil
+}
+
+// parseMachineShape decodes any accepted spelling; remote == 0 means the
+// single-node shape.
+func parseMachineShape(s string) (remote, cores, gpusPer int, err error) {
+	if s == "" || s == string(MachineNode) {
+		return 0, 0, 0, nil
+	}
+	rest, ok := strings.CutPrefix(s, "cluster:")
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("exp: unknown machine shape %q (have node, cluster:RxC, cluster:RxC+Gg)", s)
+	}
+	if i := strings.IndexByte(rest, '+'); i >= 0 {
+		gpart, found := strings.CutSuffix(rest[i+1:], "g")
+		if !found {
+			return 0, 0, 0, fmt.Errorf("exp: machine shape %q: GPU part must end in 'g' (e.g. cluster:2x6+1g)", s)
+		}
+		n, err := strconv.Atoi(gpart)
+		if err != nil || n < 0 {
+			return 0, 0, 0, fmt.Errorf("exp: machine shape %q: bad GPUs-per-node %q", s, gpart)
+		}
+		gpusPer = n
+		rest = rest[:i]
+	}
+	rs, cs, found := strings.Cut(rest, "x")
+	if !found {
+		return 0, 0, 0, fmt.Errorf("exp: machine shape %q: want cluster:<remote-nodes>x<cores-per-node>", s)
+	}
+	remote, aerr := strconv.Atoi(rs)
+	if aerr != nil || remote < 1 {
+		return 0, 0, 0, fmt.Errorf("exp: machine shape %q: bad remote-node count %q", s, rs)
+	}
+	cores, aerr = strconv.Atoi(cs)
+	if aerr != nil || cores < 1 {
+		return 0, 0, 0, fmt.Errorf("exp: machine shape %q: bad cores-per-node %q", s, cs)
+	}
+	return remote, cores, gpusPer, nil
+}
+
+// Materialize builds the ompss machine for this shape, given the run's
+// total worker counts, erroring if the shape cannot host them — so
+// Grid.Validate genuinely fails fast for every machine on every swept
+// worker-count combination. The node shape returns a nil machine:
+// ompss.NewRuntime sizes a MinoTauro node to the workers itself, but the
+// workers must fit its envelope (1..12 cores, 0..2 GPUs). For cluster
+// shapes the remote nodes consume remote*coresPerNode SMP workers and
+// remote*gpusPerNode GPU workers; the remainder sizes node 0, which must
+// stay inside the same envelope.
+func (m MachineSpec) Materialize(smp, gpus int) (*ompss.Machine, error) {
+	remote, cores, gpusPer, err := parseMachineShape(string(m))
+	if err != nil {
+		return nil, err
+	}
+	if remote == 0 {
+		if smp > machine.MinoTauroCores {
+			return nil, fmt.Errorf("exp: machine node hosts at most %d SMP workers, spec has %d (use a cluster shape for more)",
+				machine.MinoTauroCores, smp)
+		}
+		if gpus > machine.MinoTauroGPUs {
+			return nil, fmt.Errorf("exp: machine node hosts at most %d GPUs, spec has %d (use a cluster:RxC+Gg shape for more)",
+				machine.MinoTauroGPUs, gpus)
+		}
+		return nil, nil
+	}
+	node0Cores := smp - remote*cores
+	node0GPUs := gpus - remote*gpusPer
+	if node0Cores < 1 || node0Cores > machine.MinoTauroCores {
+		return nil, fmt.Errorf("exp: machine %s with smp=%d leaves %d cores on node 0 (want 1..%d): remote nodes consume %d",
+			m, smp, node0Cores, machine.MinoTauroCores, remote*cores)
+	}
+	if node0GPUs < 0 || node0GPUs > machine.MinoTauroGPUs {
+		return nil, fmt.Errorf("exp: machine %s with gpus=%d leaves %d GPUs on node 0 (want 0..%d): remote nodes consume %d",
+			m, gpus, node0GPUs, machine.MinoTauroGPUs, remote*gpusPer)
+	}
+	return ompss.ClusterGPU(node0Cores, node0GPUs, remote, cores, gpusPer), nil
+}

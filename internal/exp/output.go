@@ -13,7 +13,9 @@ import (
 // metrics appear: wall-clock is excluded so identical grids produce
 // byte-identical files at any parallelism.
 var csvHeader = []string{
-	"app", "size", "scheduler", "smp", "gpus", "noise", "replicas", "tasks",
+	"app", "size", "scheduler", "machine", "smp", "gpus",
+	"lambda", "size_tolerance", "ewma_alpha", "locality",
+	"noise", "replicas", "tasks",
 	"makespan_mean_s", "makespan_std_s", "makespan_min_s", "makespan_p10_s",
 	"makespan_median_s", "makespan_p90_s", "makespan_max_s",
 	"makespan_ci95_lo_s", "makespan_ci95_hi_s",
@@ -32,8 +34,10 @@ func WriteCSV(w io.Writer, res *SweepResult) error {
 	for _, c := range res.Cells {
 		m := c.MakespanSec
 		row := []string{
-			c.App, string(c.Size), c.Scheduler,
+			c.App, string(c.Size), c.Scheduler, string(c.Machine),
 			strconv.Itoa(c.SMPWorkers), strconv.Itoa(c.GPUs),
+			strconv.Itoa(c.Lambda), ftoa(c.SizeTolerance), ftoa(c.EWMAAlpha),
+			strconv.FormatBool(c.LocalityAware),
 			ftoa(c.Noise), strconv.Itoa(c.Replicas), strconv.Itoa(c.Tasks),
 			ftoa(m.Mean), ftoa(m.Std), ftoa(m.Min), ftoa(m.P10),
 			ftoa(m.Median), ftoa(m.P90), ftoa(m.Max),
@@ -60,13 +64,14 @@ func WriteJSON(w io.Writer, res *SweepResult) error {
 // totals (the only place wall-clock appears).
 func FormatSummary(res *SweepResult) string {
 	var b strings.Builder
-	header := []string{"app", "sched", "smp", "gpu", "noise", "reps",
+	header := []string{"app", "sched", "machine", "smp", "gpu", "ext", "noise", "reps",
 		"makespan mean", "p10", "p90", "GFLOP/s", "tx (GB)"}
 	rows := make([][]string, 0, len(res.Cells))
 	for _, c := range res.Cells {
 		m := c.MakespanSec
 		rows = append(rows, []string{
-			c.App, c.Scheduler, strconv.Itoa(c.SMPWorkers), strconv.Itoa(c.GPUs),
+			c.App, c.Scheduler, string(c.Machine),
+			strconv.Itoa(c.SMPWorkers), strconv.Itoa(c.GPUs), extKnobs(c),
 			fmt.Sprintf("%g", c.Noise), strconv.Itoa(c.Replicas),
 			fmt.Sprintf("%.4fs", m.Mean), fmt.Sprintf("%.4fs", m.P10),
 			fmt.Sprintf("%.4fs", m.P90),
@@ -113,5 +118,31 @@ func FormatSummary(res *SweepResult) string {
 	fmt.Fprintf(&b, "%d runs (%d cells x %d replicas), %d tasks, %.2fs virtual time in %v wall (%.1f runs/s)\n",
 		len(res.Runs), len(res.Cells), res.Grid.Replicas, events, simulated,
 		res.Wall.Round(1e6), float64(len(res.Runs))/res.Wall.Seconds())
+	if res.CacheHits > 0 {
+		fmt.Fprintf(&b, "campaign cache: %d simulated, %d served from cache\n",
+			res.Simulated, res.CacheHits)
+	}
 	return b.String()
+}
+
+// extKnobs renders a cell's extension knobs compactly ("-" when every
+// knob sits at the paper baseline).
+func extKnobs(c CellSummary) string {
+	var parts []string
+	if c.Lambda != 0 {
+		parts = append(parts, fmt.Sprintf("lam%d", c.Lambda))
+	}
+	if c.SizeTolerance != 0 {
+		parts = append(parts, fmt.Sprintf("tol%g", c.SizeTolerance))
+	}
+	if c.EWMAAlpha != 0 {
+		parts = append(parts, fmt.Sprintf("ewma%g", c.EWMAAlpha))
+	}
+	if c.LocalityAware {
+		parts = append(parts, "loc")
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, ",")
 }

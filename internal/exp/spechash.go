@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SpecHashVersion is the format version of the canonical spec
+// serialization below. Bump it whenever the serialization (or the
+// meaning of any serialized field) changes: the version is part of the
+// hashed bytes, so a bump invalidates every previously cached result at
+// once instead of silently aliasing old cells onto new semantics.
+const SpecHashVersion = 1
+
+// CanonicalString renders every determinism-relevant axis of the spec in
+// a fixed key=value layout, defaults filled in, floats in Go's shortest
+// round-trippable form. Two specs describe the same simulation if and
+// only if their canonical strings are equal; the golden tests in
+// spechash_test.go freeze this format.
+func (s RunSpec) CanonicalString() string {
+	s.fillDefaults()
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	var b strings.Builder
+	fmt.Fprintf(&b, "spechash/v%d\n", SpecHashVersion)
+	fmt.Fprintf(&b, "app=%s\n", s.App)
+	fmt.Fprintf(&b, "size=%s\n", s.Size)
+	fmt.Fprintf(&b, "scheduler=%s\n", s.Scheduler)
+	fmt.Fprintf(&b, "machine=%s\n", s.Machine)
+	fmt.Fprintf(&b, "smp=%d\n", s.SMPWorkers)
+	fmt.Fprintf(&b, "gpus=%d\n", s.GPUs)
+	fmt.Fprintf(&b, "lambda=%d\n", s.Lambda)
+	fmt.Fprintf(&b, "size_tolerance=%s\n", f(s.SizeTolerance))
+	fmt.Fprintf(&b, "ewma_alpha=%s\n", f(s.EWMAAlpha))
+	fmt.Fprintf(&b, "locality_aware=%t\n", s.LocalityAware)
+	fmt.Fprintf(&b, "noise=%s\n", f(s.NoiseSigma))
+	fmt.Fprintf(&b, "seed=%d\n", s.Seed)
+	return b.String()
+}
+
+// Hash is the content address of the spec: the SHA-256 of its canonical
+// string, in lowercase hex. Equal specs (after default filling) hash
+// equal; any change to any simulated-behaviour axis changes the hash.
+// The result cache files are named by this hash.
+func (s RunSpec) Hash() string {
+	sum := sha256.Sum256([]byte(s.CanonicalString()))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSpecHashGolden freezes the spec-hash format. These hashes name
+// cache files on disk: if this test fails, the canonical serialization
+// changed, which silently orphans every existing campaign cache. Either
+// revert the change or bump SpecHashVersion (and update these hashes) so
+// the invalidation is deliberate.
+func TestSpecHashGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		spec RunSpec
+		want string
+	}{
+		{
+			name: "zero-spec-defaults",
+			spec: RunSpec{},
+			want: "b829c01646ff431a14be25f5cac42c0276d623fd189264b00143f97ace6fa7f8",
+		},
+		{
+			name: "minimal-app",
+			spec: RunSpec{App: "matmul-hyb", GPUs: 1},
+			want: "cd7035c9936dca338bb912b03ca320faa83f347abc766ec59bfa1809aa13c12c",
+		},
+		{
+			name: "core-axes",
+			spec: RunSpec{App: "matmul-hyb", Size: SizeQuick, Scheduler: "bf",
+				SMPWorkers: 4, GPUs: 2, NoiseSigma: 0.05, Seed: 42},
+			want: "2826805bd9e8907b5eeadb6b68a59969bb00b92c990688b1ca83cf79a355bfa1",
+		},
+		{
+			name: "extension-knobs",
+			spec: RunSpec{App: "cholesky-potrf-hyb", Scheduler: "versioning",
+				SMPWorkers: 2, GPUs: 2, Lambda: 6, SizeTolerance: 0.25,
+				EWMAAlpha: 0.3, LocalityAware: true, NoiseSigma: 0.1, Seed: 7},
+			want: "9b40db7a8bea432dd0d9366155b011a863059a31e6daa49368f7d58d62c64210",
+		},
+		{
+			name: "cluster-machine",
+			spec: RunSpec{App: "pbpi-smp", Scheduler: "dep", Machine: "cluster:2x6+1g",
+				SMPWorkers: 20, GPUs: 4, Seed: 1000004},
+			want: "6bbf154022fec387012936c9f6c883d66017f87808ad38f3108bf2a9be3637f3",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.spec.Hash(); got != c.want {
+				t.Errorf("Hash() = %s\nwant      %s\ncanonical:\n%s", got, c.want, c.spec.CanonicalString())
+			}
+		})
+	}
+}
+
+// TestCanonicalStringFormat freezes the human-readable canonical layout
+// itself, so a hash-golden failure comes with an actionable diff.
+func TestCanonicalStringFormat(t *testing.T) {
+	s := RunSpec{App: "matmul-hyb", Scheduler: "bf", SMPWorkers: 2, GPUs: 1,
+		NoiseSigma: 0.05, Seed: 3}
+	want := strings.Join([]string{
+		"spechash/v1",
+		"app=matmul-hyb",
+		"size=tiny",
+		"scheduler=bf",
+		"machine=node",
+		"smp=2",
+		"gpus=1",
+		"lambda=0",
+		"size_tolerance=0",
+		"ewma_alpha=0",
+		"locality_aware=false",
+		"noise=0.05",
+		"seed=3",
+		"",
+	}, "\n")
+	if got := s.CanonicalString(); got != want {
+		t.Errorf("CanonicalString:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestSpecHashDefaultsEquivalence: a zero field and its explicit default
+// must share one cache cell.
+func TestSpecHashDefaultsEquivalence(t *testing.T) {
+	implicit := RunSpec{App: "matmul-hyb", GPUs: 1}
+	explicit := RunSpec{App: "matmul-hyb", Size: SizeTiny, Scheduler: "versioning",
+		Machine: MachineNode, SMPWorkers: 1, GPUs: 1}
+	if implicit.Hash() != explicit.Hash() {
+		t.Errorf("default-filled specs hash differently:\n%s\nvs\n%s",
+			implicit.CanonicalString(), explicit.CanonicalString())
+	}
+}
+
+// TestSpecHashSensitivity: every axis must perturb the hash — a field
+// the hash ignored would alias distinct simulations onto one cache cell.
+func TestSpecHashSensitivity(t *testing.T) {
+	base := RunSpec{App: "matmul-hyb", Size: SizeTiny, Scheduler: "versioning",
+		SMPWorkers: 2, GPUs: 1, NoiseSigma: 0.05, Seed: 1}
+	mutations := map[string]func(*RunSpec){
+		"app":            func(s *RunSpec) { s.App = "stencil" },
+		"size":           func(s *RunSpec) { s.Size = SizeQuick },
+		"scheduler":      func(s *RunSpec) { s.Scheduler = "bf" },
+		"machine":        func(s *RunSpec) { s.Machine = "cluster:1x2"; s.SMPWorkers = 4 },
+		"smp":            func(s *RunSpec) { s.SMPWorkers = 4 },
+		"gpus":           func(s *RunSpec) { s.GPUs = 2 },
+		"lambda":         func(s *RunSpec) { s.Lambda = 6 },
+		"size_tolerance": func(s *RunSpec) { s.SizeTolerance = 0.25 },
+		"ewma_alpha":     func(s *RunSpec) { s.EWMAAlpha = 0.3 },
+		"locality":       func(s *RunSpec) { s.LocalityAware = true },
+		"noise":          func(s *RunSpec) { s.NoiseSigma = 0.1 },
+		"seed":           func(s *RunSpec) { s.Seed = 2 },
+	}
+	seen := map[string]string{base.Hash(): "base"}
+	for name, mutate := range mutations {
+		s := base
+		mutate(&s)
+		h := s.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("mutating %s collides with %s (hash %s)", name, prev, h)
+		}
+		seen[h] = name
+	}
+}

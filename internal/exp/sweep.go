@@ -9,10 +9,14 @@ import (
 )
 
 // SweepOptions tune sweep execution. The zero value runs with one worker
-// per CPU and no progress reporting.
+// per CPU, no caching and no progress reporting.
 type SweepOptions struct {
 	// Parallel bounds the worker pool (<=0 selects GOMAXPROCS).
 	Parallel int
+	// Cache, if set, is consulted before every run and fed after every
+	// fresh simulation, making campaigns resumable: re-running a grown
+	// grid only simulates cells whose spec hash is not yet on disk.
+	Cache *Cache
 	// Progress, if set, is called after every completed run, serialized
 	// under its own lock (done counts completions so far; calls may
 	// arrive slightly out of done-order under contention).
@@ -21,13 +25,18 @@ type SweepOptions struct {
 
 // CellSummary aggregates one grid cell's seed replicas.
 type CellSummary struct {
-	App        string  `json:"app"`
-	Size       Size    `json:"size"`
-	Scheduler  string  `json:"scheduler"`
-	SMPWorkers int     `json:"smp"`
-	GPUs       int     `json:"gpus"`
-	Noise      float64 `json:"noise"`
-	Replicas   int     `json:"replicas"`
+	App           string      `json:"app"`
+	Size          Size        `json:"size"`
+	Scheduler     string      `json:"scheduler"`
+	Machine       MachineSpec `json:"machine"`
+	SMPWorkers    int         `json:"smp"`
+	GPUs          int         `json:"gpus"`
+	Lambda        int         `json:"lambda"`
+	SizeTolerance float64     `json:"size_tolerance"`
+	EWMAAlpha     float64     `json:"ewma_alpha"`
+	LocalityAware bool        `json:"locality_aware"`
+	Noise         float64     `json:"noise"`
+	Replicas      int         `json:"replicas"`
 	// Tasks is the per-run task count (identical across replicas — the
 	// graph does not depend on the seed).
 	Tasks int `json:"tasks"`
@@ -45,6 +54,12 @@ type SweepResult struct {
 	Grid  Grid          `json:"grid"`
 	Runs  []RunResult   `json:"-"`
 	Cells []CellSummary `json:"cells"`
+	// Simulated and CacheHits count how the runs were satisfied. Like
+	// Wall they are execution facts, not results, and are excluded from
+	// the deterministic outputs (a warm re-run must stay byte-identical
+	// to a cold one).
+	Simulated int `json:"-"`
+	CacheHits int `json:"-"`
 	// Wall is the host time for the whole sweep (not written to CSV/JSON
 	// outputs, which must be deterministic).
 	Wall time.Duration `json:"-"`
@@ -80,9 +95,11 @@ func sweep(g Grid, o SweepOptions, run func(RunSpec) (RunResult, error)) (*Sweep
 	jobs := make(chan int)
 	var (
 		wg         sync.WaitGroup
-		mu         sync.Mutex // guards done/firstErr and the results commit
+		mu         sync.Mutex // guards done/firstErr/counters and the results commit
 		progressMu sync.Mutex // serializes Progress without stalling commits
 		done       int
+		simulated  int
+		cacheHits  int
 		firstErr   error
 	)
 	for w := 0; w < workers; w++ {
@@ -96,7 +113,23 @@ func sweep(g Grid, o SweepOptions, run func(RunSpec) (RunResult, error)) (*Sweep
 				if abort {
 					continue // drain remaining jobs without running them
 				}
-				rr, err := run(specs[idx])
+				var (
+					rr  RunResult
+					err error
+					hit bool
+				)
+				if o.Cache != nil {
+					rr, hit = o.Cache.Load(specs[idx])
+				}
+				if !hit {
+					rr, err = run(specs[idx])
+					if err == nil && o.Cache != nil {
+						// A store failure (disk full, unwritable dir) fails
+						// the sweep: a silently unpersisted campaign is
+						// exactly what the cache exists to prevent.
+						err = o.Cache.Store(rr)
+					}
+				}
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
@@ -106,6 +139,11 @@ func sweep(g Grid, o SweepOptions, run func(RunSpec) (RunResult, error)) (*Sweep
 					continue
 				}
 				results[idx] = rr
+				if hit {
+					cacheHits++
+				} else {
+					simulated++
+				}
 				done++
 				n := done
 				mu.Unlock()
@@ -127,10 +165,12 @@ func sweep(g Grid, o SweepOptions, run func(RunSpec) (RunResult, error)) (*Sweep
 	}
 
 	return &SweepResult{
-		Grid:  g,
-		Runs:  results,
-		Cells: aggregate(results, g.Replicas),
-		Wall:  time.Since(start),
+		Grid:      g,
+		Runs:      results,
+		Cells:     aggregate(results, g.Replicas),
+		Simulated: simulated,
+		CacheHits: cacheHits,
+		Wall:      time.Since(start),
 	}, nil
 }
 
@@ -144,15 +184,21 @@ func aggregate(runs []RunResult, replicas int) []CellSummary {
 	for i := 0; i < len(runs); i += replicas {
 		group := runs[i : i+replicas]
 		spec := group[0].Spec
+		spec.fillDefaults()
 		c := CellSummary{
-			App:        spec.App,
-			Size:       spec.Size,
-			Scheduler:  spec.Scheduler,
-			SMPWorkers: spec.SMPWorkers,
-			GPUs:       spec.GPUs,
-			Noise:      spec.NoiseSigma,
-			Replicas:   len(group),
-			Tasks:      group[0].Tasks,
+			App:           spec.App,
+			Size:          spec.Size,
+			Scheduler:     spec.Scheduler,
+			Machine:       spec.Machine,
+			SMPWorkers:    spec.SMPWorkers,
+			GPUs:          spec.GPUs,
+			Lambda:        spec.Lambda,
+			SizeTolerance: spec.SizeTolerance,
+			EWMAAlpha:     spec.EWMAAlpha,
+			LocalityAware: spec.LocalityAware,
+			Noise:         spec.NoiseSigma,
+			Replicas:      len(group),
+			Tasks:         group[0].Tasks,
 		}
 		makespans := make([]float64, len(group))
 		gflops := make([]float64, len(group))

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/exp"
-	"repro/ompss"
 )
 
 // Extension experiments beyond the paper's figures. They cover the
@@ -63,27 +62,30 @@ func runExtCluster(opts Options) (*Report, error) {
 		Notes: []string{
 			"remote GPU data stages over two hops: InfiniBand to the node, PCIe onward",
 		}}
+	// Machine shapes are exp.MachineSpec values, the same enumerable axis
+	// ompss-sweep grids use (-machines): node 0 keeps 8 cores + 2 GPUs,
+	// the remote nodes consume the rest of the worker counts.
 	cases := []struct {
 		name    string
-		machine *ompss.Machine
+		machine exp.MachineSpec
 		smp     int
 		gpus    int
 	}{
-		{"1 node", nil, 8, 2},
-		{"+2 nodes (cores)", ompss.Cluster(8, 2, 2, 6), 20, 2},
-		{"+2 nodes (1 GPU each)", ompss.ClusterGPU(8, 2, 2, 6, 1), 20, 4},
-		{"+4 nodes (1 GPU each)", ompss.ClusterGPU(8, 2, 4, 6, 1), 32, 6},
+		{"1 node", exp.MachineNode, 8, 2},
+		{"+2 nodes (cores)", "cluster:2x6", 20, 2},
+		{"+2 nodes (1 GPU each)", "cluster:2x6+1g", 20, 4},
+		{"+4 nodes (1 GPU each)", "cluster:4x6+1g", 32, 6},
 	}
 	for _, c := range cases {
 		rr, err := exp.Run(exp.RunSpec{
 			App:        "matmul-" + string(apps.MatmulHybrid),
 			Size:       expSize(opts),
 			Scheduler:  "versioning",
+			Machine:    c.machine,
 			SMPWorkers: c.smp,
 			GPUs:       c.gpus,
 			NoiseSigma: opts.Noise,
 			Seed:       opts.Seed,
-			Machine:    c.machine,
 		})
 		if err != nil {
 			return nil, err

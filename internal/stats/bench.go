@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark-regression support: parse `go test -bench` output into
+// per-benchmark ns/op figures, persist them as a committed baseline, and
+// compare a fresh run against it. The CI sweep job runs the pool
+// benchmarks with -count 3 and fails the push on a >25% slowdown.
+
+// ParseGoBench reads `go test -bench` text output and returns, per
+// benchmark (the -GOMAXPROCS suffix stripped), the minimum ns/op across
+// repetitions. The minimum — not the mean — is the stable statistic on
+// shared CI machines: noise only ever adds time, so the fastest of
+// -count N repetitions is the best estimate of the true cost.
+func ParseGoBench(r io.Reader) (map[string]float64, error) {
+	best := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// "BenchmarkName-8   3   8423412 ns/op [more unit pairs]"
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := trimProcsSuffix(fields[0])
+		var nsPerOp float64
+		found := false
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("stats: bad ns/op %q in bench line %q", fields[i], sc.Text())
+			}
+			nsPerOp, found = v, true
+			break
+		}
+		if !found {
+			continue
+		}
+		if prev, ok := best[name]; !ok || nsPerOp < prev {
+			best[name] = nsPerOp
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("stats: reading bench output: %w", err)
+	}
+	if len(best) == 0 {
+		return nil, fmt.Errorf("stats: no benchmark lines found")
+	}
+	return best, nil
+}
+
+// trimProcsSuffix drops go test's "-<GOMAXPROCS>" suffix so baselines
+// compare across machines with different core counts.
+func trimProcsSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// BenchBaseline is the committed baseline file format.
+type BenchBaseline struct {
+	// Note documents where the baseline numbers came from.
+	Note string `json:"note,omitempty"`
+	// NsPerOp maps benchmark name (procs suffix stripped) to ns/op.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+// WriteBenchBaseline renders a baseline deterministically (sorted keys,
+// indented) so regenerating it produces reviewable diffs.
+func WriteBenchBaseline(w io.Writer, b BenchBaseline) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b) // encoding/json sorts map keys
+}
+
+// ReadBenchBaseline parses a baseline file.
+func ReadBenchBaseline(r io.Reader) (BenchBaseline, error) {
+	var b BenchBaseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return BenchBaseline{}, fmt.Errorf("stats: parsing bench baseline: %w", err)
+	}
+	if len(b.NsPerOp) == 0 {
+		return BenchBaseline{}, fmt.Errorf("stats: bench baseline has no entries")
+	}
+	return b, nil
+}
+
+// BenchRegression is one benchmark that got slower than the gate allows.
+type BenchRegression struct {
+	Name       string
+	BaselineNs float64
+	CurrentNs  float64
+	Ratio      float64 // CurrentNs / BaselineNs
+}
+
+func (r BenchRegression) String() string {
+	return fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%.2fx, %.0f%% slower)",
+		r.Name, r.CurrentNs, r.BaselineNs, r.Ratio, (r.Ratio-1)*100)
+}
+
+// CompareBenchmarks gates current against a baseline: every baseline
+// benchmark must be present in current (a vanished benchmark is reported
+// in missing — deleting a benchmark must be a deliberate baseline edit,
+// not a silent gate bypass) and no slower than maxRatio times its
+// baseline ns/op (1.25 = fail beyond 25% slower). Regressions come back
+// sorted worst first.
+func CompareBenchmarks(baseline, current map[string]float64, maxRatio float64) (regressions []BenchRegression, missing []string) {
+	for name, base := range baseline {
+		cur, ok := current[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		if base <= 0 {
+			continue // a zero baseline cannot gate anything
+		}
+		if ratio := cur / base; ratio > maxRatio {
+			regressions = append(regressions, BenchRegression{
+				Name: name, BaselineNs: base, CurrentNs: cur, Ratio: ratio,
+			})
+		}
+	}
+	sort.Slice(regressions, func(i, j int) bool { return regressions[i].Ratio > regressions[j].Ratio })
+	sort.Strings(missing)
+	return regressions, missing
+}
