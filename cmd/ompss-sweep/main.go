@@ -12,6 +12,13 @@
 // including grown grids — only simulate cells whose hash is not on disk.
 // Cached cells reproduce their fresh output byte for byte.
 //
+// The cache directory is also a coordination substrate: -procs N spawns
+// N claim workers that partition one grid through atomically-created
+// lease files (no network layer), and -claim runs one such worker
+// directly — launch several by hand on hosts sharing a filesystem to
+// fan a campaign out across machines. Either way the merged output is
+// byte-identical to a single-process -parallel 1 run.
+//
 // Usage:
 //
 //	ompss-sweep                              # default 96-run campaign
@@ -21,6 +28,8 @@
 //	ompss-sweep -machines node,cluster:2x4+1g -smp 12 -gpus 2
 //	ompss-sweep -lambdas 0,6 -size-tolerances 0,0.25 -locality false,true
 //	ompss-sweep -cache .sweep-cache -csv out.csv   # resumable campaign
+//	ompss-sweep -cache /shared/c -procs 4 -csv out.csv  # 4-process fan-out
+//	ompss-sweep -cache /shared/c -claim      # one worker, e.g. per host
 //	ompss-sweep -list-apps                   # registered applications
 package main
 
@@ -29,9 +38,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/exp"
 )
@@ -53,6 +64,9 @@ func main() {
 		sizeFlag    = flag.String("size", "tiny", "problem size tier: tiny, quick or full")
 		parallel    = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size (1 = serial)")
 		cachePath   = flag.String("cache", "", "campaign cache directory: skip runs already on disk, store new ones")
+		procs       = flag.Int("procs", 1, "spawn this many claim-worker processes over -cache and merge their results")
+		claim       = flag.Bool("claim", false, "run as one claim worker: lease uncached cells of -cache, simulate, store, exit when the grid is fully cached")
+		leaseTTL    = flag.Duration("lease-ttl", exp.DefaultLeaseTTL, "claim-mode lease staleness threshold (crashed workers' cells are reclaimed after this)")
 		csvPath     = flag.String("csv", "", "write per-cell CSV to this file (- for stdout)")
 		jsonPath    = flag.String("json", "", "write per-cell JSON to this file (- for stdout)")
 		quiet       = flag.Bool("quiet", false, "suppress the progress and cache-stats lines")
@@ -100,6 +114,21 @@ func main() {
 		}
 		opts.Cache = cache
 	}
+	switch {
+	case *claim && *procs != 1:
+		fatal(fmt.Errorf("-claim and -procs are mutually exclusive (a worker never spawns workers)"))
+	case *claim && opts.Cache == nil:
+		fatal(fmt.Errorf("-claim requires -cache: the cache directory is the claim substrate"))
+	case *procs < 1:
+		fatal(fmt.Errorf("-procs must be at least 1, got %d", *procs))
+	case *procs > 1 && opts.Cache == nil:
+		fatal(fmt.Errorf("-procs requires -cache: workers partition the grid through the shared cache directory"))
+	case (*claim || *procs > 1) && *leaseTTL < time.Second:
+		// Library callers may pick shorter TTLs (tests do); at the CLI a
+		// sub-second TTL only manufactures spurious reclaims on any real
+		// filesystem, so reject it rather than default it silently.
+		fatal(fmt.Errorf("-lease-ttl %v is below the 1s minimum", *leaseTTL))
+	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "ompss-sweep: %d runs (%d cells x %d replicas), %d workers\n",
 			grid.NumRuns(), grid.NumCells(), *replicas, *parallel)
@@ -115,18 +144,51 @@ func main() {
 		}
 	}
 
-	res, err := exp.Sweep(grid, opts)
-	if !*quiet {
-		fmt.Fprintln(os.Stderr)
-	}
-	if err != nil {
-		fatal(err)
-	}
-	if opts.Cache != nil && !*quiet {
-		// Machine-greppable resume accounting; CI asserts simulated=0 on
-		// a fully warm re-run.
-		fmt.Fprintf(os.Stderr, "ompss-sweep: cache: simulated=%d cached=%d dir=%s\n",
-			res.Simulated, res.CacheHits, opts.Cache.Dir())
+	var res *exp.SweepResult
+	if *claim {
+		d := &exp.Dispatcher{
+			Cache:    opts.Cache,
+			TTL:      *leaseTTL,
+			Parallel: *parallel,
+			Progress: opts.Progress,
+		}
+		var stats exp.ClaimStats
+		var err error
+		res, stats, err = d.Claim(grid)
+		if !*quiet {
+			fmt.Fprintln(os.Stderr)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		// The claim accounting prints even under -quiet: it is the
+		// protocol evidence — CI sums simulated= across a worker fleet to
+		// assert every cell was simulated exactly once.
+		fmt.Fprintf(os.Stderr, "ompss-sweep: claim: %v dir=%s\n", stats, opts.Cache.Dir())
+	} else {
+		if *procs > 1 {
+			// Fan out: N claim workers partition the grid via cache
+			// leases, each exiting once the grid is fully cached. The
+			// sweep below then renders entirely from cache hits, so the
+			// output is byte-identical to a single-process run.
+			if err := spawnClaimWorkers(*procs, claimWorkerArgs(flag.CommandLine)); err != nil {
+				fatal(err)
+			}
+		}
+		var err error
+		res, err = exp.Sweep(grid, opts)
+		if !*quiet {
+			fmt.Fprintln(os.Stderr)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if opts.Cache != nil && !*quiet {
+			// Machine-greppable resume accounting; CI asserts simulated=0
+			// on a fully warm re-run and after a -procs fan-out.
+			fmt.Fprintf(os.Stderr, "ompss-sweep: cache: simulated=%d cached=%d dir=%s\n",
+				res.Simulated, res.CacheHits, opts.Cache.Dir())
+		}
 	}
 
 	if *csvPath != "" {
@@ -142,6 +204,58 @@ func main() {
 	if !*noSummary {
 		fmt.Print(exp.FormatSummary(res))
 	}
+}
+
+// claimWorkerArgs reproduces the coordinator's grid-defining flags for a
+// worker process, forcing claim mode and muting per-worker rendering
+// (the coordinator renders once, from the merged cache). Every flag is
+// passed explicitly — defaults included — so a worker can never drift
+// from the coordinator's grid.
+func claimWorkerArgs(fl *flag.FlagSet) []string {
+	skip := map[string]bool{
+		"procs": true, "claim": true, "csv": true, "json": true,
+		"quiet": true, "no-summary": true, "list-apps": true,
+	}
+	args := []string{"-claim", "-quiet", "-no-summary"}
+	fl.VisitAll(func(f *flag.Flag) {
+		if !skip[f.Name] {
+			args = append(args, "-"+f.Name+"="+f.Value.String())
+		}
+	})
+	return args
+}
+
+// spawnClaimWorkers re-execs this binary n times in claim mode and waits
+// for the whole fleet; a worker exits 0 only once the entire grid is
+// cached, so a clean fleet implies a complete cache.
+func spawnClaimWorkers(n int, args []string) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("resolving own binary for -procs: %w", err)
+	}
+	cmds := make([]*exec.Cmd, 0, n)
+	for i := 0; i < n; i++ {
+		c := exec.Command(exe, args...)
+		// Workers write stats to stderr and render nothing; route their
+		// stdout to stderr too so nothing can pollute a `-csv -` stream.
+		c.Stdout = os.Stderr
+		c.Stderr = os.Stderr
+		if err := c.Start(); err != nil {
+			for _, prev := range cmds {
+				prev.Process.Kill()
+				prev.Wait()
+			}
+			return fmt.Errorf("starting claim worker %d/%d: %w", i+1, n, err)
+		}
+		cmds = append(cmds, c)
+	}
+	var firstErr error
+	for i, c := range cmds {
+		if err := c.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("claim worker %d/%d: %w", i+1, n, err)
+		}
+	}
+	return firstErr
 }
 
 func writeTo(path string, res *exp.SweepResult, write func(w io.Writer, res *exp.SweepResult) error) error {

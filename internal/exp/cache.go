@@ -32,6 +32,14 @@ const CacheFormatVersion = 1
 //   - Concurrent writers are safe: entries are written to a temp file
 //     and renamed into place, and two writers of the same hash are by
 //     construction writing identical bytes.
+//
+// The directory is also the coordination substrate for multi-process
+// campaigns: claimants serialize work through <hash>.json.lease files
+// (see TryLease and Dispatcher), so N processes — or N hosts sharing
+// the directory — partition one grid with no network layer. The spec
+// hash pins the simulator-behaviour fingerprint (SimBehaviorVersion),
+// so a shared cache can never satisfy a spec with results computed
+// under a different model.
 type Cache struct {
 	dir string
 }
@@ -70,7 +78,13 @@ func (c *Cache) path(hash string) string {
 // read side.
 func (c *Cache) Load(spec RunSpec) (RunResult, bool) {
 	spec.fillDefaults()
-	hash := spec.Hash()
+	return c.load(spec, spec.Hash())
+}
+
+// load is Load with the hash precomputed and the spec already
+// default-filled — the dispatcher's claim loop rescans pending cells
+// every poll pass and must not pay canonicalization + SHA-256 each time.
+func (c *Cache) load(spec RunSpec, hash string) (RunResult, bool) {
 	data, err := os.ReadFile(c.path(hash))
 	if err != nil {
 		return RunResult{}, false

@@ -1,0 +1,242 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDispatchSoloClaim(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := smallGrid(1, 2) // 8 runs
+	d := &Dispatcher{Cache: cache, Parallel: 3, run: fakeRun}
+	res, stats, err := d.Claim(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Runs != 8 || stats.Simulated != 8 || stats.Hits != 0 || stats.Claimed != 8 || stats.Reclaimed != 0 {
+		t.Fatalf("cold claim stats: %v", stats)
+	}
+	if res.Simulated != 8 || res.CacheHits != 0 {
+		t.Fatalf("cold claim result counters: simulated=%d hits=%d", res.Simulated, res.CacheHits)
+	}
+	if hashes, _ := cache.Leases(); len(hashes) != 0 {
+		t.Errorf("leases left behind: %v", hashes)
+	}
+
+	// The claim result renders byte-identically to a plain -parallel 1
+	// sweep of the same grid.
+	plain, err := sweep(g, SweepOptions{Parallel: 1}, fakeRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderCSV(t, res), renderCSV(t, plain); got != want {
+		t.Errorf("claim CSV differs from sweep CSV:\n%s\nvs\n%s", got, want)
+	}
+
+	// A second claimant over the warm cache simulates nothing.
+	var called bool
+	d2 := &Dispatcher{Cache: cache, run: func(s RunSpec) (RunResult, error) {
+		called = true
+		return fakeRun(s)
+	}}
+	res2, stats2, err := d2.Claim(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if called || stats2.Simulated != 0 || stats2.Hits != 8 || stats2.Claimed != 0 {
+		t.Fatalf("warm claim stats: %v (ran=%t)", stats2, called)
+	}
+	if got, want := renderCSV(t, res2), renderCSV(t, plain); got != want {
+		t.Errorf("warm claim CSV differs from sweep CSV:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestDispatchConcurrentClaimants is the exactly-once acceptance test:
+// N claimants (each with its own worker pool) race over one cache
+// directory, and every cell must be simulated by exactly one of them —
+// no cell lost, none simulated twice — while all N converge on results
+// that render byte-identically to a cold serial sweep. Run under -race
+// this also proves the claim loop shares no unsynchronized state.
+func TestDispatchConcurrentClaimants(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Grid{
+		Apps:       []string{"matmul-hyb"},
+		Schedulers: []string{"bf", "dep"},
+		SMPWorkers: []int{1, 2},
+		GPUs:       []int{1, 2},
+		Noise:      []float64{0},
+		Replicas:   3,
+	} // 24 runs
+	var (
+		mu       sync.Mutex
+		simCount = map[string]int{} // spec hash -> times simulated
+	)
+	counting := func(s RunSpec) (RunResult, error) {
+		mu.Lock()
+		simCount[s.Hash()]++
+		mu.Unlock()
+		time.Sleep(time.Millisecond) // widen the claim races
+		return fakeRun(s)
+	}
+
+	const claimants = 4
+	results := make([]*SweepResult, claimants)
+	allStats := make([]ClaimStats, claimants)
+	var wg sync.WaitGroup
+	for i := 0; i < claimants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d := &Dispatcher{
+				Cache:    cache,
+				Owner:    fmt.Sprintf("claimant-%d", i),
+				Parallel: 2,
+				Poll:     5 * time.Millisecond,
+				run:      counting,
+			}
+			res, stats, err := d.Claim(g)
+			if err != nil {
+				t.Errorf("claimant %d: %v", i, err)
+				return
+			}
+			results[i], allStats[i] = res, stats
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	specs := g.Runs()
+	mu.Lock()
+	defer mu.Unlock()
+	for _, s := range specs {
+		if n := simCount[s.Hash()]; n != 1 {
+			t.Errorf("cell %v simulated %d times, want exactly once", s, n)
+		}
+	}
+	if len(simCount) != len(specs) {
+		t.Errorf("simulated %d distinct cells, want %d", len(simCount), len(specs))
+	}
+	totalSim, totalHits := 0, 0
+	for i, s := range allStats {
+		if s.Simulated+s.Hits != len(specs) {
+			t.Errorf("claimant %d: simulated=%d + hits=%d != runs=%d", i, s.Simulated, s.Hits, len(specs))
+		}
+		totalSim += s.Simulated
+		totalHits += s.Hits
+	}
+	if totalSim != len(specs) {
+		t.Errorf("fleet simulated %d runs in total, want %d", totalSim, len(specs))
+	}
+	if totalHits != (claimants-1)*len(specs) {
+		t.Errorf("fleet hits = %d, want %d", totalHits, (claimants-1)*len(specs))
+	}
+	if hashes, _ := cache.Leases(); len(hashes) != 0 {
+		t.Errorf("leases left behind: %v", hashes)
+	}
+
+	cold, err := sweep(g, SweepOptions{Parallel: 1}, fakeRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderCSV(t, cold)
+	for i, res := range results {
+		if got := renderCSV(t, res); got != want {
+			t.Errorf("claimant %d CSV differs from cold serial sweep:\n%s\nvs\n%s", i, got, want)
+		}
+	}
+}
+
+// TestDispatchRealSimulation: claim mode on real simulations must render
+// byte-identically to Sweep, hits included.
+func TestDispatchRealSimulation(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Grid{
+		Apps:       []string{"matmul-hyb"},
+		Schedulers: []string{"bf", "versioning"},
+		SMPWorkers: []int{2},
+		GPUs:       []int{1},
+		Noise:      []float64{0.05},
+		Replicas:   2,
+	} // 4 real runs
+	d := &Dispatcher{Cache: cache, Parallel: 2}
+	res, stats, err := d.Claim(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Simulated != 4 || stats.Hits != 0 {
+		t.Fatalf("claim stats: %v", stats)
+	}
+	cold, err := Sweep(g, SweepOptions{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderCSV(t, res), renderCSV(t, cold); got != want {
+		t.Errorf("claim CSV differs from sweep CSV:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestDispatchErrors(t *testing.T) {
+	if _, _, err := (&Dispatcher{}).Claim(Grid{}); err == nil {
+		t.Error("Claim without a cache did not error")
+	}
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Dispatcher{Cache: cache, run: fakeRun}
+	if _, _, err := d.Claim(Grid{Apps: []string{"no-such-app"}}); err == nil {
+		t.Error("Claim of an invalid grid did not error")
+	}
+	// A failing run surfaces as the claim error, and its lease is
+	// released so peers are not blocked until the TTL.
+	boom := fmt.Errorf("boom")
+	failing := &Dispatcher{Cache: cache, Parallel: 2, run: func(s RunSpec) (RunResult, error) {
+		return RunResult{}, boom
+	}}
+	if _, _, err := failing.Claim(smallGrid(1)); err == nil {
+		t.Error("Claim did not surface the run error")
+	}
+	if hashes, _ := cache.Leases(); len(hashes) != 0 {
+		t.Errorf("failed claim left leases behind: %v", hashes)
+	}
+}
+
+func TestDispatchProgress(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls int
+	var lastDone int
+	d := &Dispatcher{
+		Cache:    cache,
+		Parallel: 1, // serialize so done counts arrive in order
+		run:      fakeRun,
+		Progress: func(done, total int, r RunResult) {
+			calls++
+			if total != 4 {
+				t.Errorf("progress total = %d, want 4", total)
+			}
+			lastDone = done
+		},
+	}
+	if _, _, err := d.Claim(smallGrid(1)); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 4 || lastDone != 4 {
+		t.Errorf("progress calls=%d lastDone=%d, want 4/4", calls, lastDone)
+	}
+}

@@ -6,7 +6,11 @@
 //
 // Each run owns a private sim.Engine, which is single-threaded and
 // deterministic, so the fan-out is embarrassingly parallel: results
-// depend only on the RunSpec, never on worker interleaving. The
+// depend only on the RunSpec, never on worker interleaving. Campaigns
+// scale past one process through the content-addressed result cache
+// (Cache) and the lease-based Dispatcher, which lets independent
+// claimant processes — local or on hosts sharing a filesystem —
+// partition one grid exactly-once with no network layer. The
 // cmd/ompss-sweep CLI drives campaigns through this package, and the
 // paper experiments in internal/harness are thin wrappers over Run.
 package exp

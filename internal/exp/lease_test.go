@@ -1,0 +1,154 @@
+package exp
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestLeaseAcquireContendRelease(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := (RunSpec{App: "matmul-hyb", GPUs: 1}).Hash()
+
+	l, reclaimed, err := cache.TryLease(hash, "owner-a", time.Minute)
+	if err != nil || l == nil || reclaimed {
+		t.Fatalf("first TryLease = %v, reclaimed=%t, %v", l, reclaimed, err)
+	}
+	if l.Hash() != hash {
+		t.Errorf("lease hash = %s, want %s", l.Hash(), hash)
+	}
+	// The lease file is self-describing JSON naming its owner.
+	data, err := os.ReadFile(cache.leasePath(hash))
+	if err != nil {
+		t.Fatalf("lease file unreadable: %v", err)
+	}
+	var info leaseInfo
+	if err := json.Unmarshal(data, &info); err != nil {
+		t.Fatalf("lease file is not JSON: %v (%q)", err, data)
+	}
+	if info.Owner != "owner-a" || info.PID != os.Getpid() {
+		t.Errorf("lease info = %+v", info)
+	}
+
+	// A second claimant must be refused while the lease is fresh.
+	if l2, _, err := cache.TryLease(hash, "owner-b", time.Minute); err != nil || l2 != nil {
+		t.Fatalf("contended TryLease = %v, %v; want nil, nil", l2, err)
+	}
+	if hashes, err := cache.Leases(); err != nil || len(hashes) != 1 || hashes[0] != hash {
+		t.Errorf("Leases() = %v, %v", hashes, err)
+	}
+
+	if err := l.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if hashes, _ := cache.Leases(); len(hashes) != 0 {
+		t.Errorf("leases left after release: %v", hashes)
+	}
+	// Released: the next claimant acquires without a reclaim.
+	if l3, reclaimed, err := cache.TryLease(hash, "owner-b", time.Minute); err != nil || l3 == nil || reclaimed {
+		t.Fatalf("post-release TryLease = %v, reclaimed=%t, %v", l3, reclaimed, err)
+	}
+}
+
+func TestLeaseStaleReclaim(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := (RunSpec{App: "matmul-hyb", GPUs: 1}).Hash()
+	dead, _, err := cache.TryLease(hash, "dead-owner", 50*time.Millisecond)
+	if err != nil || dead == nil {
+		t.Fatal(err)
+	}
+	// Not yet stale: refused, not reclaimed.
+	if l, reclaimed, _ := cache.TryLease(hash, "owner-b", 50*time.Millisecond); l != nil || reclaimed {
+		t.Fatalf("fresh lease reclaimed: %v, %t", l, reclaimed)
+	}
+	time.Sleep(80 * time.Millisecond) // no heartbeat: the lease goes stale
+	l, reclaimed, err := cache.TryLease(hash, "owner-b", 50*time.Millisecond)
+	if err != nil || l == nil || !reclaimed {
+		t.Fatalf("stale TryLease = %v, reclaimed=%t, %v; want lease, true", l, reclaimed, err)
+	}
+	// The dead owner's Release must not delete the new owner's lease.
+	if err := dead.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if hashes, _ := cache.Leases(); len(hashes) != 1 {
+		t.Errorf("new owner's lease destroyed by the old owner's release: %v", hashes)
+	}
+}
+
+func TestLeaseHeartbeatKeepsFresh(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := (RunSpec{App: "matmul-hyb", GPUs: 1}).Hash()
+	l, _, err := cache.TryLease(hash, "owner-a", 100*time.Millisecond)
+	if err != nil || l == nil {
+		t.Fatal(err)
+	}
+	// Refresh at ~TTL/3 for 3 TTLs: a rival must never get the lease.
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if err := l.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+		if rival, reclaimed, _ := cache.TryLease(hash, "owner-b", 100*time.Millisecond); rival != nil || reclaimed {
+			t.Fatalf("heartbeated lease lost to a rival (reclaimed=%t)", reclaimed)
+		}
+		time.Sleep(30 * time.Millisecond)
+	}
+}
+
+func TestLeaseRefreshAfterLossErrors(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := (RunSpec{App: "matmul-hyb", GPUs: 1}).Hash()
+	l, _, err := cache.TryLease(hash, "owner-a", time.Minute)
+	if err != nil || l == nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(cache.leasePath(hash)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Refresh(); err == nil {
+		t.Error("Refresh on a lost lease did not error")
+	}
+	if err := l.Release(); err != nil {
+		t.Errorf("Release on a lost lease = %v, want nil", err)
+	}
+}
+
+// TestLeaseNamesDoNotCollideWithCells: lease and reclaim-tombstone names
+// must never be mistaken for cell files by the cache reader.
+func TestLeaseNamesDoNotCollideWithCells(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := RunSpec{App: "matmul-hyb", GPUs: 1}
+	if l, _, err := cache.TryLease(spec.Hash(), "owner-a", time.Minute); err != nil || l == nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Load(spec); ok {
+		t.Fatal("a lease file read as a cached cell")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".json" {
+			t.Errorf("lease artifact %q could shadow a cell file", e.Name())
+		}
+	}
+}

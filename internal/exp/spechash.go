@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"unicode/utf8"
 )
 
 // SpecHashVersion is the format version of the canonical spec
@@ -13,22 +14,47 @@ import (
 // meaning of any serialized field) changes: the version is part of the
 // hashed bytes, so a bump invalidates every previously cached result at
 // once instead of silently aliasing old cells onto new semantics.
-const SpecHashVersion = 1
+//
+// v2: string fields are quoted (injective serialization — a field value
+// can no longer fake a `key=value` line), and the CacheFormatVersion and
+// SimBehaviorVersion fingerprints are folded in.
+const SpecHashVersion = 2
+
+// SimBehaviorVersion is the frozen simulator-behaviour fingerprint.
+// The spec hash identifies a *simulation outcome*, not just its inputs,
+// so shared caches (which outlive any one build — multi-process and
+// multi-host campaigns hand results across machines) must be invalidated
+// when the simulator itself changes. Bump this constant in the same
+// change as any edit that alters simulated results for an existing spec:
+// engine or scheduler behaviour, the memory/transfer model, performance
+// or noise models, or an application's task graph. Purely additive
+// changes (new apps, new schedulers, new grid axes with hash-neutral
+// defaults) must NOT bump it. The bump policy is documented in
+// internal/exp/README.md; the golden tests in spechash_test.go make
+// every bump (accidental or deliberate) visible in review.
+const SimBehaviorVersion = 1
 
 // CanonicalString renders every determinism-relevant axis of the spec in
-// a fixed key=value layout, defaults filled in, floats in Go's shortest
-// round-trippable form. Two specs describe the same simulation if and
-// only if their canonical strings are equal; the golden tests in
-// spechash_test.go freeze this format.
+// a fixed key=value layout, defaults filled in, strings quoted, floats
+// in Go's shortest round-trippable form. The header also pins the three
+// compatibility fingerprints (serialization, cell-file format, simulator
+// behaviour), so a cache directory shared between processes or hosts can
+// never serve a result produced under different semantics. Two specs
+// describe the same simulation under the same model if and only if their
+// canonical strings are equal; the golden tests in spechash_test.go
+// freeze this format and FuzzCanonicalSpec checks injectivity.
 func (s RunSpec) CanonicalString() string {
 	s.fillDefaults()
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	q := func(v string) string { return strconv.Quote(coerceUTF8(v)) }
 	var b strings.Builder
 	fmt.Fprintf(&b, "spechash/v%d\n", SpecHashVersion)
-	fmt.Fprintf(&b, "app=%s\n", s.App)
-	fmt.Fprintf(&b, "size=%s\n", s.Size)
-	fmt.Fprintf(&b, "scheduler=%s\n", s.Scheduler)
-	fmt.Fprintf(&b, "machine=%s\n", s.Machine)
+	fmt.Fprintf(&b, "format=%d\n", CacheFormatVersion)
+	fmt.Fprintf(&b, "model=%d\n", SimBehaviorVersion)
+	fmt.Fprintf(&b, "app=%s\n", q(s.App))
+	fmt.Fprintf(&b, "size=%s\n", q(string(s.Size)))
+	fmt.Fprintf(&b, "scheduler=%s\n", q(s.Scheduler))
+	fmt.Fprintf(&b, "machine=%s\n", q(string(s.Machine)))
 	fmt.Fprintf(&b, "smp=%d\n", s.SMPWorkers)
 	fmt.Fprintf(&b, "gpus=%d\n", s.GPUs)
 	fmt.Fprintf(&b, "lambda=%d\n", s.Lambda)
@@ -40,10 +66,37 @@ func (s RunSpec) CanonicalString() string {
 	return b.String()
 }
 
+// coerceUTF8 rewrites each invalid UTF-8 byte to U+FFFD, byte for byte —
+// exactly the substitution encoding/json applies when marshaling a
+// string. Cache cells store their spec as JSON, so without this a spec
+// holding invalid bytes would hash differently after rehydration in
+// another process and its stored cell would self-invalidate forever
+// (found by FuzzCanonicalSpec; such strings never pass Grid.Validate,
+// but the hash must be total anyway).
+func coerceUTF8(s string) string {
+	if utf8.ValidString(s) {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b.WriteRune(utf8.RuneError)
+			i++
+			continue
+		}
+		b.WriteString(s[i : i+size])
+		i += size
+	}
+	return b.String()
+}
+
 // Hash is the content address of the spec: the SHA-256 of its canonical
 // string, in lowercase hex. Equal specs (after default filling) hash
-// equal; any change to any simulated-behaviour axis changes the hash.
-// The result cache files are named by this hash.
+// equal; any change to any simulated-behaviour axis — or to the
+// simulator-behaviour fingerprint — changes the hash. The result cache
+// files and their lease files are named by this hash.
 func (s RunSpec) Hash() string {
 	sum := sha256.Sum256([]byte(s.CanonicalString()))
 	return hex.EncodeToString(sum[:])

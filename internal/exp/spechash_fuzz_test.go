@@ -1,0 +1,172 @@
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseCanonical is the test-side inverse of RunSpec.CanonicalString: it
+// reconstructs a (default-filled) spec from the canonical serialization,
+// failing on any layout drift. Existence of this inverse is what makes
+// the serialization injective — and injectivity is what makes the spec
+// hash a safe cache key for caches shared between processes and hosts.
+func parseCanonical(s string) (RunSpec, error) {
+	lines := strings.Split(s, "\n")
+	if len(lines) != 16 || lines[15] != "" {
+		return RunSpec{}, fmt.Errorf("want 15 lines + trailing newline, got %d: %q", len(lines), s)
+	}
+	if lines[0] != fmt.Sprintf("spechash/v%d", SpecHashVersion) {
+		return RunSpec{}, fmt.Errorf("bad header %q", lines[0])
+	}
+	kv := func(i int, key string) (string, error) {
+		prefix := key + "="
+		if !strings.HasPrefix(lines[i], prefix) {
+			return "", fmt.Errorf("line %d: want key %q, got %q", i, key, lines[i])
+		}
+		return lines[i][len(prefix):], nil
+	}
+	var spec RunSpec
+	var err error
+	str := func(i int, key string, dst *string) {
+		if err != nil {
+			return
+		}
+		var raw string
+		if raw, err = kv(i, key); err == nil {
+			*dst, err = strconv.Unquote(raw)
+		}
+	}
+	num := func(i int, key string, parse func(string) error) {
+		if err != nil {
+			return
+		}
+		var raw string
+		if raw, err = kv(i, key); err == nil {
+			err = parse(raw)
+		}
+	}
+	num(1, "format", func(v string) error {
+		if v != strconv.Itoa(CacheFormatVersion) {
+			return fmt.Errorf("format fingerprint %q", v)
+		}
+		return nil
+	})
+	num(2, "model", func(v string) error {
+		if v != strconv.Itoa(SimBehaviorVersion) {
+			return fmt.Errorf("model fingerprint %q", v)
+		}
+		return nil
+	})
+	str(3, "app", &spec.App)
+	var size, machine string
+	str(4, "size", &size)
+	str(5, "scheduler", &spec.Scheduler)
+	str(6, "machine", &machine)
+	spec.Size, spec.Machine = Size(size), MachineSpec(machine)
+	num(7, "smp", func(v string) (e error) { spec.SMPWorkers, e = strconv.Atoi(v); return })
+	num(8, "gpus", func(v string) (e error) { spec.GPUs, e = strconv.Atoi(v); return })
+	num(9, "lambda", func(v string) (e error) { spec.Lambda, e = strconv.Atoi(v); return })
+	num(10, "size_tolerance", func(v string) (e error) { spec.SizeTolerance, e = strconv.ParseFloat(v, 64); return })
+	num(11, "ewma_alpha", func(v string) (e error) { spec.EWMAAlpha, e = strconv.ParseFloat(v, 64); return })
+	num(12, "locality_aware", func(v string) (e error) { spec.LocalityAware, e = strconv.ParseBool(v); return })
+	num(13, "noise", func(v string) (e error) { spec.NoiseSigma, e = strconv.ParseFloat(v, 64); return })
+	num(14, "seed", func(v string) (e error) { spec.Seed, e = strconv.ParseInt(v, 10, 64); return })
+	return spec, err
+}
+
+// FuzzCanonicalSpec hammers the canonical serialization with arbitrary
+// field values (including hostile strings full of newlines, quotes and
+// `key=` fragments that a grid would never validate but a hand-written
+// cache tool might feed in) and asserts the three properties the shared
+// cache depends on:
+//
+//  1. round-trip: the canonical string parses back to a spec that
+//     re-canonicalizes byte-identically;
+//  2. hash stability: Hash() is exactly SHA-256(CanonicalString()) and
+//     survives a JSON round-trip of the spec (so a spec rehydrated by
+//     another process — the cache stores specs as JSON — addresses the
+//     same cell after any number of restarts);
+//  3. field sensitivity: any two specs differing in one
+//     (default-filled) field hash differently.
+func FuzzCanonicalSpec(f *testing.F) {
+	f.Add("matmul-hyb", "tiny", "versioning", "node", 2, 1, 0, 0.0, 0.0, false, 0.05, int64(1))
+	f.Add("", "", "", "", 0, 0, 0, 0.0, 0.0, false, 0.0, int64(0))
+	f.Add("pbpi-smp", "full", "dep", "cluster:2x6+1g", 20, 4, 6, 0.25, 0.3, true, 0.1, int64(1000004))
+	// Injection attempts: values that mimic canonical lines.
+	f.Add("x\nsize=\"tiny\"", "", "a\"b", "c\\d", -3, -1, -6, -0.5, 2.0, true, -1.0, int64(-9))
+	f.Add("seed=7", "tiny\n", "\n", "=", 1<<30, 99, 7, 1e300, -1e-300, false, 0.5, int64(7))
+
+	f.Fuzz(func(t *testing.T, app, size, sched, machine string,
+		smp, gpus, lambda int, tol, alpha float64, locality bool, noise float64, seed int64) {
+		spec := RunSpec{
+			App: app, Size: Size(size), Scheduler: sched, Machine: MachineSpec(machine),
+			SMPWorkers: smp, GPUs: gpus, Lambda: lambda,
+			SizeTolerance: tol, EWMAAlpha: alpha, LocalityAware: locality,
+			NoiseSigma: noise, Seed: seed,
+		}
+		canon := spec.CanonicalString()
+
+		// 1. Round-trip through the inverse parser.
+		parsed, err := parseCanonical(canon)
+		if err != nil {
+			t.Fatalf("canonical string does not parse: %v\n%s", err, canon)
+		}
+		if got := parsed.CanonicalString(); got != canon {
+			t.Fatalf("round trip changed the canonical string:\n%s\nvs\n%s", got, canon)
+		}
+
+		// 2. Hash stability: content-addressed and restart/JSON-proof.
+		sum := sha256.Sum256([]byte(canon))
+		if got, want := spec.Hash(), hex.EncodeToString(sum[:]); got != want {
+			t.Fatalf("Hash() = %s, want SHA-256 of canonical string %s", got, want)
+		}
+		data, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var rehydrated RunSpec
+		if err := json.Unmarshal(data, &rehydrated); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if rehydrated.Hash() != spec.Hash() {
+			t.Fatalf("hash changed across a JSON round-trip:\n%s\nvs\n%s",
+				rehydrated.CanonicalString(), canon)
+		}
+
+		// 3. Sensitivity: perturb each field in a way guaranteed to change
+		// its canonical rendering (guards skip mutations that defaults or
+		// float saturation — NaN, +Inf — map back onto the same rendering).
+		filled := spec
+		filled.fillDefaults()
+		mutations := map[string]func(*RunSpec){
+			"app":            func(s *RunSpec) { s.App += "x" },
+			"size":           func(s *RunSpec) { s.Size = filled.Size + "x" },
+			"scheduler":      func(s *RunSpec) { s.Scheduler = filled.Scheduler + "x" },
+			"machine":        func(s *RunSpec) { s.Machine = filled.Machine + "x" },
+			"smp":            func(s *RunSpec) { s.SMPWorkers = filled.SMPWorkers + 1 },
+			"gpus":           func(s *RunSpec) { s.GPUs++ },
+			"lambda":         func(s *RunSpec) { s.Lambda++ },
+			"size_tolerance": func(s *RunSpec) { s.SizeTolerance = tol + 1 },
+			"ewma_alpha":     func(s *RunSpec) { s.EWMAAlpha = alpha + 1 },
+			"locality":       func(s *RunSpec) { s.LocalityAware = !locality },
+			"noise":          func(s *RunSpec) { s.NoiseSigma = noise + 1 },
+			"seed":           func(s *RunSpec) { s.Seed = seed + 1 },
+		}
+		for name, mutate := range mutations {
+			mutated := spec
+			mutate(&mutated)
+			if mutated.CanonicalString() == canon {
+				continue // mutation didn't change the rendering (NaN+1, Inf+1, wraparound)
+			}
+			if mutated.Hash() == spec.Hash() {
+				t.Errorf("specs differing in %s hash identically:\n%s\nvs\n%s",
+					name, mutated.CanonicalString(), canon)
+			}
+		}
+	})
+}

@@ -19,31 +19,31 @@ func TestSpecHashGolden(t *testing.T) {
 		{
 			name: "zero-spec-defaults",
 			spec: RunSpec{},
-			want: "b829c01646ff431a14be25f5cac42c0276d623fd189264b00143f97ace6fa7f8",
+			want: "0509b63a80f25266254db477bf87b9fabf66bdf05181687cabc0b77592e15dbd",
 		},
 		{
 			name: "minimal-app",
 			spec: RunSpec{App: "matmul-hyb", GPUs: 1},
-			want: "cd7035c9936dca338bb912b03ca320faa83f347abc766ec59bfa1809aa13c12c",
+			want: "8cb68ec9d6dab90365a6f063364d66057a99e54d1f5ed478a99ef138eca80b05",
 		},
 		{
 			name: "core-axes",
 			spec: RunSpec{App: "matmul-hyb", Size: SizeQuick, Scheduler: "bf",
 				SMPWorkers: 4, GPUs: 2, NoiseSigma: 0.05, Seed: 42},
-			want: "2826805bd9e8907b5eeadb6b68a59969bb00b92c990688b1ca83cf79a355bfa1",
+			want: "5e424cd7631953afbf92b4d98341f4e97fafea54b06cb019b95e771b6125bbb7",
 		},
 		{
 			name: "extension-knobs",
 			spec: RunSpec{App: "cholesky-potrf-hyb", Scheduler: "versioning",
 				SMPWorkers: 2, GPUs: 2, Lambda: 6, SizeTolerance: 0.25,
 				EWMAAlpha: 0.3, LocalityAware: true, NoiseSigma: 0.1, Seed: 7},
-			want: "9b40db7a8bea432dd0d9366155b011a863059a31e6daa49368f7d58d62c64210",
+			want: "761c56b0a9593e327700989ac0ac488d2ad44c0021660a579ef580f178d4969d",
 		},
 		{
 			name: "cluster-machine",
 			spec: RunSpec{App: "pbpi-smp", Scheduler: "dep", Machine: "cluster:2x6+1g",
 				SMPWorkers: 20, GPUs: 4, Seed: 1000004},
-			want: "6bbf154022fec387012936c9f6c883d66017f87808ad38f3108bf2a9be3637f3",
+			want: "cbfa26f38c67c08de0dbf0ec3002a79b7c19290c08a54ea2cc43c7b625faf81a",
 		},
 	}
 	for _, c := range cases {
@@ -61,11 +61,13 @@ func TestCanonicalStringFormat(t *testing.T) {
 	s := RunSpec{App: "matmul-hyb", Scheduler: "bf", SMPWorkers: 2, GPUs: 1,
 		NoiseSigma: 0.05, Seed: 3}
 	want := strings.Join([]string{
-		"spechash/v1",
-		"app=matmul-hyb",
-		"size=tiny",
-		"scheduler=bf",
-		"machine=node",
+		"spechash/v2",
+		"format=1",
+		"model=1",
+		`app="matmul-hyb"`,
+		`size="tiny"`,
+		`scheduler="bf"`,
+		`machine="node"`,
 		"smp=2",
 		"gpus=1",
 		"lambda=0",

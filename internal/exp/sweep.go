@@ -74,6 +74,32 @@ func Sweep(g Grid, o SweepOptions) (*SweepResult, error) {
 	return sweep(g, o, Run)
 }
 
+// loadOrRun satisfies one spec: a cache hit if available, otherwise a
+// fresh simulation persisted back to the cache (a nil cache always
+// simulates). This is the single resolution path shared by the
+// in-process pool (sweep) and the multi-process claim loop (Dispatcher),
+// so both modes have identical hit semantics and store-failure handling:
+// a store failure (disk full, unwritable dir) fails the campaign,
+// because a silently unpersisted result is exactly what the cache exists
+// to prevent.
+func loadOrRun(cache *Cache, spec RunSpec, run func(RunSpec) (RunResult, error)) (RunResult, bool, error) {
+	if cache != nil {
+		if rr, ok := cache.Load(spec); ok {
+			return rr, true, nil
+		}
+	}
+	rr, err := run(spec)
+	if err != nil {
+		return RunResult{}, false, err
+	}
+	if cache != nil {
+		if err := cache.Store(rr); err != nil {
+			return RunResult{}, false, err
+		}
+	}
+	return rr, false, nil
+}
+
 // sweep is Sweep with an injectable runner, so tests can bound-check the
 // pool and build golden outputs without simulating.
 func sweep(g Grid, o SweepOptions, run func(RunSpec) (RunResult, error)) (*SweepResult, error) {
@@ -113,23 +139,7 @@ func sweep(g Grid, o SweepOptions, run func(RunSpec) (RunResult, error)) (*Sweep
 				if abort {
 					continue // drain remaining jobs without running them
 				}
-				var (
-					rr  RunResult
-					err error
-					hit bool
-				)
-				if o.Cache != nil {
-					rr, hit = o.Cache.Load(specs[idx])
-				}
-				if !hit {
-					rr, err = run(specs[idx])
-					if err == nil && o.Cache != nil {
-						// A store failure (disk full, unwritable dir) fails
-						// the sweep: a silently unpersisted campaign is
-						// exactly what the cache exists to prevent.
-						err = o.Cache.Store(rr)
-					}
-				}
+				rr, hit, err := loadOrRun(o.Cache, specs[idx], run)
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
