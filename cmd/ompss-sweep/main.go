@@ -7,17 +7,31 @@
 // Each run's simulation engine is single-threaded and deterministic, so
 // the CSV/JSON outputs are byte-identical at any -parallel value.
 //
+// The CLI is a thin shell over internal/exp's Campaign engine; every
+// mode below composes the same three extension points:
+//
+//   - Planner (-plan order|cost): execution order of uncached cells.
+//     "cost" prefers expensive cells using wall costs recorded in the
+//     cache, so claim fleets stop serializing on a late big cell.
+//   - Observer: drives the progress line and the -watch mode.
+//   - ArtifactSink (-trace-dir DIR): one Paraver .prv/.pcf pair per
+//     freshly simulated run. Cached cells are not re-simulated and so
+//     emit no trace (use a fresh cache directory to re-export).
+//
 // With -cache DIR campaigns are resumable: every completed run is stored
-// as a JSON file named by its spec's content hash, and later sweeps —
-// including grown grids — only simulate cells whose hash is not on disk.
-// Cached cells reproduce their fresh output byte for byte.
+// as a JSON file named by its spec's content hash (with its wall cost),
+// and later sweeps — including grown grids — only simulate cells whose
+// hash is not on disk. Cached cells reproduce their fresh output byte
+// for byte.
 //
 // The cache directory is also a coordination substrate: -procs N spawns
 // N claim workers that partition one grid through atomically-created
 // lease files (no network layer), and -claim runs one such worker
 // directly — launch several by hand on hosts sharing a filesystem to
 // fan a campaign out across machines. Either way the merged output is
-// byte-identical to a single-process -parallel 1 run.
+// byte-identical to a single-process -parallel 1 run. `-watch DIR`
+// tails such a shared directory from any host: cells done, leases
+// outstanding with owner and heartbeat age.
 //
 // Usage:
 //
@@ -26,10 +40,13 @@
 //	ompss-sweep -apps matmul-hyb,pbpi-hyb -schedulers dep,versioning \
 //	            -smp 1,2,4 -gpus 1,2 -noise 0.02,0.1 -replicas 5
 //	ompss-sweep -machines node,cluster:2x4+1g -smp 12 -gpus 2
-//	ompss-sweep -lambdas 0,6 -size-tolerances 0,0.25 -locality false,true
 //	ompss-sweep -cache .sweep-cache -csv out.csv   # resumable campaign
+//	ompss-sweep -cache .sweep-cache -trace-dir traces/  # per-run Paraver
+//	ompss-sweep -cache .sweep-cache -plan cost     # expensive cells first
 //	ompss-sweep -cache /shared/c -procs 4 -csv out.csv  # 4-process fan-out
 //	ompss-sweep -cache /shared/c -claim      # one worker, e.g. per host
+//	ompss-sweep -watch /shared/c             # tail a campaign from anywhere
+//	ompss-sweep -cost-csv costs.csv -cache .sweep-cache  # per-run wall costs
 //	ompss-sweep -list-apps                   # registered applications
 package main
 
@@ -64,11 +81,17 @@ func main() {
 		sizeFlag    = flag.String("size", "tiny", "problem size tier: tiny, quick or full")
 		parallel    = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size (1 = serial)")
 		cachePath   = flag.String("cache", "", "campaign cache directory: skip runs already on disk, store new ones")
+		planFlag    = flag.String("plan", "order", "uncached-cell execution order: order (grid expansion) or cost (most expensive first, from costs recorded in -cache)")
+		traceDir    = flag.String("trace-dir", "", "write one Paraver .prv/.pcf pair per freshly simulated run into this directory")
 		procs       = flag.Int("procs", 1, "spawn this many claim-worker processes over -cache and merge their results")
 		claim       = flag.Bool("claim", false, "run as one claim worker: lease uncached cells of -cache, simulate, store, exit when the grid is fully cached")
 		leaseTTL    = flag.Duration("lease-ttl", exp.DefaultLeaseTTL, "claim-mode lease staleness threshold (crashed workers' cells are reclaimed after this)")
+		watchDir    = flag.String("watch", "", "tail this campaign cache directory (cells done, leases outstanding) instead of sweeping; uses the grid flags for the total")
+		watchEvery  = flag.Duration("watch-interval", time.Second, "poll interval for -watch")
 		csvPath     = flag.String("csv", "", "write per-cell CSV to this file (- for stdout)")
 		jsonPath    = flag.String("json", "", "write per-cell JSON to this file (- for stdout)")
+		costCSV     = flag.String("cost-csv", "", "write per-run wall-clock cost CSV to this file (- for stdout; execution facts, not deterministic)")
+		costJSON    = flag.String("cost-json", "", "write per-run wall-clock cost JSON to this file (- for stdout)")
 		quiet       = flag.Bool("quiet", false, "suppress the progress and cache-stats lines")
 		noSummary   = flag.Bool("no-summary", false, "suppress the text summary table")
 		listApps    = flag.Bool("list-apps", false, "list registered applications and exit")
@@ -106,22 +129,35 @@ func main() {
 		fatal(err)
 	}
 
-	opts := exp.SweepOptions{Parallel: *parallel}
+	if *watchDir != "" {
+		if *claim || *procs > 1 {
+			fatal(fmt.Errorf("-watch is an observer, not a worker: drop -claim/-procs"))
+		}
+		if *watchEvery < 100*time.Millisecond {
+			// The watch directory is typically a shared filesystem; a
+			// zero/negative interval would busy-loop ReadDir+Stat against
+			// it, degrading it for the actual workers.
+			fatal(fmt.Errorf("-watch-interval %v is below the 100ms minimum", *watchEvery))
+		}
+		watch(*watchDir, grid, *watchEvery)
+		return
+	}
+
+	var cache *exp.Cache
 	if *cachePath != "" {
-		cache, err := exp.OpenCache(*cachePath)
+		cache, err = exp.OpenCache(*cachePath)
 		if err != nil {
 			fatal(err)
 		}
-		opts.Cache = cache
 	}
 	switch {
 	case *claim && *procs != 1:
 		fatal(fmt.Errorf("-claim and -procs are mutually exclusive (a worker never spawns workers)"))
-	case *claim && opts.Cache == nil:
+	case *claim && cache == nil:
 		fatal(fmt.Errorf("-claim requires -cache: the cache directory is the claim substrate"))
 	case *procs < 1:
 		fatal(fmt.Errorf("-procs must be at least 1, got %d", *procs))
-	case *procs > 1 && opts.Cache == nil:
+	case *procs > 1 && cache == nil:
 		fatal(fmt.Errorf("-procs requires -cache: workers partition the grid through the shared cache directory"))
 	case (*claim || *procs > 1) && *leaseTTL < time.Second:
 		// Library callers may pick shorter TTLs (tests do); at the CLI a
@@ -129,32 +165,35 @@ func main() {
 		// filesystem, so reject it rather than default it silently.
 		fatal(fmt.Errorf("-lease-ttl %v is below the 1s minimum", *leaseTTL))
 	}
-	if !*quiet {
-		fmt.Fprintf(os.Stderr, "ompss-sweep: %d runs (%d cells x %d replicas), %d workers\n",
-			grid.NumRuns(), grid.NumCells(), *replicas, *parallel)
-		opts.Progress = func(done, total int, r exp.RunResult) {
-			// \x1b[K clears the remnants of a longer previous line;
-			// the terminating newline comes after Sweep returns since
-			// progress calls may arrive slightly out of done-order.
-			tag := ""
-			if r.Cached {
-				tag = " (cached)"
-			}
-			fmt.Fprintf(os.Stderr, "\r\x1b[K[%d/%d] %v%s", done, total, r.Spec, tag)
+
+	planner, err := exp.NewPlanner(*planFlag, cache)
+	if err != nil {
+		fatal(err)
+	}
+	camp := exp.Campaign{
+		Grid:     grid,
+		Cache:    cache,
+		Parallel: *parallel,
+		Planner:  planner,
+	}
+	if *traceDir != "" {
+		sink, err := exp.NewTraceDirSink(*traceDir)
+		if err != nil {
+			fatal(err)
 		}
+		camp.Sink = sink
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "ompss-sweep: %d runs (%d cells x %d replicas), %d workers, plan=%s\n",
+			grid.NumRuns(), grid.NumCells(), *replicas, *parallel, planner.Name())
+		camp.Observer = progressRenderer(os.Stderr, grid.NumRuns())
 	}
 
 	var res *exp.SweepResult
 	if *claim {
-		d := &exp.Dispatcher{
-			Cache:    opts.Cache,
-			TTL:      *leaseTTL,
-			Parallel: *parallel,
-			Progress: opts.Progress,
-		}
+		camp.Claim = &exp.ClaimOptions{TTL: *leaseTTL}
 		var stats exp.ClaimStats
-		var err error
-		res, stats, err = d.Claim(grid)
+		res, stats, err = camp.Execute()
 		if !*quiet {
 			fmt.Fprintln(os.Stderr)
 		}
@@ -164,30 +203,29 @@ func main() {
 		// The claim accounting prints even under -quiet: it is the
 		// protocol evidence — CI sums simulated= across a worker fleet to
 		// assert every cell was simulated exactly once.
-		fmt.Fprintf(os.Stderr, "ompss-sweep: claim: %v dir=%s\n", stats, opts.Cache.Dir())
+		fmt.Fprintf(os.Stderr, "ompss-sweep: claim: %v dir=%s\n", stats, cache.Dir())
 	} else {
 		if *procs > 1 {
 			// Fan out: N claim workers partition the grid via cache
 			// leases, each exiting once the grid is fully cached. The
-			// sweep below then renders entirely from cache hits, so the
+			// campaign below then renders entirely from cache hits, so the
 			// output is byte-identical to a single-process run.
 			if err := spawnClaimWorkers(*procs, claimWorkerArgs(flag.CommandLine)); err != nil {
 				fatal(err)
 			}
 		}
-		var err error
-		res, err = exp.Sweep(grid, opts)
+		res, _, err = camp.Execute()
 		if !*quiet {
 			fmt.Fprintln(os.Stderr)
 		}
 		if err != nil {
 			fatal(err)
 		}
-		if opts.Cache != nil && !*quiet {
+		if cache != nil && !*quiet {
 			// Machine-greppable resume accounting; CI asserts simulated=0
 			// on a fully warm re-run and after a -procs fan-out.
 			fmt.Fprintf(os.Stderr, "ompss-sweep: cache: simulated=%d cached=%d dir=%s\n",
-				res.Simulated, res.CacheHits, opts.Cache.Dir())
+				res.Simulated, res.CacheHits, cache.Dir())
 		}
 	}
 
@@ -201,8 +239,74 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *costCSV != "" {
+		if err := writeTo(*costCSV, res, exp.WriteCostCSV); err != nil {
+			fatal(err)
+		}
+	}
+	if *costJSON != "" {
+		if err := writeTo(*costJSON, res, exp.WriteCostJSON); err != nil {
+			fatal(err)
+		}
+	}
 	if !*noSummary {
 		fmt.Print(exp.FormatSummary(res))
+	}
+}
+
+// progressRenderer consumes the campaign event stream and redraws the
+// one-line progress display; lease reclaims get their own line (they
+// are rare and worth an operator's attention). Events are delivered
+// serialized, so the closure needs no lock.
+func progressRenderer(w io.Writer, total int) exp.Observer {
+	done := 0
+	line := func(spec exp.RunSpec, tag string) {
+		done++
+		// \x1b[K clears the remnants of a longer previous line; the
+		// terminating newline comes after the campaign returns.
+		fmt.Fprintf(w, "\r\x1b[K[%d/%d] %v%s", done, total, spec, tag)
+	}
+	return exp.ObserverFunc(func(ev exp.Event) {
+		switch ev := ev.(type) {
+		case exp.CellDone:
+			line(ev.Result.Spec, "")
+		case exp.CellCached:
+			line(ev.Result.Spec, " (cached)")
+		case exp.LeaseReclaimed:
+			fmt.Fprintf(w, "\r\x1b[Kreclaimed stale lease %.12s...\n", ev.Hash)
+		}
+	})
+}
+
+// watch tails a shared campaign cache directory: one status line per
+// poll (cells done out of the grid the flags describe, leases
+// outstanding with owner and heartbeat age), exiting once the campaign
+// is complete and the lease directory has drained. Run it from any host
+// that sees the filesystem; it never writes, claims or simulates.
+func watch(dir string, grid exp.Grid, interval time.Duration) {
+	if _, err := os.Stat(dir); err != nil {
+		fatal(fmt.Errorf("-watch %s: %w", dir, err))
+	}
+	cache, err := exp.OpenCache(dir)
+	if err != nil {
+		fatal(err)
+	}
+	// The Watcher precomputes the grid's spec hashes once; each poll is
+	// then one Stat per run plus a lease-directory listing.
+	watcher, err := cache.Watcher(grid)
+	if err != nil {
+		fatal(err)
+	}
+	for {
+		st, err := watcher.Status()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ompss-sweep: watch: %v\n", st)
+		if st.Done == st.Runs && len(st.Leases) == 0 {
+			return
+		}
+		time.Sleep(interval)
 	}
 }
 
@@ -210,10 +314,14 @@ func main() {
 // worker process, forcing claim mode and muting per-worker rendering
 // (the coordinator renders once, from the merged cache). Every flag is
 // passed explicitly — defaults included — so a worker can never drift
-// from the coordinator's grid.
+// from the coordinator's grid. -plan and -trace-dir are deliberately
+// forwarded: workers claim in the planned order and write the trace
+// artifacts for the cells they simulate.
 func claimWorkerArgs(fl *flag.FlagSet) []string {
 	skip := map[string]bool{
 		"procs": true, "claim": true, "csv": true, "json": true,
+		"cost-csv": true, "cost-json": true,
+		"watch": true, "watch-interval": true,
 		"quiet": true, "no-summary": true, "list-apps": true,
 	}
 	args := []string{"-claim", "-quiet", "-no-summary"}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/ompss"
 )
@@ -30,8 +31,9 @@ const CacheFormatVersion = 1
 //     hash-mismatched file is a miss; the cell is re-simulated and the
 //     file atomically replaced.
 //   - Concurrent writers are safe: entries are written to a temp file
-//     and renamed into place, and two writers of the same hash are by
-//     construction writing identical bytes.
+//     and renamed into place, and two writers of the same hash write the
+//     same result by construction (only the advisory wall_s cost can
+//     differ, and either value is valid).
 //
 // The directory is also the coordination substrate for multi-process
 // campaigns: claimants serialize work through <hash>.json.lease files
@@ -62,10 +64,16 @@ func (c *Cache) Dir() string { return c.dir }
 // so a file is self-describing (and self-validating: a loaded entry
 // whose spec does not hash to its filename is discarded).
 type cacheEntry struct {
-	Format int          `json:"format"`
-	Hash   string       `json:"hash"`
-	Spec   RunSpec      `json:"spec"`
-	Result ompss.Result `json:"result"`
+	Format int     `json:"format"`
+	Hash   string  `json:"hash"`
+	Spec   RunSpec `json:"spec"`
+	// WallSec records the wall-clock cost of the simulation that produced
+	// the result, in seconds. It is advisory — consumed by CostModel for
+	// cost-aware planning, never part of the result or the hash — and
+	// optional: cells written before it existed read as WallSec 0
+	// ("unknown"), which keeps the format at version 1.
+	WallSec float64      `json:"wall_s,omitempty"`
+	Result  ompss.Result `json:"result"`
 }
 
 func (c *Cache) path(hash string) string {
@@ -96,7 +104,10 @@ func (c *Cache) load(spec RunSpec, hash string) (RunResult, bool) {
 	if e.Format != CacheFormatVersion || e.Hash != hash || e.Spec.Hash() != hash {
 		return RunResult{}, false
 	}
-	return RunResult{Spec: spec, Result: e.Result, Cached: true}, true
+	// The recorded wall cost rides along so warm campaigns can still
+	// report (WriteCostCSV) and plan on (CostModel) real costs.
+	wall := time.Duration(e.WallSec * float64(time.Second))
+	return RunResult{Spec: spec, Result: e.Result, Wall: wall, Cached: true}, true
 }
 
 // Store persists a completed run, atomically (temp file + rename), so a
@@ -106,10 +117,11 @@ func (c *Cache) Store(rr RunResult) error {
 	spec.fillDefaults()
 	hash := spec.Hash()
 	data, err := json.MarshalIndent(cacheEntry{
-		Format: CacheFormatVersion,
-		Hash:   hash,
-		Spec:   spec,
-		Result: rr.Result,
+		Format:  CacheFormatVersion,
+		Hash:    hash,
+		Spec:    spec,
+		WallSec: rr.Wall.Seconds(),
+		Result:  rr.Result,
 	}, "", "  ")
 	if err != nil {
 		return fmt.Errorf("exp: encoding cache entry: %w", err)

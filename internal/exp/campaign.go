@@ -1,0 +1,568 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Campaign is the experiment engine: one type that owns the whole run
+// lifecycle — expand, plan, execute, persist, aggregate — with three
+// composable extension points:
+//
+//   - Planner orders the uncached cells (default: expansion order;
+//     CostPlanner prefers expensive cells using recorded wall costs).
+//   - Observer consumes the typed event stream (progress renderers,
+//     watch modes, lifecycle tests); see event.go for the contract.
+//   - Sink receives every freshly simulated run's tracer (per-cell
+//     Paraver export and other artifacts).
+//
+// Sweep and Dispatcher are thin adapters over Campaign, so every mode —
+// in-process pool, resumable cache, multi-process claim fleet — shares
+// one resolution path and renders byte-identical output: results are
+// committed by expansion index regardless of planner, parallelism or
+// which process simulated a cell.
+type Campaign struct {
+	// Grid declares the campaign as a cartesian product (the common
+	// case). Exactly one of Grid and Specs must be set.
+	Grid Grid
+	// Specs declares the campaign as an explicit cell list instead — for
+	// callers (the paper harness) whose cases are not a product. Each
+	// spec is one cell; aggregation treats every run as its own cell and
+	// the result's Grid is left zero.
+	Specs []RunSpec
+	// Cache, if set, makes the campaign resumable (and is required for
+	// claim mode): cells already on disk are not re-simulated, fresh
+	// results are persisted with their wall cost.
+	Cache *Cache
+	// Parallel bounds the worker pool (<=0 selects GOMAXPROCS).
+	Parallel int
+	// Planner orders the uncached cells (nil = OrderPlanner).
+	Planner Planner
+	// Observer receives the campaign's event stream (nil = silent).
+	Observer Observer
+	// Sink receives each simulated run's tracer (nil = none).
+	Sink ArtifactSink
+	// Claim, if set, runs the campaign cooperatively with other claimant
+	// processes over the shared Cache directory (lease protocol) instead
+	// of the private in-process pool.
+	Claim *ClaimOptions
+
+	// run is the injectable runner for tests (nil = Run). It yields no
+	// tracer, so campaigns driven through it skip the Sink.
+	run func(RunSpec) (RunResult, error)
+	// runTraced is the injectable traced runner for sink tests
+	// (nil = RunTraced when a Sink is set and run is nil).
+	runTraced func(RunSpec) (RunResult, *trace.Tracer, error)
+}
+
+// ClaimOptions configure claim mode (see Dispatcher for the protocol).
+type ClaimOptions struct {
+	// Owner tags this claimant's leases and stats (default host:pid).
+	Owner string
+	// TTL is the lease staleness threshold (default DefaultLeaseTTL).
+	// All claimants of one grid should agree on it.
+	TTL time.Duration
+	// Heartbeat is the lease-refresh period for in-flight cells
+	// (default TTL/4; always clamped below TTL).
+	Heartbeat time.Duration
+	// Poll is how long to wait between scans when every remaining cell
+	// is leased by peers (default 100ms).
+	Poll time.Duration
+}
+
+// Execute resolves the whole campaign and blocks until every cell is
+// accounted for, returning the complete sweep result plus how it was
+// satisfied. The first run (or store, or sink) error aborts the campaign
+// and is returned.
+func (c *Campaign) Execute() (*SweepResult, ClaimStats, error) {
+	var stats ClaimStats
+	start := time.Now()
+	specs, grid, replicas, err := c.expand()
+	if err != nil {
+		return nil, stats, err
+	}
+	if c.Claim != nil && c.Cache == nil {
+		return nil, stats, errors.New("exp: claim campaigns need a Cache (the cache directory is the claim substrate)")
+	}
+	e := &engine{c: c, specs: specs, results: make([]RunResult, len(specs))}
+	if c.Cache != nil {
+		// Hashes are immutable per spec but the claim loop revisits
+		// pending cells every poll pass; precompute them once instead of
+		// re-running canonicalization + SHA-256 per cell per pass.
+		e.hashes = make([]string, len(specs))
+		for i := range specs {
+			e.hashes[i] = specs[i].Hash()
+		}
+	}
+	if c.Claim != nil {
+		stats, err = e.claim()
+	} else {
+		stats, err = e.pool()
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	return &SweepResult{
+		Grid:      grid,
+		Runs:      e.results,
+		Cells:     aggregate(e.results, replicas),
+		Simulated: stats.Simulated,
+		CacheHits: stats.Hits,
+		Wall:      time.Since(start),
+	}, stats, nil
+}
+
+// expand resolves the campaign definition into run specs (defaults
+// filled) plus the grid and replica count the result will carry.
+func (c *Campaign) expand() ([]RunSpec, Grid, int, error) {
+	if len(c.Specs) > 0 {
+		if !c.Grid.isZero() {
+			return nil, Grid{}, 0, errors.New("exp: Campaign takes a Grid or explicit Specs, not both")
+		}
+		specs := make([]RunSpec, len(c.Specs))
+		copy(specs, c.Specs)
+		for i := range specs {
+			specs[i].fillDefaults()
+			if err := specs[i].validate(); err != nil {
+				return nil, Grid{}, 0, err
+			}
+		}
+		return specs, Grid{}, 1, nil
+	}
+	grid := c.Grid
+	grid.fillDefaults()
+	if err := grid.Validate(); err != nil {
+		return nil, Grid{}, 0, err
+	}
+	specs := grid.Runs()
+	for i := range specs {
+		specs[i].fillDefaults()
+	}
+	return specs, grid, grid.Replicas, nil
+}
+
+// validate checks one explicit spec against the registries and the
+// machine model — the per-spec mirror of Grid.Validate, so explicit-spec
+// campaigns fail fast too.
+func (s RunSpec) validate() error {
+	if _, err := ParseSize(string(s.Size)); err != nil {
+		return err
+	}
+	app, ok := LookupApp(s.App)
+	if !ok {
+		return fmt.Errorf("exp: unknown app %q (have %v)", s.App, AppNames())
+	}
+	if s.GPUs < app.MinGPUs {
+		return fmt.Errorf("exp: app %q needs at least %d GPU(s), spec has %d",
+			s.App, app.MinGPUs, s.GPUs)
+	}
+	if s.Scheduler != "versioning" { // versioning is built by the ompss facade
+		if _, err := sched.New(s.Scheduler); err != nil {
+			return fmt.Errorf("exp: spec references unknown scheduler: %w", err)
+		}
+	}
+	canon, err := ParseMachineSpec(string(s.Machine))
+	if err != nil {
+		return err
+	}
+	if canon != s.Machine {
+		return fmt.Errorf("exp: spec machine %q is not canonical (want %q)", s.Machine, canon)
+	}
+	if _, err := s.Machine.Materialize(s.SMPWorkers, s.GPUs); err != nil {
+		return err
+	}
+	return nil
+}
+
+// engine is one Execute call's mutable state, shared by the pool and
+// claim modes.
+type engine struct {
+	c       *Campaign
+	specs   []RunSpec
+	hashes  []string // nil when the campaign has no cache
+	results []RunResult
+
+	emitMu sync.Mutex // serializes Observer delivery (see event.go)
+	sinkMu sync.Mutex // serializes Sink.Consume
+}
+
+func (e *engine) emit(ev Event) {
+	if e.c.Observer == nil {
+		return
+	}
+	e.emitMu.Lock()
+	defer e.emitMu.Unlock()
+	e.c.Observer.OnEvent(ev)
+}
+
+func (e *engine) hash(idx int) string {
+	if e.hashes == nil {
+		return ""
+	}
+	return e.hashes[idx]
+}
+
+func (e *engine) workers() int {
+	n := e.c.Parallel
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > len(e.specs) {
+		n = len(e.specs)
+	}
+	return n
+}
+
+// runner resolves the traced runner every simulation goes through. A
+// custom untraced runner (the test seam) yields nil tracers, which
+// skips the sink.
+func (e *engine) runner() func(RunSpec) (RunResult, *trace.Tracer, error) {
+	if e.c.runTraced != nil {
+		return e.c.runTraced
+	}
+	if e.c.run != nil {
+		run := e.c.run
+		return func(s RunSpec) (RunResult, *trace.Tracer, error) {
+			rr, err := run(s)
+			return rr, nil, err
+		}
+	}
+	return RunTraced
+}
+
+// satisfy resolves one cell: a cache hit if available, otherwise a fresh
+// simulation fed to the sink and persisted back to the cache. This is
+// the single resolution path shared by the in-process pool and the
+// claim loop, so both modes have identical hit semantics and
+// store-failure handling: a store failure (disk full, unwritable dir)
+// fails the campaign, because a silently unpersisted result is exactly
+// what the cache exists to prevent.
+func (e *engine) satisfy(idx int, run func(RunSpec) (RunResult, *trace.Tracer, error)) (RunResult, bool, error) {
+	if e.c.Cache != nil {
+		if rr, ok := e.c.Cache.load(e.specs[idx], e.hashes[idx]); ok {
+			return rr, true, nil
+		}
+	}
+	rr, tr, err := run(e.specs[idx])
+	if err != nil {
+		return RunResult{}, false, err
+	}
+	if e.c.Sink != nil && tr != nil {
+		e.sinkMu.Lock()
+		serr := e.c.Sink.Consume(rr, tr)
+		e.sinkMu.Unlock()
+		if serr != nil {
+			return RunResult{}, false, serr
+		}
+	}
+	if e.c.Cache != nil {
+		if err := e.c.Cache.Store(rr); err != nil {
+			return RunResult{}, false, err
+		}
+	}
+	return rr, false, nil
+}
+
+// pool executes the campaign on a private in-process worker pool: a
+// serial cache pre-scan settles the already-cached cells (in expansion
+// order, so CellCached events are deterministic), the planner orders the
+// rest, and the pool runs them. Results are committed by expansion
+// index, so outputs are independent of Parallel and of the plan.
+func (e *engine) pool() (ClaimStats, error) {
+	stats := ClaimStats{Runs: len(e.specs)}
+	run := e.runner()
+
+	pending := make([]PlanCell, 0, len(e.specs))
+	for idx := range e.specs {
+		if e.c.Cache != nil {
+			if rr, ok := e.c.Cache.load(e.specs[idx], e.hashes[idx]); ok {
+				e.results[idx] = rr
+				stats.Hits++
+				e.emit(CellCached{Index: idx, Result: rr})
+				continue
+			}
+		}
+		pending = append(pending, PlanCell{Index: idx, Spec: e.specs[idx], Hash: e.hash(idx)})
+	}
+	planned, err := applyPlan(e.c.Planner, pending)
+	if err != nil {
+		return stats, err
+	}
+	if len(planned) == 0 {
+		return stats, nil
+	}
+
+	workers := e.workers()
+	if workers > len(planned) {
+		workers = len(planned)
+	}
+	jobs := make(chan PlanCell)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex // guards firstErr/counters and the results commit
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for cell := range jobs {
+				mu.Lock()
+				abort := firstErr != nil
+				mu.Unlock()
+				if abort {
+					continue // drain remaining jobs without running them
+				}
+				e.emit(CellStarted{Index: cell.Index, Spec: cell.Spec, Hash: cell.Hash})
+				rr, hit, err := e.satisfy(cell.Index, run)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				e.results[cell.Index] = rr
+				if hit {
+					// A peer process stored the cell between our pre-scan
+					// and this worker picking it up.
+					stats.Hits++
+				} else {
+					stats.Simulated++
+				}
+				mu.Unlock()
+				if hit {
+					e.emit(CellCached{Index: cell.Index, Result: rr})
+				} else {
+					e.emit(CellDone{Index: cell.Index, Result: rr})
+				}
+			}
+		}()
+	}
+	for _, cell := range planned {
+		jobs <- cell
+	}
+	close(jobs)
+	wg.Wait()
+	return stats, firstErr
+}
+
+// cell states of the claim loop.
+const (
+	cellPending  = iota // not cached last we looked, not leased by us
+	cellInflight        // leased by us, handed to a local worker
+	cellDone            // result in hand
+)
+
+type claimJob struct {
+	idx    int
+	lease  *Lease
+	stopHB chan struct{}
+}
+
+type claimDone struct {
+	idx int
+	rr  RunResult
+	hit bool
+	err error
+}
+
+// claim executes the campaign cooperatively with every other claimant of
+// the same cache directory and blocks until all of it is cached,
+// whoever computed it. Exactly-once simulation holds because a cell is
+// only run under a held lease, after a cache re-check inside that lease:
+// a peer that stored the cell before us turns our claim into a hit,
+// never a second simulation. The planner orders the scan, so a
+// CostPlanner-equipped claimant leases expensive cells first.
+func (e *engine) claim() (ClaimStats, error) {
+	stats := ClaimStats{Runs: len(e.specs)}
+	co := e.c.Claim
+	run := e.runner()
+	ttl := co.TTL
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	heartbeat := co.Heartbeat
+	if heartbeat <= 0 || heartbeat >= ttl {
+		heartbeat = ttl / 4
+	}
+	if heartbeat <= 0 {
+		// A sub-4ns TTL truncates ttl/4 to zero, which would panic
+		// time.NewTicker. Such a TTL is already lost (every lease is
+		// stale on arrival); just keep the ticker legal.
+		heartbeat = time.Millisecond
+	}
+	poll := co.Poll
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	owner := co.Owner
+	if owner == "" {
+		owner = defaultOwner()
+	}
+
+	// Pre-scan the cache (expansion order, like pool mode): cells already
+	// settled on disk become hits immediately and the planner sees only
+	// the cells that may actually need running — the documented Planner
+	// contract. The scan loop below still re-checks the remainder every
+	// pass, because peers keep storing cells while we work.
+	state := make([]int, len(e.specs))
+	settled := 0
+	pending := make([]PlanCell, 0, len(e.specs))
+	for idx := range e.specs {
+		if rr, ok := e.c.Cache.load(e.specs[idx], e.hashes[idx]); ok {
+			state[idx] = cellDone
+			e.results[idx] = rr
+			stats.Hits++
+			settled++
+			e.emit(CellCached{Index: idx, Result: rr})
+			continue
+		}
+		pending = append(pending, PlanCell{Index: idx, Spec: e.specs[idx], Hash: e.hashes[idx]})
+	}
+	planned, err := applyPlan(e.c.Planner, pending)
+	if err != nil {
+		return stats, err
+	}
+
+	workers := e.workers()
+	if workers > len(planned) && len(planned) > 0 {
+		workers = len(planned)
+	}
+	// Both channels hold at most one entry per worker, so neither the
+	// claim loop nor a worker ever blocks on the other.
+	jobs := make(chan claimJob, workers)
+	completions := make(chan claimDone, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for job := range jobs {
+				e.emit(CellStarted{Index: job.idx, Spec: e.specs[job.idx], Hash: e.hashes[job.idx]})
+				rr, hit, err := e.satisfy(job.idx, run)
+				close(job.stopHB)
+				if relErr := job.lease.Release(); err == nil && relErr != nil {
+					err = relErr
+				}
+				completions <- claimDone{idx: job.idx, rr: rr, hit: hit, err: err}
+			}
+		}()
+	}
+	defer close(jobs)
+
+	var (
+		remaining = len(e.specs) - settled
+		inflight  = 0
+		firstErr  error
+	)
+	finish := func(c claimDone) {
+		inflight--
+		state[c.idx] = cellDone
+		remaining--
+		if c.err != nil {
+			if firstErr == nil {
+				firstErr = c.err
+			}
+			return
+		}
+		e.results[c.idx] = c.rr
+		if c.hit {
+			stats.Hits++
+			e.emit(CellCached{Index: c.idx, Result: c.rr})
+		} else {
+			stats.Simulated++
+			e.emit(CellDone{Index: c.idx, Result: c.rr})
+		}
+	}
+	for remaining > 0 && firstErr == nil {
+		progress := false
+		for _, cell := range planned {
+			idx := cell.Index
+			// Completions can arrive throughout the scan; folding them in
+			// here frees worker slots for cells later in this same pass.
+			for inflight > 0 {
+				select {
+				case c := <-completions:
+					finish(c)
+					continue
+				default:
+				}
+				break
+			}
+			if firstErr != nil {
+				break
+			}
+			if state[idx] != cellPending {
+				continue
+			}
+			if rr, ok := e.c.Cache.load(e.specs[idx], e.hashes[idx]); ok {
+				state[idx] = cellDone
+				remaining--
+				e.results[idx] = rr
+				stats.Hits++
+				progress = true
+				e.emit(CellCached{Index: idx, Result: rr})
+				continue
+			}
+			if inflight >= workers {
+				continue // every local slot busy; keep scanning for hits
+			}
+			lease, reclaimed, err := e.c.Cache.TryLease(e.hashes[idx], owner, ttl)
+			if reclaimed {
+				stats.Reclaimed++
+				e.emit(LeaseReclaimed{Hash: e.hashes[idx], By: owner})
+			}
+			if err != nil {
+				firstErr = err
+				break
+			}
+			if lease == nil {
+				continue // a live peer holds it; revisit next pass
+			}
+			stats.Claimed++
+			e.emit(LeaseClaimed{Index: idx, Hash: e.hashes[idx], Owner: owner})
+			// Heartbeat from acquisition (not from run start), so a claim
+			// queued behind busy workers cannot be reclaimed as stale.
+			stopHB := make(chan struct{})
+			go func(l *Lease) {
+				ticker := time.NewTicker(heartbeat)
+				defer ticker.Stop()
+				for {
+					select {
+					case <-stopHB:
+						return
+					case <-ticker.C:
+						l.Refresh() // lost-lease errors are benign; see Refresh
+					}
+				}
+			}(lease)
+			state[idx] = cellInflight
+			inflight++
+			jobs <- claimJob{idx: idx, lease: lease, stopHB: stopHB}
+			progress = true
+		}
+		if firstErr != nil || remaining == 0 {
+			break
+		}
+		if progress && inflight < workers {
+			continue // claimed or absorbed something: rescan immediately
+		}
+		// Blocked on our own workers or on peers: wait for a completion,
+		// but rescan at least every poll interval to observe peer stores
+		// and newly stale leases.
+		select {
+		case c := <-completions:
+			finish(c)
+		case <-time.After(poll):
+		}
+	}
+	for inflight > 0 {
+		finish(<-completions)
+	}
+	return stats, firstErr
+}

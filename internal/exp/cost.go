@@ -1,0 +1,195 @@
+package exp
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// CostModel estimates the wall-clock simulation cost of a RunSpec from
+// costs recorded by previous campaigns (cache cells carry a wall_s
+// field; see Cache.Store). Estimates are advisory — they order work
+// (CostPlanner), never change results — so the model is deliberately
+// coarse: it averages observations at two granularities and answers from
+// the most specific one that has data.
+//
+//	exact:  app | size | scheduler | machine | smp | gpus
+//	coarse: app | size
+//
+// The exact key pins the axes that dominate simulation wall cost; the
+// extension knobs, noise sigma and seed are deliberately folded
+// together — they perturb the schedule, not the amount of simulation
+// work, and keying on them would shatter the sample pool into
+// single-observation buckets. The coarse key captures the dominant cost
+// driver alone (the application's task graph at a problem size), so a
+// campaign that grows a new scheduler or machine axis still gets a
+// usable estimate from cells of the same app.
+type CostModel struct {
+	exact  map[string]*costObs
+	coarse map[string]*costObs
+}
+
+type costObs struct {
+	sum float64
+	n   int
+}
+
+func (o *costObs) mean() float64 { return o.sum / float64(o.n) }
+
+func costKeyExact(s RunSpec) string {
+	s.fillDefaults()
+	return fmt.Sprintf("%s|%s|%s|%s|%d|%d",
+		s.App, s.Size, s.Scheduler, s.Machine, s.SMPWorkers, s.GPUs)
+}
+
+func costKeyCoarse(s RunSpec) string {
+	s.fillDefaults()
+	return s.App + "|" + string(s.Size)
+}
+
+// NewCostModel returns an empty model (every estimate misses).
+func NewCostModel() *CostModel {
+	return &CostModel{exact: map[string]*costObs{}, coarse: map[string]*costObs{}}
+}
+
+// Observe folds one recorded cost (seconds of host time) into the model.
+// Non-positive costs are ignored: zero is the encoding of "not recorded"
+// in pre-cost cache cells.
+func (m *CostModel) Observe(spec RunSpec, wallSec float64) {
+	if wallSec <= 0 {
+		return
+	}
+	for key, agg := range map[string]map[string]*costObs{
+		costKeyExact(spec):  m.exact,
+		costKeyCoarse(spec): m.coarse,
+	} {
+		o := agg[key]
+		if o == nil {
+			o = &costObs{}
+			agg[key] = o
+		}
+		o.sum += wallSec
+		o.n++
+	}
+}
+
+// Estimate returns the expected wall cost of a spec in seconds, false if
+// the model has no observation at any granularity.
+func (m *CostModel) Estimate(spec RunSpec) (float64, bool) {
+	if o := m.exact[costKeyExact(spec)]; o != nil {
+		return o.mean(), true
+	}
+	if o := m.coarse[costKeyCoarse(spec)]; o != nil {
+		return o.mean(), true
+	}
+	return 0, false
+}
+
+// Observations is the number of recorded costs folded in (diagnostics).
+func (m *CostModel) Observations() int {
+	n := 0
+	for _, o := range m.coarse {
+		n += o.n
+	}
+	return n
+}
+
+// CostModel scans the cache directory and builds a model from every
+// readable cell that recorded its wall cost. Cells written before costs
+// existed (or corrupt ones) are skipped, never an error: the model is
+// best-effort by design, and a campaign with no usable costs simply
+// plans in expansion order.
+func (c *Cache) CostModel() (*CostModel, error) {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, fmt.Errorf("exp: scanning cache for costs: %w", err)
+	}
+	m := NewCostModel()
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasSuffix(name, ".json") {
+			continue // leases, tombstones, temp files
+		}
+		data, err := os.ReadFile(filepath.Join(c.dir, name))
+		if err != nil {
+			continue
+		}
+		var e cacheEntry
+		if json.Unmarshal(data, &e) != nil || e.Format != CacheFormatVersion {
+			continue
+		}
+		m.Observe(e.Spec, e.WallSec)
+	}
+	return m, nil
+}
+
+// costCSVHeader is the stable column set of WriteCostCSV: one row per
+// run (not per cell — costs are per simulation), spec axes first, then
+// how the run was satisfied and what it cost.
+var costCSVHeader = []string{
+	"app", "size", "scheduler", "machine", "smp", "gpus",
+	"lambda", "size_tolerance", "ewma_alpha", "locality",
+	"noise", "seed", "source", "wall_s",
+}
+
+// WriteCostCSV renders each run's recorded wall-clock simulation cost as
+// CSV, one row per run in expansion order. Unlike WriteCSV this output
+// is an execution fact, not a result: wall costs vary run to run and
+// cached rows carry the cost recorded when the cell was first simulated
+// (empty when the cell predates cost recording). It exists for cost
+// dashboards and for auditing what CostPlanner will see.
+func WriteCostCSV(w io.Writer, res *SweepResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(costCSVHeader); err != nil {
+		return err
+	}
+	for _, r := range res.Runs {
+		s := r.Spec
+		s.fillDefaults()
+		source := "simulated"
+		if r.Cached {
+			source = "cached"
+		}
+		wall := ""
+		if r.Wall > 0 {
+			wall = ftoa(r.Wall.Seconds())
+		}
+		row := []string{
+			s.App, string(s.Size), s.Scheduler, string(s.Machine),
+			strconv.Itoa(s.SMPWorkers), strconv.Itoa(s.GPUs),
+			strconv.Itoa(s.Lambda), ftoa(s.SizeTolerance), ftoa(s.EWMAAlpha),
+			strconv.FormatBool(s.LocalityAware),
+			ftoa(s.NoiseSigma), strconv.FormatInt(s.Seed, 10),
+			source, wall,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCostJSON renders the per-run costs as indented JSON (same data as
+// WriteCostCSV, same execution-fact caveats).
+func WriteCostJSON(w io.Writer, res *SweepResult) error {
+	type costRow struct {
+		Spec    RunSpec `json:"spec"`
+		Cached  bool    `json:"cached"`
+		WallSec float64 `json:"wall_s"`
+	}
+	rows := make([]costRow, len(res.Runs))
+	for i, r := range res.Runs {
+		s := r.Spec
+		s.fillDefaults()
+		rows[i] = costRow{Spec: s, Cached: r.Cached, WallSec: r.Wall.Seconds()}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

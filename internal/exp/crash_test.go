@@ -26,14 +26,22 @@ func crashGrid() Grid {
 	} // 8 runs
 }
 
-const crashWorkerEnv = "EXP_CRASH_TEST_WORKER_DIR"
+const (
+	crashWorkerEnv     = "EXP_CRASH_TEST_WORKER_DIR"
+	stragglerWorkerEnv = "EXP_STRAGGLER_TEST_WORKER_DIR"
+	stragglerPlanEnv   = "EXP_STRAGGLER_TEST_PLAN"
+)
 
-// TestMain re-execs the test binary as a claim worker when the crash
-// test asks for one: a worker that can be SIGKILLed mid-cell has to be a
-// real process, not a goroutine. The worker claims crashGrid cells with
-// a deliberately slow runner so the parent reliably catches it inside a
-// lease, heartbeating fast enough that its leases are never stale while
-// it lives.
+// TestMain re-execs the test binary as a claim worker when a subprocess
+// test asks for one: a worker that can be SIGKILLed mid-cell (crash
+// battery) or whose claim order must be observed from outside
+// (straggler battery) has to be a real process, not a goroutine.
+//
+// Crash mode claims crashGrid cells with a deliberately slow runner so
+// the parent reliably catches it inside a lease, heartbeating fast
+// enough that its leases are never stale while it lives. Straggler mode
+// runs one serial claim campaign under the planner named by the env and
+// prints each lease claim to stdout for the parent to parse.
 func TestMain(m *testing.M) {
 	if dir := os.Getenv(crashWorkerEnv); dir != "" {
 		cache, err := OpenCache(dir)
@@ -57,6 +65,9 @@ func TestMain(m *testing.M) {
 			os.Exit(1)
 		}
 		os.Exit(0)
+	}
+	if dir := os.Getenv(stragglerWorkerEnv); dir != "" {
+		os.Exit(stragglerWorkerMain(dir, os.Getenv(stragglerPlanEnv)))
 	}
 	os.Exit(m.Run())
 }

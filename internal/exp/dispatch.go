@@ -1,9 +1,7 @@
 package exp
 
 import (
-	"errors"
 	"fmt"
-	"runtime"
 	"time"
 )
 
@@ -15,6 +13,11 @@ import (
 // `ompss-sweep -claim` workers on several hosts sharing a filesystem —
 // partition one grid with no network layer: the cache directory is the
 // only coordination substrate.
+//
+// Dispatcher is a thin adapter over Campaign claim mode, kept for
+// callers that want the lease protocol without composing a Campaign by
+// hand; new code that also needs planners, observers or artifact sinks
+// should build the Campaign directly.
 //
 // Claim returns once every run in the grid is cached, whoever computed
 // it, so the returned SweepResult (and anything rendered from it) is
@@ -44,9 +47,10 @@ type Dispatcher struct {
 	run func(RunSpec) (RunResult, error)
 }
 
-// ClaimStats accounts for how a Claim call was satisfied. On success
+// ClaimStats accounts for how a campaign was satisfied. On success
 // Simulated + Hits == Runs: every run was either simulated (and stored)
-// locally exactly once or loaded from a peer's cached result.
+// locally exactly once or loaded from a cached result. Claimed and
+// Reclaimed stay zero outside claim mode.
 type ClaimStats struct {
 	// Runs is the grid's total run count.
 	Runs int
@@ -66,224 +70,24 @@ func (s ClaimStats) String() string {
 		s.Runs, s.Claimed, s.Simulated, s.Hits, s.Reclaimed)
 }
 
-// cell states of the claim loop.
-const (
-	cellPending  = iota // not cached last we looked, not leased by us
-	cellInflight        // leased by us, handed to a local worker
-	cellDone            // result in hand
-)
-
-type claimJob struct {
-	idx    int
-	lease  *Lease
-	stopHB chan struct{}
-}
-
-type claimDone struct {
-	idx int
-	rr  RunResult
-	err error
-}
-
 // Claim partitions the grid with every other claimant of the same cache
 // directory and blocks until all of it is cached, returning the complete
-// sweep result plus this claimant's share of the work. Exactly-once
-// simulation holds because a cell is only run under a held lease, after
-// a cache re-check inside that lease: a peer that stored the cell before
-// us turns our claim into a hit, never a second simulation.
+// sweep result plus this claimant's share of the work.
 func (d *Dispatcher) Claim(g Grid) (*SweepResult, ClaimStats, error) {
-	var stats ClaimStats
-	if d.Cache == nil {
-		return nil, stats, errors.New("exp: Dispatcher needs a Cache")
+	c := Campaign{
+		Grid:     g,
+		Cache:    d.Cache,
+		Parallel: d.Parallel,
+		Claim: &ClaimOptions{
+			Owner:     d.Owner,
+			TTL:       d.TTL,
+			Heartbeat: d.Heartbeat,
+			Poll:      d.Poll,
+		},
+		run: d.run,
 	}
-	g.fillDefaults()
-	if err := g.Validate(); err != nil {
-		return nil, stats, err
+	if d.Progress != nil {
+		c.Observer = progressObserver(g.NumRuns(), d.Progress)
 	}
-	run := d.run
-	if run == nil {
-		run = Run
-	}
-	ttl := d.TTL
-	if ttl <= 0 {
-		ttl = DefaultLeaseTTL
-	}
-	heartbeat := d.Heartbeat
-	if heartbeat <= 0 || heartbeat >= ttl {
-		heartbeat = ttl / 4
-	}
-	if heartbeat <= 0 {
-		// A sub-4ns TTL truncates ttl/4 to zero, which would panic
-		// time.NewTicker. Such a TTL is already lost (every lease is
-		// stale on arrival); just keep the ticker legal.
-		heartbeat = time.Millisecond
-	}
-	poll := d.Poll
-	if poll <= 0 {
-		poll = 100 * time.Millisecond
-	}
-	owner := d.Owner
-	if owner == "" {
-		owner = defaultOwner()
-	}
-	specs := g.Runs()
-	// Hashes are immutable per spec but the scan loop revisits pending
-	// cells every poll pass; precompute them once instead of re-running
-	// canonicalization + SHA-256 per cell per pass.
-	hashes := make([]string, len(specs))
-	for i := range specs {
-		specs[i].fillDefaults()
-		hashes[i] = specs[i].Hash()
-	}
-	workers := d.Parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(specs) {
-		workers = len(specs)
-	}
-	stats.Runs = len(specs)
-
-	start := time.Now()
-	results := make([]RunResult, len(specs))
-	state := make([]int, len(specs))
-	// Both channels hold at most one entry per worker, so neither the
-	// claim loop nor a worker ever blocks on the other.
-	jobs := make(chan claimJob, workers)
-	completions := make(chan claimDone, workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			for job := range jobs {
-				rr, _, err := loadOrRun(d.Cache, specs[job.idx], run)
-				close(job.stopHB)
-				if relErr := job.lease.Release(); err == nil && relErr != nil {
-					err = relErr
-				}
-				completions <- claimDone{idx: job.idx, rr: rr, err: err}
-			}
-		}()
-	}
-	defer close(jobs)
-
-	var (
-		remaining = len(specs)
-		inflight  = 0
-		firstErr  error
-	)
-	finish := func(c claimDone) {
-		inflight--
-		state[c.idx] = cellDone
-		remaining--
-		if c.err != nil {
-			if firstErr == nil {
-				firstErr = c.err
-			}
-			return
-		}
-		results[c.idx] = c.rr
-		if c.rr.Cached {
-			stats.Hits++
-		} else {
-			stats.Simulated++
-		}
-		if d.Progress != nil {
-			d.Progress(len(specs)-remaining, len(specs), c.rr)
-		}
-	}
-	for remaining > 0 && firstErr == nil {
-		progress := false
-		for idx := range specs {
-			// Completions can arrive throughout the scan; folding them in
-			// here frees worker slots for cells later in this same pass.
-			for inflight > 0 {
-				select {
-				case c := <-completions:
-					finish(c)
-					continue
-				default:
-				}
-				break
-			}
-			if firstErr != nil {
-				break
-			}
-			if state[idx] != cellPending {
-				continue
-			}
-			if rr, ok := d.Cache.load(specs[idx], hashes[idx]); ok {
-				state[idx] = cellDone
-				remaining--
-				results[idx] = rr
-				stats.Hits++
-				progress = true
-				if d.Progress != nil {
-					d.Progress(len(specs)-remaining, len(specs), rr)
-				}
-				continue
-			}
-			if inflight >= workers {
-				continue // every local slot busy; keep scanning for hits
-			}
-			lease, reclaimed, err := d.Cache.TryLease(hashes[idx], owner, ttl)
-			if reclaimed {
-				stats.Reclaimed++
-			}
-			if err != nil {
-				firstErr = err
-				break
-			}
-			if lease == nil {
-				continue // a live peer holds it; revisit next pass
-			}
-			stats.Claimed++
-			// Heartbeat from acquisition (not from run start), so a claim
-			// queued behind busy workers cannot be reclaimed as stale.
-			stopHB := make(chan struct{})
-			go func(l *Lease) {
-				ticker := time.NewTicker(heartbeat)
-				defer ticker.Stop()
-				for {
-					select {
-					case <-stopHB:
-						return
-					case <-ticker.C:
-						l.Refresh() // lost-lease errors are benign; see Refresh
-					}
-				}
-			}(lease)
-			state[idx] = cellInflight
-			inflight++
-			jobs <- claimJob{idx: idx, lease: lease, stopHB: stopHB}
-			progress = true
-		}
-		if firstErr != nil || remaining == 0 {
-			break
-		}
-		if progress && inflight < workers {
-			continue // claimed or absorbed something: rescan immediately
-		}
-		// Blocked on our own workers or on peers: wait for a completion,
-		// but rescan at least every poll interval to observe peer stores
-		// and newly stale leases.
-		select {
-		case c := <-completions:
-			finish(c)
-		case <-time.After(poll):
-		}
-	}
-	for inflight > 0 {
-		finish(<-completions)
-	}
-	if firstErr != nil {
-		return nil, stats, firstErr
-	}
-
-	return &SweepResult{
-		Grid:      g,
-		Runs:      results,
-		Cells:     aggregate(results, g.Replicas),
-		Simulated: stats.Simulated,
-		CacheHits: stats.Hits,
-		Wall:      time.Since(start),
-	}, stats, nil
+	return c.Execute()
 }

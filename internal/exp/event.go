@@ -1,0 +1,124 @@
+package exp
+
+// Campaign events: the typed notification stream a Campaign emits while
+// it resolves a grid. Observers drive progress rendering, the ompss-sweep
+// -watch mode's local twin, and tests of the engine's lifecycle
+// guarantees; they never influence results.
+//
+// Delivery contract (asserted by TestCampaignObserverSemantics under
+// -race):
+//
+//   - Events are delivered one at a time, in a serialized stream: an
+//     observer needs no locking of its own.
+//   - Per cell, CellStarted (when present) precedes the completion
+//     event, and exactly one of CellDone or CellCached is delivered.
+//     Cells satisfied straight from the cache complete without a
+//     CellStarted.
+//   - Events from different cells interleave freely at Parallel > 1;
+//     only the per-cell ordering above is guaranteed.
+//   - A cell whose run fails delivers no completion event: the campaign
+//     aborts with the error instead.
+
+// Event is a campaign notification. The concrete types below are the
+// complete set; the unexported marker keeps it closed.
+type Event interface{ campaignEvent() }
+
+// CellStarted reports that a worker began resolving a cell that was not
+// already cached: a simulation is about to run (or, in claim mode, a
+// final cache re-check under the held lease may still turn it into a
+// CellCached).
+type CellStarted struct {
+	// Index is the cell's position in the campaign's expansion order.
+	Index int
+	Spec  RunSpec
+	// Hash is the spec's content hash ("" when the campaign has no cache:
+	// hashes are only computed when a cache directory keys them).
+	Hash string
+}
+
+// CellDone reports a freshly simulated (and, with a cache, persisted)
+// cell.
+type CellDone struct {
+	Index  int
+	Result RunResult
+}
+
+// CellCached reports a cell satisfied from the campaign cache — stored
+// by an earlier campaign, a peer claimant, or this process.
+type CellCached struct {
+	Index  int
+	Result RunResult
+}
+
+// LeaseClaimed reports that this claimant won a cell's lease (claim mode
+// only). The cell's CellStarted follows once a worker slot picks it up.
+type LeaseClaimed struct {
+	Index int
+	Hash  string
+	// Owner is this claimant's owner tag, as written into the lease file.
+	Owner string
+}
+
+// LeaseReclaimed reports that this claimant broke a stale peer lease
+// (claim mode only). Whoever wins the re-acquisition race emits its own
+// LeaseClaimed afterwards.
+type LeaseReclaimed struct {
+	Hash string
+	// By is the owner tag of the claimant that broke the lease.
+	By string
+}
+
+func (CellStarted) campaignEvent()    {}
+func (CellDone) campaignEvent()       {}
+func (CellCached) campaignEvent()     {}
+func (LeaseClaimed) campaignEvent()   {}
+func (LeaseReclaimed) campaignEvent() {}
+
+// Observer consumes campaign events. Implementations can rely on the
+// delivery contract at the top of this file.
+type Observer interface {
+	OnEvent(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// OnEvent implements Observer.
+func (f ObserverFunc) OnEvent(ev Event) { f(ev) }
+
+// MultiObserver fans one event stream out to several observers, in
+// order. A nil entry is skipped.
+func MultiObserver(obs ...Observer) Observer {
+	compact := make([]Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			compact = append(compact, o)
+		}
+	}
+	return ObserverFunc(func(ev Event) {
+		for _, o := range compact {
+			o.OnEvent(ev)
+		}
+	})
+}
+
+// progressObserver adapts the completion events onto the legacy
+// Progress(done, total, result) callback of SweepOptions and Dispatcher.
+// done counts completions in delivery order, so callers see a strictly
+// increasing counter.
+func progressObserver(total int, fn func(done, total int, r RunResult)) Observer {
+	done := 0 // events are delivered serially; no lock needed
+	return ObserverFunc(func(ev Event) {
+		var rr RunResult
+		switch ev := ev.(type) {
+		case CellDone:
+			rr = ev.Result
+		case CellCached:
+			rr = ev.Result
+		default:
+			return
+		}
+		done++
+		fn(done, total, rr)
+	})
+}

@@ -249,20 +249,29 @@ func Build(spec RunSpec) (*ompss.Runtime, error) {
 // Run executes one spec to completion. A panicking simulation (e.g. a
 // deadlocked schedule) is recovered into an error so one bad cell cannot
 // kill a whole sweep.
-func Run(spec RunSpec) (rr RunResult, err error) {
+func Run(spec RunSpec) (RunResult, error) {
+	rr, _, err := RunTraced(spec)
+	return rr, err
+}
+
+// RunTraced is Run, additionally handing back the run's tracer so
+// callers — Campaign artifact sinks foremost — can export per-run trace
+// artifacts without rebuilding the runtime.
+func RunTraced(spec RunSpec) (rr RunResult, tr *trace.Tracer, err error) {
 	spec.fillDefaults()
 	defer func() {
 		if p := recover(); p != nil {
+			rr, tr = RunResult{}, nil
 			err = fmt.Errorf("exp: run %v panicked: %v", spec, p)
 		}
 	}()
 	r, err := Build(spec)
 	if err != nil {
-		return RunResult{}, err
+		return RunResult{}, nil, err
 	}
 	start := time.Now()
 	res := r.Execute()
-	return RunResult{Spec: spec, Result: res, Wall: time.Since(start)}, nil
+	return RunResult{Spec: spec, Result: res, Wall: time.Since(start)}, r.Tracer(), nil
 }
 
 // TraceString serializes a run's task trace deterministically (submission

@@ -41,6 +41,18 @@ type Grid struct {
 	BaseSeed int64 `json:"base_seed"`
 }
 
+// isZero reports whether no field was set at all — the test Campaign
+// uses to reject a definition that sets both Grid and Specs (a zero Grid
+// is a valid campaign on its own: it defaults to the flagship 96-run
+// grid).
+func (g Grid) isZero() bool {
+	return len(g.Apps) == 0 && len(g.Schedulers) == 0 && len(g.Machines) == 0 &&
+		len(g.SMPWorkers) == 0 && len(g.GPUs) == 0 &&
+		len(g.Lambdas) == 0 && len(g.SizeTolerances) == 0 &&
+		len(g.EWMAAlphas) == 0 && len(g.LocalityAware) == 0 &&
+		len(g.Noise) == 0 && g.Size == "" && g.Replicas == 0 && g.BaseSeed == 0
+}
+
 func (g *Grid) fillDefaults() {
 	if len(g.Apps) == 0 {
 		g.Apps = DefaultApps()

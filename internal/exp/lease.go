@@ -46,8 +46,23 @@ type Lease struct {
 // Hash returns the spec hash the lease covers.
 func (l *Lease) Hash() string { return l.hash }
 
+// leaseSuffix is the lease-file naming convention; leaseHashFromName is
+// its single inverse, shared by every directory scan (Leases,
+// LeaseStatuses) so the convention cannot drift between call sites.
+const leaseSuffix = ".json.lease"
+
 func (c *Cache) leasePath(hash string) string {
-	return c.path(hash) + ".lease" // <dir>/<sha256>.json.lease
+	return c.path(hash) + ".lease" // <dir>/<sha256> + leaseSuffix
+}
+
+// leaseHashFromName extracts the spec hash from a lease file name, false
+// for anything that is not a lease (cells, tombstones, temp files).
+func leaseHashFromName(name string) (string, bool) {
+	n := len(name) - len(leaseSuffix)
+	if n <= 0 || name[n:] != leaseSuffix {
+		return "", false
+	}
+	return name[:n], true
 }
 
 // defaultOwner identifies this process in lease files and stats lines.
@@ -178,10 +193,8 @@ func (c *Cache) Leases() ([]string, error) {
 	}
 	var hashes []string
 	for _, e := range entries {
-		name := e.Name()
-		const suffix = ".json.lease"
-		if n := len(name) - len(suffix); n > 0 && name[n:] == suffix {
-			hashes = append(hashes, name[:n])
+		if hash, ok := leaseHashFromName(e.Name()); ok {
+			hashes = append(hashes, hash)
 		}
 	}
 	return hashes, nil

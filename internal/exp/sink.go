@@ -1,0 +1,111 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// ArtifactSink receives each freshly simulated run's tracer, letting a
+// campaign emit per-cell artifacts (Paraver traces, timelines, custom
+// exports) as a side product of the sweep. The engine serializes Consume
+// calls, so implementations need no locking.
+//
+// Sinks only see simulations: a cell satisfied from the cache is not
+// re-simulated, so there is no tracer to hand over and the sink is
+// skipped. To re-export artifacts for cached cells, run the campaign
+// against a fresh cache directory (or none).
+type ArtifactSink interface {
+	Consume(rr RunResult, tr *trace.Tracer) error
+}
+
+// TraceDirSink writes one Paraver trace pair (<slug>.prv + <slug>.pcf)
+// per simulated run into a directory — the ompss-sweep -trace-dir mode.
+// File names are deterministic per spec (human-readable axes plus a spec
+// hash prefix for the axes the slug elides), so concurrent claimants
+// that pathologically simulate the same cell twice overwrite each other
+// with byte-identical artifacts instead of colliding.
+type TraceDirSink struct {
+	dir string
+}
+
+// NewTraceDirSink creates (if needed) the artifact directory.
+func NewTraceDirSink(dir string) (*TraceDirSink, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("exp: trace directory must not be empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("exp: opening trace directory: %w", err)
+	}
+	return &TraceDirSink{dir: dir}, nil
+}
+
+// Dir returns the sink's directory.
+func (s *TraceDirSink) Dir() string { return s.dir }
+
+// Consume implements ArtifactSink.
+func (s *TraceDirSink) Consume(rr RunResult, tr *trace.Tracer) error {
+	slug := artifactSlug(rr.Spec)
+	prv := filepath.Join(s.dir, slug+".prv")
+	pcf := filepath.Join(s.dir, slug+".pcf")
+	nWorkers := rr.Spec.SMPWorkers + rr.Spec.GPUs
+	if err := writeArtifact(prv, func(w io.Writer) error {
+		return tr.WriteParaver(w, nWorkers)
+	}); err != nil {
+		return err
+	}
+	return writeArtifact(pcf, tr.WriteParaverPCF)
+}
+
+// writeArtifact writes atomically (temp file + rename, the Cache.Store
+// pattern): two processes that simulate the same cell after a
+// pathological lease reclaim then race byte-identical renames, never
+// interleave truncate-and-write on one path.
+func writeArtifact(path string, write func(io.Writer) error) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("exp: writing trace artifact: %w", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return fmt.Errorf("exp: writing trace artifact %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("exp: writing trace artifact %s: %w", path, err)
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("exp: committing trace artifact %s: %w", path, err)
+	}
+	return nil
+}
+
+// artifactSlug names a run's artifacts: the axes a human greps for in
+// clear text, everything else (machine shape, extension knobs) folded
+// into a 12-hex spec-hash prefix that keeps distinct cells distinct.
+func artifactSlug(spec RunSpec) string {
+	spec.fillDefaults()
+	slug := fmt.Sprintf("%s_%s_%s_smp%d_gpu%d_n%s_s%d_%s",
+		spec.App, spec.Size, spec.Scheduler, spec.SMPWorkers, spec.GPUs,
+		ftoa(spec.NoiseSigma), spec.Seed, spec.Hash()[:12])
+	return sanitizeSlug(slug)
+}
+
+// sanitizeSlug keeps slugs filesystem-portable: anything outside
+// [A-Za-z0-9._-] becomes '-'.
+func sanitizeSlug(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		}
+		return '-'
+	}, s)
+}

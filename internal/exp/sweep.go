@@ -1,8 +1,6 @@
 package exp
 
 import (
-	"runtime"
-	"sync"
 	"time"
 
 	"repro/internal/stats"
@@ -10,6 +8,11 @@ import (
 
 // SweepOptions tune sweep execution. The zero value runs with one worker
 // per CPU, no caching and no progress reporting.
+//
+// Sweep predates Campaign and remains the convenience entry point for
+// plain cached sweeps; callers that want planners, observers, artifact
+// sinks or claim mode use Campaign directly (SweepOptions deliberately
+// grows no more fields).
 type SweepOptions struct {
 	// Parallel bounds the worker pool (<=0 selects GOMAXPROCS).
 	Parallel int
@@ -17,9 +20,9 @@ type SweepOptions struct {
 	// fresh simulation, making campaigns resumable: re-running a grown
 	// grid only simulates cells whose spec hash is not yet on disk.
 	Cache *Cache
-	// Progress, if set, is called after every completed run, serialized
-	// under its own lock (done counts completions so far; calls may
-	// arrive slightly out of done-order under contention).
+	// Progress, if set, is called after every completed run with a
+	// strictly increasing done count (an adapter over the Campaign
+	// event stream; calls are serialized).
 	Progress func(done, total int, r RunResult)
 }
 
@@ -66,122 +69,23 @@ type SweepResult struct {
 }
 
 // Sweep expands the grid and executes every run across a bounded worker
-// pool. Results are stored by expansion index, so the returned runs,
-// cells, and any output rendered from them are byte-identical regardless
-// of Parallel. The first run error aborts the remaining runs and is
-// returned.
+// pool — a thin adapter over Campaign. Results are stored by expansion
+// index, so the returned runs, cells, and any output rendered from them
+// are byte-identical regardless of Parallel. The first run error aborts
+// the remaining runs and is returned.
 func Sweep(g Grid, o SweepOptions) (*SweepResult, error) {
-	return sweep(g, o, Run)
-}
-
-// loadOrRun satisfies one spec: a cache hit if available, otherwise a
-// fresh simulation persisted back to the cache (a nil cache always
-// simulates). This is the single resolution path shared by the
-// in-process pool (sweep) and the multi-process claim loop (Dispatcher),
-// so both modes have identical hit semantics and store-failure handling:
-// a store failure (disk full, unwritable dir) fails the campaign,
-// because a silently unpersisted result is exactly what the cache exists
-// to prevent.
-func loadOrRun(cache *Cache, spec RunSpec, run func(RunSpec) (RunResult, error)) (RunResult, bool, error) {
-	if cache != nil {
-		if rr, ok := cache.Load(spec); ok {
-			return rr, true, nil
-		}
-	}
-	rr, err := run(spec)
-	if err != nil {
-		return RunResult{}, false, err
-	}
-	if cache != nil {
-		if err := cache.Store(rr); err != nil {
-			return RunResult{}, false, err
-		}
-	}
-	return rr, false, nil
+	return sweep(g, o, nil)
 }
 
 // sweep is Sweep with an injectable runner, so tests can bound-check the
 // pool and build golden outputs without simulating.
 func sweep(g Grid, o SweepOptions, run func(RunSpec) (RunResult, error)) (*SweepResult, error) {
-	g.fillDefaults()
-	if err := g.Validate(); err != nil {
-		return nil, err
+	c := Campaign{Grid: g, Cache: o.Cache, Parallel: o.Parallel, run: run}
+	if o.Progress != nil {
+		c.Observer = progressObserver(g.NumRuns(), o.Progress)
 	}
-	specs := g.Runs()
-	workers := o.Parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(specs) {
-		workers = len(specs)
-	}
-
-	start := time.Now()
-	results := make([]RunResult, len(specs))
-	jobs := make(chan int)
-	var (
-		wg         sync.WaitGroup
-		mu         sync.Mutex // guards done/firstErr/counters and the results commit
-		progressMu sync.Mutex // serializes Progress without stalling commits
-		done       int
-		simulated  int
-		cacheHits  int
-		firstErr   error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				mu.Lock()
-				abort := firstErr != nil
-				mu.Unlock()
-				if abort {
-					continue // drain remaining jobs without running them
-				}
-				rr, hit, err := loadOrRun(o.Cache, specs[idx], run)
-				mu.Lock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					continue
-				}
-				results[idx] = rr
-				if hit {
-					cacheHits++
-				} else {
-					simulated++
-				}
-				done++
-				n := done
-				mu.Unlock()
-				if o.Progress != nil {
-					progressMu.Lock()
-					o.Progress(n, len(specs), rr)
-					progressMu.Unlock()
-				}
-			}
-		}()
-	}
-	for idx := range specs {
-		jobs <- idx
-	}
-	close(jobs)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-
-	return &SweepResult{
-		Grid:      g,
-		Runs:      results,
-		Cells:     aggregate(results, g.Replicas),
-		Simulated: simulated,
-		CacheHits: cacheHits,
-		Wall:      time.Since(start),
-	}, nil
+	res, _, err := c.Execute()
+	return res, err
 }
 
 // aggregate groups consecutive replicas (expansion order puts a cell's

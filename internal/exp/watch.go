@@ -1,0 +1,153 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Campaign observability for multi-host runs: a watcher process tails
+// the shared cache directory — the same coordination substrate the
+// claimants use — and needs no connection to any worker. Status is a
+// point-in-time snapshot; the ompss-sweep -watch mode polls it.
+
+// LeaseStatus describes one outstanding lease file.
+type LeaseStatus struct {
+	// Hash is the spec hash the lease covers.
+	Hash string
+	// Owner/Host/PID identify the claimant as written into the lease
+	// body ("?" when the body is unreadable — e.g. mid-write).
+	Owner string
+	Host  string
+	PID   int
+	// Age is the time since the last heartbeat (file mtime). A healthy
+	// lease is refreshed every TTL/4, so an age approaching the TTL
+	// means the owner is dead and the cell will be reclaimed.
+	Age time.Duration
+}
+
+// CampaignStatus is a snapshot of a campaign over a shared cache
+// directory: how much of the grid is settled and who is working on what.
+type CampaignStatus struct {
+	// Runs is the grid's total run count; Done counts runs whose cell
+	// file exists.
+	Runs int
+	Done int
+	// Leases are the outstanding lease files, sorted by descending age
+	// (the stalest — likeliest dead — first).
+	Leases []LeaseStatus
+}
+
+// String renders the snapshot as one line, the -watch output format.
+func (s CampaignStatus) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d/%d cells cached, %d leases outstanding", s.Done, s.Runs, len(s.Leases))
+	const maxShown = 4
+	for i, l := range s.Leases {
+		if i == maxShown {
+			fmt.Fprintf(&b, ", +%d more", len(s.Leases)-maxShown)
+			break
+		}
+		sep := ", "
+		if i == 0 {
+			sep = ": "
+		}
+		fmt.Fprintf(&b, "%s%s age=%s", sep, l.Owner, l.Age.Round(time.Second))
+	}
+	return b.String()
+}
+
+// Watcher polls one grid's progress over the cache directory. The grid
+// expansion and the per-spec canonicalization + SHA-256 are paid once at
+// construction — a watcher polls for hours on paper-size campaigns, and
+// the hashes never change between polls.
+type Watcher struct {
+	cache  *Cache
+	hashes []string
+}
+
+// Watcher validates the grid and precomputes its spec hashes.
+func (c *Cache) Watcher(g Grid) (*Watcher, error) {
+	g.fillDefaults()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	specs := g.Runs()
+	hashes := make([]string, len(specs))
+	for i := range specs {
+		specs[i].fillDefaults()
+		hashes[i] = specs[i].Hash()
+	}
+	return &Watcher{cache: c, hashes: hashes}, nil
+}
+
+// Status snapshots the campaign: which runs are settled on disk and
+// which leases are outstanding. Done counts cell files by existence
+// (not full validation — this is observability, not resolution; a
+// corrupt cell will be caught and re-simulated by whichever claimant
+// next touches it).
+func (w *Watcher) Status() (CampaignStatus, error) {
+	st := CampaignStatus{Runs: len(w.hashes)}
+	for _, h := range w.hashes {
+		if _, err := os.Stat(w.cache.path(h)); err == nil {
+			st.Done++
+		}
+	}
+	leases, err := w.cache.LeaseStatuses()
+	if err != nil {
+		return CampaignStatus{}, err
+	}
+	st.Leases = leases
+	return st, nil
+}
+
+// Status is the one-shot convenience form of Watcher + Status.
+func (c *Cache) Status(g Grid) (CampaignStatus, error) {
+	w, err := c.Watcher(g)
+	if err != nil {
+		return CampaignStatus{}, err
+	}
+	return w.Status()
+}
+
+// LeaseStatuses lists every outstanding lease file with its owner and
+// heartbeat age, sorted stalest-first. Diagnostics only: by the time the
+// caller looks at one, it may already be released.
+func (c *Cache) LeaseStatuses() ([]LeaseStatus, error) {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, fmt.Errorf("exp: listing leases: %w", err)
+	}
+	now := time.Now()
+	var out []LeaseStatus
+	for _, e := range entries {
+		name := e.Name()
+		hash, ok := leaseHashFromName(name)
+		if !ok {
+			continue
+		}
+		ls := LeaseStatus{Hash: hash, Owner: "?", Host: "?"}
+		path := filepath.Join(c.dir, name)
+		if fi, err := os.Lstat(path); err == nil {
+			ls.Age = now.Sub(fi.ModTime())
+		} else {
+			continue // released between ReadDir and Lstat
+		}
+		var info leaseInfo
+		if data, err := os.ReadFile(path); err == nil && json.Unmarshal(data, &info) == nil {
+			ls.Owner, ls.Host, ls.PID = info.Owner, info.Host, info.PID
+		}
+		out = append(out, ls)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Age != out[j].Age {
+			return out[i].Age > out[j].Age
+		}
+		return out[i].Hash < out[j].Hash
+	})
+	return out, nil
+}

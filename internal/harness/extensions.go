@@ -76,8 +76,13 @@ func runExtCluster(opts Options) (*Report, error) {
 		{"+2 nodes (1 GPU each)", "cluster:2x6+1g", 20, 4},
 		{"+4 nodes (1 GPU each)", "cluster:4x6+1g", 32, 6},
 	}
-	for _, c := range cases {
-		rr, err := exp.Run(exp.RunSpec{
+	// The scaling series runs as one explicit-spec Campaign: the machine
+	// axis is not a cartesian product with the worker counts, so the
+	// cases are listed cell by cell and resolved through the same engine
+	// ompss-sweep uses.
+	specs := make([]exp.RunSpec, len(cases))
+	for i, c := range cases {
+		specs[i] = exp.RunSpec{
 			App:        "matmul-" + string(apps.MatmulHybrid),
 			Size:       expSize(opts),
 			Scheduler:  "versioning",
@@ -86,11 +91,14 @@ func runExtCluster(opts Options) (*Report, error) {
 			GPUs:       c.gpus,
 			NoiseSigma: opts.Noise,
 			Seed:       opts.Seed,
-		})
-		if err != nil {
-			return nil, err
 		}
-		res := rr.Result
+	}
+	runs, err := expSpecs(specs...)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cases {
+		res := runs[i].Result
 		rep.Rows = append(rep.Rows, []string{
 			c.name, fmt.Sprintf("%d smp + %d gpu", c.smp, c.gpus),
 			fmt.Sprintf("%.1f", res.GFlops),

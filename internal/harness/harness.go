@@ -122,11 +122,14 @@ func expSize(opts Options) exp.Size {
 	return exp.SizeFull
 }
 
-// expCase runs one experiment cell through internal/exp's shared
-// run-spec -> ompss.Config plumbing; every figure experiment is a thin
-// wrapper over this.
+// expCase runs one experiment cell through internal/exp's Campaign
+// engine — the same resolution path ompss-sweep campaigns use — as an
+// explicit-spec campaign; every figure experiment is a thin wrapper over
+// this. Seeds and noise pass through verbatim (explicit specs are not
+// grid-defaulted), so harness results are identical to the pre-Campaign
+// exp.Run call sites.
 func expCase(app, sched string, smp, gpus int, opts Options) (ompss.Result, error) {
-	rr, err := exp.Run(exp.RunSpec{
+	runs, err := expSpecs(exp.RunSpec{
 		App:        app,
 		Size:       expSize(opts),
 		Scheduler:  sched,
@@ -135,7 +138,21 @@ func expCase(app, sched string, smp, gpus int, opts Options) (ompss.Result, erro
 		NoiseSigma: opts.Noise,
 		Seed:       opts.Seed,
 	})
-	return rr.Result, err
+	if err != nil {
+		return ompss.Result{}, err
+	}
+	return runs[0].Result, nil
+}
+
+// expSpecs resolves explicit specs through one serial Campaign and
+// returns the runs in spec order.
+func expSpecs(specs ...exp.RunSpec) ([]exp.RunResult, error) {
+	camp := exp.Campaign{Specs: specs, Parallel: 1}
+	res, _, err := camp.Execute()
+	if err != nil {
+		return nil, err
+	}
+	return res.Runs, nil
 }
 
 // gb formats bytes as decimal gigabytes, the unit of Figures 7/10/13.
