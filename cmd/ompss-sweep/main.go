@@ -13,10 +13,21 @@
 //   - Planner (-plan order|cost): execution order of uncached cells.
 //     "cost" prefers expensive cells using wall costs recorded in the
 //     cache, so claim fleets stop serializing on a late big cell.
-//   - Observer: drives the progress line and the -watch mode.
-//   - ArtifactSink (-trace-dir DIR): one Paraver .prv/.pcf pair per
+//   - Observer: drives the progress line, and — for every cached
+//     campaign — streams the event history to the campaign journal
+//     (<cache>/journal/<owner>.jsonl, one append-only JSONL file per
+//     claimant) that powers the live -watch dashboard.
+//   - ArtifactSink (-trace-dir DIR, -chrome-trace-dir DIR): one Paraver
+//     .prv/.pcf pair and/or one Chrome trace-event .trace.json per
 //     freshly simulated run. Cached cells are not re-simulated and so
-//     emit no trace (use a fresh cache directory to re-export).
+//     emit no artifacts (use a fresh cache directory to re-export).
+//
+// -budget D bounds a cached campaign's estimated spend: uncached cells
+// are claimed most-expensive-first (the cost plan) while cost-model
+// estimates fit the budget; the rest are skipped and reported, never
+// simulated. Skipped cells stay uncached, so a later run without
+// -budget completes the grid byte-identically to a never-budgeted
+// campaign — the budget decides which cells run, never their bytes.
 //
 // With -cache DIR campaigns are resumable: every completed run is stored
 // as a JSON file named by its spec's content hash (with its wall cost),
@@ -31,7 +42,9 @@
 // fan a campaign out across machines. Either way the merged output is
 // byte-identical to a single-process -parallel 1 run. `-watch DIR`
 // tails such a shared directory from any host: cells done, leases
-// outstanding with owner and heartbeat age.
+// outstanding with owner, process and heartbeat age (flagged "stale?"
+// past 3/4 of the TTL), plus — whenever the claimants journaled —
+// live rates per claimant and a cost-model ETA over the uncached rest.
 //
 // Usage:
 //
@@ -43,6 +56,8 @@
 //	ompss-sweep -cache .sweep-cache -csv out.csv   # resumable campaign
 //	ompss-sweep -cache .sweep-cache -trace-dir traces/  # per-run Paraver
 //	ompss-sweep -cache .sweep-cache -plan cost     # expensive cells first
+//	ompss-sweep -cache .sweep-cache -budget 90s    # stop at estimated spend
+//	ompss-sweep -cache .sweep-cache -chrome-trace-dir chrome/  # per-run Chrome traces
 //	ompss-sweep -cache /shared/c -procs 4 -csv out.csv  # 4-process fan-out
 //	ompss-sweep -cache /shared/c -claim      # one worker, e.g. per host
 //	ompss-sweep -watch /shared/c             # tail a campaign from anywhere
@@ -51,6 +66,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -82,7 +98,9 @@ func main() {
 		parallel    = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size (1 = serial)")
 		cachePath   = flag.String("cache", "", "campaign cache directory: skip runs already on disk, store new ones")
 		planFlag    = flag.String("plan", "order", "uncached-cell execution order: order (grid expansion) or cost (most expensive first, from costs recorded in -cache)")
+		budgetFlag  = flag.Duration("budget", 0, "stop claiming new cells once cost-model estimates of the admitted work would exceed this many simulation-seconds (requires -cache; implies -plan cost; skipped cells are reported and left for an unbudgeted resume)")
 		traceDir    = flag.String("trace-dir", "", "write one Paraver .prv/.pcf pair per freshly simulated run into this directory")
+		chromeDir   = flag.String("chrome-trace-dir", "", "write one Chrome trace-event .trace.json per freshly simulated run into this directory")
 		procs       = flag.Int("procs", 1, "spawn this many claim-worker processes over -cache and merge their results")
 		claim       = flag.Bool("claim", false, "run as one claim worker: lease uncached cells of -cache, simulate, store, exit when the grid is fully cached")
 		leaseTTL    = flag.Duration("lease-ttl", exp.DefaultLeaseTTL, "claim-mode lease staleness threshold (crashed workers' cells are reclaimed after this)")
@@ -139,7 +157,7 @@ func main() {
 			// it, degrading it for the actual workers.
 			fatal(fmt.Errorf("-watch-interval %v is below the 100ms minimum", *watchEvery))
 		}
-		watch(*watchDir, grid, *watchEvery)
+		watch(*watchDir, grid, *watchEvery, *leaseTTL)
 		return
 	}
 
@@ -150,6 +168,8 @@ func main() {
 			fatal(err)
 		}
 	}
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	switch {
 	case *claim && *procs != 1:
 		fatal(fmt.Errorf("-claim and -procs are mutually exclusive (a worker never spawns workers)"))
@@ -164,29 +184,92 @@ func main() {
 		// sub-second TTL only manufactures spurious reclaims on any real
 		// filesystem, so reject it rather than default it silently.
 		fatal(fmt.Errorf("-lease-ttl %v is below the 1s minimum", *leaseTTL))
+	case *budgetFlag < 0:
+		fatal(fmt.Errorf("-budget must be non-negative, got %v", *budgetFlag))
+	case *budgetFlag > 0 && cache == nil:
+		fatal(fmt.Errorf("-budget requires -cache: the cache records the wall costs the estimates come from"))
+	case *budgetFlag > 0 && explicit["plan"] && *planFlag != "cost":
+		fatal(fmt.Errorf("-budget campaigns claim in cost order; drop -plan %s", *planFlag))
+	}
+	if *budgetFlag > 0 {
+		// Budgeted campaigns always run the cost plan: admitting cells
+		// most-expensive-first is what makes a budget buy the most
+		// valuable work. Set through the flag so claim workers inherit it.
+		if err := flag.Set("plan", "cost"); err != nil {
+			fatal(err)
+		}
 	}
 
-	planner, err := exp.NewPlanner(*planFlag, cache)
-	if err != nil {
-		fatal(err)
+	var (
+		planner exp.Planner
+		budget  *exp.BudgetOptions
+	)
+	if *budgetFlag > 0 {
+		// One cost model, built once, shared by the planner and the
+		// budget, so what the plan prefers and what the budget charges
+		// can never disagree.
+		model, err := cache.CostModel()
+		if err != nil {
+			fatal(err)
+		}
+		planner = exp.CostPlanner{Model: model}
+		budget = &exp.BudgetOptions{Limit: *budgetFlag, Model: model}
+	} else {
+		planner, err = exp.NewPlanner(*planFlag, cache)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	camp := exp.Campaign{
 		Grid:     grid,
 		Cache:    cache,
 		Parallel: *parallel,
 		Planner:  planner,
+		Budget:   budget,
 	}
+	var sinks []exp.ArtifactSink
 	if *traceDir != "" {
 		sink, err := exp.NewTraceDirSink(*traceDir)
 		if err != nil {
 			fatal(err)
 		}
-		camp.Sink = sink
+		sinks = append(sinks, sink)
 	}
+	if *chromeDir != "" {
+		sink, err := exp.NewChromeTraceSink(*chromeDir)
+		if err != nil {
+			fatal(err)
+		}
+		sinks = append(sinks, sink)
+	}
+	switch len(sinks) {
+	case 0:
+	case 1:
+		camp.Sink = sinks[0]
+	default:
+		camp.Sink = exp.MultiSink(sinks...)
+	}
+	var progress exp.Observer
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "ompss-sweep: %d runs (%d cells x %d replicas), %d workers, plan=%s\n",
 			grid.NumRuns(), grid.NumCells(), *replicas, *parallel, planner.Name())
-		camp.Observer = progressRenderer(os.Stderr, grid.NumRuns())
+		progress = progressRenderer(os.Stderr, grid.NumRuns())
+	}
+	// Every cached campaign journals its event history — the persistent
+	// record behind the -watch rates/ETA — whatever mode runs it: the
+	// in-process pool, a -claim worker, and each -procs fleet member all
+	// write their own <cache>/journal/<owner>.jsonl.
+	var journalRec *exp.JournalRecorder
+	if cache != nil {
+		// The recorder opens its file lazily, on the first event worth
+		// keeping, and never fails the campaign: a warm render from a
+		// read-only shared cache journals nothing and keeps working (an
+		// unwritable journal surfaces as the warning below).
+		journalRec = exp.NewJournalRecorder(cache, exp.DefaultOwner())
+		defer journalRec.Close()
+		camp.Observer = exp.MultiObserver(progress, journalRec)
+	} else {
+		camp.Observer = progress
 	}
 
 	var res *exp.SweepResult
@@ -205,13 +288,34 @@ func main() {
 		// assert every cell was simulated exactly once.
 		fmt.Fprintf(os.Stderr, "ompss-sweep: claim: %v dir=%s\n", stats, cache.Dir())
 	} else {
+		cachedBeforeFleet := -1
 		if *procs > 1 {
+			if camp.Budget != nil {
+				// Snapshot how much of the grid predates the fleet, so the
+				// coordinator's skip report can state how many cells the
+				// fleet actually admitted (grid - pre-existing - skipped).
+				st, err := cache.Status(grid)
+				if err != nil {
+					fatal(err)
+				}
+				cachedBeforeFleet = st.Done
+			}
 			// Fan out: N claim workers partition the grid via cache
-			// leases, each exiting once the grid is fully cached. The
-			// campaign below then renders entirely from cache hits, so the
-			// output is byte-identical to a single-process run.
+			// leases, each exiting once the grid is fully cached (or, under
+			// -budget, once its admitted share is). The campaign below then
+			// renders entirely from cache hits, so the output is
+			// byte-identical to a single-process run.
 			if err := spawnClaimWorkers(*procs, claimWorkerArgs(flag.CommandLine)); err != nil {
 				fatal(err)
+			}
+			if camp.Budget != nil {
+				// The fleet spent the budget; the coordinator must render,
+				// not simulate. Marking the budget fully spent makes it
+				// admit nothing, so every cell the workers skipped is
+				// reported here as skipped instead of quietly run locally
+				// (the fleet's cost model moved when its cells landed, so
+				// re-deciding admission would not be the workers' decision).
+				camp.Budget.SpentSec = camp.Budget.Limit.Seconds()
 			}
 		}
 		res, _, err = camp.Execute()
@@ -221,11 +325,30 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if cachedBeforeFleet >= 0 {
+			// The coordinator itself admitted nothing (budget pre-spent);
+			// report the fleet's admission decision instead, so the one
+			// report the coordinator prints matches what actually ran.
+			res.BudgetAdmitted = grid.NumRuns() - cachedBeforeFleet - len(res.Skipped)
+		}
 		if cache != nil && !*quiet {
 			// Machine-greppable resume accounting; CI asserts simulated=0
 			// on a fully warm re-run and after a -procs fan-out.
 			fmt.Fprintf(os.Stderr, "ompss-sweep: cache: simulated=%d cached=%d dir=%s\n",
 				res.Simulated, res.CacheHits, cache.Dir())
+		}
+	}
+	if camp.Budget != nil {
+		// The skip report prints even under -quiet: like the claim stats
+		// it is protocol evidence — CI greps it, and a budgeted campaign
+		// that skipped silently would look complete.
+		if err := exp.WriteSkipReport(prefixWriter(os.Stderr, "ompss-sweep: "), res, camp.Budget); err != nil {
+			fatal(err)
+		}
+	}
+	if journalRec != nil {
+		if jerr := journalRec.Err(); jerr != nil {
+			fmt.Fprintf(os.Stderr, "ompss-sweep: warning: campaign journal incomplete: %v\n", jerr)
 		}
 	}
 
@@ -256,8 +379,10 @@ func main() {
 
 // progressRenderer consumes the campaign event stream and redraws the
 // one-line progress display; lease reclaims get their own line (they
-// are rare and worth an operator's attention). Events are delivered
-// serialized, so the closure needs no lock.
+// are rare and worth an operator's attention). Budget skips count
+// toward the displayed total — a skipped cell is settled, just not
+// simulated — so a budgeted campaign's progress still ends at N/N.
+// Events are delivered serialized, so the closure needs no lock.
 func progressRenderer(w io.Writer, total int) exp.Observer {
 	done := 0
 	line := func(spec exp.RunSpec, tag string) {
@@ -272,18 +397,60 @@ func progressRenderer(w io.Writer, total int) exp.Observer {
 			line(ev.Result.Spec, "")
 		case exp.CellCached:
 			line(ev.Result.Spec, " (cached)")
+		case exp.CellSkipped:
+			line(ev.Spec, " (skipped: over budget)")
 		case exp.LeaseReclaimed:
 			fmt.Fprintf(w, "\r\x1b[Kreclaimed stale lease %.12s...\n", ev.Hash)
 		}
 	})
 }
 
+// prefixWriter prefixes every output line with the CLI's tag, so
+// multi-line reports (the budget skip report) stay greppable.
+func prefixWriter(w io.Writer, prefix string) io.Writer {
+	return &linePrefixer{w: w, prefix: prefix, atStart: true}
+}
+
+type linePrefixer struct {
+	w       io.Writer
+	prefix  string
+	atStart bool
+}
+
+func (p *linePrefixer) Write(data []byte) (int, error) {
+	written := 0
+	for len(data) > 0 {
+		if p.atStart {
+			if _, err := io.WriteString(p.w, p.prefix); err != nil {
+				return written, err
+			}
+			p.atStart = false
+		}
+		i := bytes.IndexByte(data, '\n')
+		if i < 0 {
+			n, err := p.w.Write(data)
+			return written + n, err
+		}
+		n, err := p.w.Write(data[:i+1])
+		written += n
+		if err != nil {
+			return written, err
+		}
+		p.atStart = true
+		data = data[i+1:]
+	}
+	return written, nil
+}
+
 // watch tails a shared campaign cache directory: one status line per
 // poll (cells done out of the grid the flags describe, leases
-// outstanding with owner and heartbeat age), exiting once the campaign
-// is complete and the lease directory has drained. Run it from any host
-// that sees the filesystem; it never writes, claims or simulates.
-func watch(dir string, grid exp.Grid, interval time.Duration) {
+// outstanding with owner, process and heartbeat age), exiting once the
+// campaign is complete and the lease directory has drained. Campaigns
+// whose claimants journaled get a second line per poll — completion
+// rate, per-claimant rates, and a cost-model ETA over the uncached
+// remainder. Run it from any host that sees the filesystem; it never
+// writes, claims or simulates.
+func watch(dir string, grid exp.Grid, interval, ttl time.Duration) {
 	if _, err := os.Stat(dir); err != nil {
 		fatal(fmt.Errorf("-watch %s: %w", dir, err))
 	}
@@ -292,17 +459,29 @@ func watch(dir string, grid exp.Grid, interval time.Duration) {
 		fatal(err)
 	}
 	// The Watcher precomputes the grid's spec hashes once; each poll is
-	// then one Stat per run plus a lease-directory listing.
+	// then one Stat per run plus a lease-directory listing (and, with a
+	// journal, one journal read + cache cost scan for the ETA).
 	watcher, err := cache.Watcher(grid)
 	if err != nil {
 		fatal(err)
 	}
+	watcher.TTL = ttl
 	for {
 		st, err := watcher.Status()
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("ompss-sweep: watch: %v\n", st)
+		js, err := watcher.JournalStatus()
+		if err != nil {
+			fatal(err)
+		}
+		if js != nil {
+			fmt.Printf("ompss-sweep: watch: %v\n", js)
+			if owners := js.OwnersLine(); owners != "" {
+				fmt.Printf("ompss-sweep: watch: claimants: %s\n", owners)
+			}
+		}
 		if st.Done == st.Runs && len(st.Leases) == 0 {
 			return
 		}
@@ -334,8 +513,12 @@ func claimWorkerArgs(fl *flag.FlagSet) []string {
 }
 
 // spawnClaimWorkers re-execs this binary n times in claim mode and waits
-// for the whole fleet; a worker exits 0 only once the entire grid is
-// cached, so a clean fleet implies a complete cache.
+// for the whole fleet. Without -budget a worker exits 0 only once the
+// entire grid is cached, so a clean fleet implies a complete cache.
+// Under -budget (forwarded to every worker) each worker exits once its
+// *admitted* share is settled, so the cache is complete only up to the
+// skipped cells — which is why the coordinator then marks its own
+// budget spent and reports, rather than simulates, the remainder.
 func spawnClaimWorkers(n int, args []string) error {
 	exe, err := os.Executable()
 	if err != nil {

@@ -48,6 +48,12 @@ type Campaign struct {
 	Observer Observer
 	// Sink receives each simulated run's tracer (nil = none).
 	Sink ArtifactSink
+	// Budget, if set, bounds the campaign's estimated spend: uncached
+	// cells are admitted in plan order while cost-model estimates fit
+	// the limit, and the rest are skipped (reported, never simulated).
+	// Skipped cells stay uncached; an unbudgeted campaign over the same
+	// cache later completes the grid byte-identically.
+	Budget *BudgetOptions
 	// Claim, if set, runs the campaign cooperatively with other claimant
 	// processes over the shared Cache directory (lease protocol) instead
 	// of the private in-process pool.
@@ -91,6 +97,19 @@ func (c *Campaign) Execute() (*SweepResult, ClaimStats, error) {
 		return nil, stats, errors.New("exp: claim campaigns need a Cache (the cache directory is the claim substrate)")
 	}
 	e := &engine{c: c, specs: specs, results: make([]RunResult, len(specs))}
+	if c.Budget != nil {
+		// The model is resolved per Execute, into the engine — never
+		// written back into the caller's BudgetOptions, so a reused
+		// options value prices every campaign with current cache costs.
+		e.budgetModel = c.Budget.Model
+		if e.budgetModel == nil && c.Cache != nil {
+			m, err := c.Cache.CostModel()
+			if err != nil {
+				return nil, stats, err
+			}
+			e.budgetModel = m
+		}
+	}
 	if c.Cache != nil {
 		// Hashes are immutable per spec but the claim loop revisits
 		// pending cells every poll pass; precompute them once instead of
@@ -109,12 +128,14 @@ func (c *Campaign) Execute() (*SweepResult, ClaimStats, error) {
 		return nil, stats, err
 	}
 	return &SweepResult{
-		Grid:      grid,
-		Runs:      e.results,
-		Cells:     aggregate(e.results, replicas),
-		Simulated: stats.Simulated,
-		CacheHits: stats.Hits,
-		Wall:      time.Since(start),
+		Grid:           grid,
+		Runs:           e.results,
+		Cells:          aggregate(e.results, replicas, skippedIndexes(e.skipped)),
+		Skipped:        e.skipped,
+		BudgetAdmitted: e.admitted,
+		Simulated:      stats.Simulated,
+		CacheHits:      stats.Hits,
+		Wall:           time.Since(start),
 	}, stats, nil
 }
 
@@ -187,6 +208,12 @@ type engine struct {
 	specs   []RunSpec
 	hashes  []string // nil when the campaign has no cache
 	results []RunResult
+	skipped []SkippedRun // budget skips, expansion-index order
+	// admitted counts the uncached cells the budget let through
+	// (0 without a budget); budgetModel is the per-Execute resolution
+	// of Budget.Model (nil without a budget).
+	admitted    int
+	budgetModel *CostModel
 
 	emitMu sync.Mutex // serializes Observer delivery (see event.go)
 	sinkMu sync.Mutex // serializes Sink.Consume
@@ -269,11 +296,39 @@ func (e *engine) satisfy(idx int, run func(RunSpec) (RunResult, *trace.Tracer, e
 	return rr, false, nil
 }
 
+// budget applies the campaign budget to the planned cells, records the
+// skip list and delivers CellSkipped events in expansion-index order —
+// before any execution, so a skip is always the cell's only event.
+func (e *engine) budget(planned []PlanCell) []PlanCell {
+	admitted, skipped := admitBudget(e.c.Budget, e.budgetModel, planned)
+	e.skipped = skipped
+	if e.c.Budget != nil {
+		e.admitted = len(admitted)
+	}
+	for _, s := range skipped {
+		e.emit(CellSkipped{Index: s.Index, Spec: s.Spec, Hash: s.Hash, EstSec: s.EstSec, Known: s.Known})
+	}
+	return admitted
+}
+
+// skippedIndexes is the skip list as a set, for the aggregation step.
+func skippedIndexes(skipped []SkippedRun) map[int]bool {
+	if len(skipped) == 0 {
+		return nil
+	}
+	set := make(map[int]bool, len(skipped))
+	for _, s := range skipped {
+		set[s.Index] = true
+	}
+	return set
+}
+
 // pool executes the campaign on a private in-process worker pool: a
 // serial cache pre-scan settles the already-cached cells (in expansion
 // order, so CellCached events are deterministic), the planner orders the
-// rest, and the pool runs them. Results are committed by expansion
-// index, so outputs are independent of Parallel and of the plan.
+// rest, the budget admits what fits, and the pool runs it. Results are
+// committed by expansion index, so outputs are independent of Parallel
+// and of the plan.
 func (e *engine) pool() (ClaimStats, error) {
 	stats := ClaimStats{Runs: len(e.specs)}
 	run := e.runner()
@@ -284,7 +339,7 @@ func (e *engine) pool() (ClaimStats, error) {
 			if rr, ok := e.c.Cache.load(e.specs[idx], e.hashes[idx]); ok {
 				e.results[idx] = rr
 				stats.Hits++
-				e.emit(CellCached{Index: idx, Result: rr})
+				e.emit(CellCached{Index: idx, Result: rr, Hash: e.hashes[idx], Warm: true})
 				continue
 			}
 		}
@@ -294,6 +349,8 @@ func (e *engine) pool() (ClaimStats, error) {
 	if err != nil {
 		return stats, err
 	}
+	planned = e.budget(planned)
+	stats.Skipped = len(e.skipped)
 	if len(planned) == 0 {
 		return stats, nil
 	}
@@ -339,9 +396,9 @@ func (e *engine) pool() (ClaimStats, error) {
 				}
 				mu.Unlock()
 				if hit {
-					e.emit(CellCached{Index: cell.Index, Result: rr})
+					e.emit(CellCached{Index: cell.Index, Result: rr, Hash: cell.Hash})
 				} else {
-					e.emit(CellDone{Index: cell.Index, Result: rr})
+					e.emit(CellDone{Index: cell.Index, Result: rr, Hash: cell.Hash})
 				}
 			}
 		}()
@@ -422,7 +479,7 @@ func (e *engine) claim() (ClaimStats, error) {
 			e.results[idx] = rr
 			stats.Hits++
 			settled++
-			e.emit(CellCached{Index: idx, Result: rr})
+			e.emit(CellCached{Index: idx, Result: rr, Hash: e.hashes[idx], Warm: true})
 			continue
 		}
 		pending = append(pending, PlanCell{Index: idx, Spec: e.specs[idx], Hash: e.hashes[idx]})
@@ -431,6 +488,14 @@ func (e *engine) claim() (ClaimStats, error) {
 	if err != nil {
 		return stats, err
 	}
+	// The budget prices cells out of *this claimant's* campaign: they are
+	// excluded from its scan and from its completion accounting, so a
+	// budgeted claimant terminates once the admitted cells are settled
+	// even though the grid stays incomplete. (A peer with a different
+	// cost model may still run them; this claimant just never waits on
+	// cells it refused to pay for.)
+	planned = e.budget(planned)
+	stats.Skipped = len(e.skipped)
 
 	workers := e.workers()
 	if workers > len(planned) && len(planned) > 0 {
@@ -456,7 +521,7 @@ func (e *engine) claim() (ClaimStats, error) {
 	defer close(jobs)
 
 	var (
-		remaining = len(e.specs) - settled
+		remaining = len(e.specs) - settled - len(e.skipped)
 		inflight  = 0
 		firstErr  error
 	)
@@ -473,10 +538,10 @@ func (e *engine) claim() (ClaimStats, error) {
 		e.results[c.idx] = c.rr
 		if c.hit {
 			stats.Hits++
-			e.emit(CellCached{Index: c.idx, Result: c.rr})
+			e.emit(CellCached{Index: c.idx, Result: c.rr, Hash: e.hashes[c.idx]})
 		} else {
 			stats.Simulated++
-			e.emit(CellDone{Index: c.idx, Result: c.rr})
+			e.emit(CellDone{Index: c.idx, Result: c.rr, Hash: e.hashes[c.idx]})
 		}
 	}
 	for remaining > 0 && firstErr == nil {
@@ -506,7 +571,7 @@ func (e *engine) claim() (ClaimStats, error) {
 				e.results[idx] = rr
 				stats.Hits++
 				progress = true
-				e.emit(CellCached{Index: idx, Result: rr})
+				e.emit(CellCached{Index: idx, Result: rr, Hash: e.hashes[idx]})
 				continue
 			}
 			if inflight >= workers {

@@ -142,13 +142,19 @@ var costCSVHeader = []string{
 // is an execution fact, not a result: wall costs vary run to run and
 // cached rows carry the cost recorded when the cell was first simulated
 // (empty when the cell predates cost recording). It exists for cost
-// dashboards and for auditing what CostPlanner will see.
+// dashboards and for auditing what CostPlanner will see. Budget-skipped
+// runs have no cost to report and are omitted (see WriteSkipReport for
+// their estimates).
 func WriteCostCSV(w io.Writer, res *SweepResult) error {
+	skipped := skippedIndexes(res.Skipped)
 	cw := csv.NewWriter(w)
 	if err := cw.Write(costCSVHeader); err != nil {
 		return err
 	}
-	for _, r := range res.Runs {
+	for i, r := range res.Runs {
+		if skipped[i] {
+			continue
+		}
 		s := r.Spec
 		s.fillDefaults()
 		source := "simulated"
@@ -176,18 +182,22 @@ func WriteCostCSV(w io.Writer, res *SweepResult) error {
 }
 
 // WriteCostJSON renders the per-run costs as indented JSON (same data as
-// WriteCostCSV, same execution-fact caveats).
+// WriteCostCSV, same execution-fact caveats, skipped runs omitted).
 func WriteCostJSON(w io.Writer, res *SweepResult) error {
 	type costRow struct {
 		Spec    RunSpec `json:"spec"`
 		Cached  bool    `json:"cached"`
 		WallSec float64 `json:"wall_s"`
 	}
-	rows := make([]costRow, len(res.Runs))
+	skipped := skippedIndexes(res.Skipped)
+	rows := make([]costRow, 0, len(res.Runs))
 	for i, r := range res.Runs {
+		if skipped[i] {
+			continue
+		}
 		s := r.Spec
 		s.fillDefaults()
-		rows[i] = costRow{Spec: s, Cached: r.Cached, WallSec: r.Wall.Seconds()}
+		rows = append(rows, costRow{Spec: s, Cached: r.Cached, WallSec: r.Wall.Seconds()})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -30,6 +30,8 @@ const (
 	crashWorkerEnv     = "EXP_CRASH_TEST_WORKER_DIR"
 	stragglerWorkerEnv = "EXP_STRAGGLER_TEST_WORKER_DIR"
 	stragglerPlanEnv   = "EXP_STRAGGLER_TEST_PLAN"
+	journalWorkerEnv   = "EXP_JOURNAL_TEST_WORKER_DIR"
+	journalOwnerEnv    = "EXP_JOURNAL_TEST_OWNER"
 )
 
 // TestMain re-execs the test binary as a claim worker when a subprocess
@@ -69,7 +71,44 @@ func TestMain(m *testing.M) {
 	if dir := os.Getenv(stragglerWorkerEnv); dir != "" {
 		os.Exit(stragglerWorkerMain(dir, os.Getenv(stragglerPlanEnv)))
 	}
+	if dir := os.Getenv(journalWorkerEnv); dir != "" {
+		os.Exit(journalWorkerMain(dir, os.Getenv(journalOwnerEnv)))
+	}
 	os.Exit(m.Run())
+}
+
+// journalWorkerMain is the journal crash battery's worker: a claim
+// campaign over crashGrid with a JournalRecorder attached and a slow
+// runner, so the parent can SIGKILL it while it demonstrably holds
+// leases and has journaled claim/start records.
+func journalWorkerMain(dir, owner string) int {
+	cache, err := OpenCache(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	rec := NewJournalRecorder(cache, owner)
+	defer rec.Close()
+	camp := Campaign{
+		Grid:     crashGrid(),
+		Cache:    cache,
+		Parallel: 2,
+		Observer: rec,
+		Claim: &ClaimOptions{
+			Owner:     owner,
+			TTL:       time.Second,
+			Heartbeat: 50 * time.Millisecond,
+		},
+		run: func(s RunSpec) (RunResult, error) {
+			time.Sleep(5 * time.Second) // far longer than the parent waits to kill
+			return fakeRun(s)
+		},
+	}
+	if _, _, err := camp.Execute(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
 }
 
 // TestCrashRecovery is the kill-a-worker-mid-cell battery: a worker

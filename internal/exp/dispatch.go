@@ -48,9 +48,10 @@ type Dispatcher struct {
 }
 
 // ClaimStats accounts for how a campaign was satisfied. On success
-// Simulated + Hits == Runs: every run was either simulated (and stored)
-// locally exactly once or loaded from a cached result. Claimed and
-// Reclaimed stay zero outside claim mode.
+// Simulated + Hits + Skipped == Runs: every run was either simulated
+// (and stored) locally exactly once, loaded from a cached result, or
+// priced out by the campaign budget. Claimed and Reclaimed stay zero
+// outside claim mode; Skipped stays zero outside budgeted campaigns.
 type ClaimStats struct {
 	// Runs is the grid's total run count.
 	Runs int
@@ -63,11 +64,19 @@ type ClaimStats struct {
 	Hits int
 	// Reclaimed counts stale leases this claimant broke.
 	Reclaimed int
+	// Skipped counts runs a campaign budget priced out (see
+	// BudgetOptions); on a budgeted campaign Simulated + Hits + Skipped
+	// == Runs. Always zero without a budget.
+	Skipped int
 }
 
 func (s ClaimStats) String() string {
-	return fmt.Sprintf("runs=%d claimed=%d simulated=%d hits=%d reclaimed=%d",
+	out := fmt.Sprintf("runs=%d claimed=%d simulated=%d hits=%d reclaimed=%d",
 		s.Runs, s.Claimed, s.Simulated, s.Hits, s.Reclaimed)
+	if s.Skipped > 0 {
+		out += fmt.Sprintf(" skipped=%d", s.Skipped)
+	}
+	return out
 }
 
 // Claim partitions the grid with every other claimant of the same cache

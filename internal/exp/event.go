@@ -18,6 +18,9 @@ package exp
 //     only the per-cell ordering above is guaranteed.
 //   - A cell whose run fails delivers no completion event: the campaign
 //     aborts with the error instead.
+//   - A budgeted campaign delivers CellSkipped (in expansion-index
+//     order, before any execution) for every cell it prices out; a
+//     skipped cell gets no other event from this campaign.
 
 // Event is a campaign notification. The concrete types below are the
 // complete set; the unexported marker keeps it closed.
@@ -41,6 +44,10 @@ type CellStarted struct {
 type CellDone struct {
 	Index  int
 	Result RunResult
+	// Hash is the spec's content hash ("" without a cache), carried so
+	// observers that persist events (the campaign journal) need not
+	// re-hash the spec.
+	Hash string
 }
 
 // CellCached reports a cell satisfied from the campaign cache — stored
@@ -48,6 +55,28 @@ type CellDone struct {
 type CellCached struct {
 	Index  int
 	Result RunResult
+	// Hash is the spec's content hash (cached cells always have one).
+	Hash string
+	// Warm marks a pre-scan hit: the cell was already complete on disk
+	// before this campaign started, as opposed to one a peer stored
+	// while it ran. Persistent observers (the campaign journal) skip
+	// warm hits — they carry no new history, and re-rendering a warm
+	// cache must not append the whole grid to the journal every time.
+	Warm bool
+}
+
+// CellSkipped reports a cell a budgeted campaign priced out: claiming
+// it would push the estimated spend past the budget (see
+// BudgetOptions). The cell is left uncached for a later resume; skips
+// are delivered in expansion-index order before execution begins.
+type CellSkipped struct {
+	Index int
+	Spec  RunSpec
+	Hash  string
+	// EstSec is the cost model's estimate for the cell in seconds
+	// (0 with Known false when the model had no estimate).
+	EstSec float64
+	Known  bool
 }
 
 // LeaseClaimed reports that this claimant won a cell's lease (claim mode
@@ -71,6 +100,7 @@ type LeaseReclaimed struct {
 func (CellStarted) campaignEvent()    {}
 func (CellDone) campaignEvent()       {}
 func (CellCached) campaignEvent()     {}
+func (CellSkipped) campaignEvent()    {}
 func (LeaseClaimed) campaignEvent()   {}
 func (LeaseReclaimed) campaignEvent() {}
 

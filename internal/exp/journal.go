@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"path/filepath"
+	"sync"
+
+	"repro/internal/journal"
+)
+
+// The campaign journal: every claimant of a cached campaign — an
+// in-process sweep, a -claim worker, each member of a -procs fleet —
+// attaches a JournalRecorder that streams its event stream to
+// <cache>/journal/<owner>.jsonl. The journal directory lives inside the
+// cache directory because the cache is already the campaign's shared
+// substrate: whatever filesystem the claimants coordinate through also
+// carries their history, and a watcher that can see the cells can see
+// the timeline (rates, ETAs, per-claimant activity) with no extra
+// plumbing. See internal/journal for the record schema and crash
+// semantics.
+
+// JournalDirName is the journal subdirectory of a campaign cache.
+const JournalDirName = "journal"
+
+// JournalDir is where this cache's claimants journal their events.
+func (c *Cache) JournalDir() string { return filepath.Join(c.dir, JournalDirName) }
+
+// DefaultOwner is the host:pid owner tag used when a claimant does not
+// pick one — the same tag that names leases, claim stats and journal
+// files, so one claimant is one identity everywhere.
+func DefaultOwner() string { return defaultOwner() }
+
+// JournalRecorder is an Observer that persists campaign events to an
+// append-only journal. Event delivery is already serialized by the
+// engine; the recorder's own mutex only guards the lazy open and Err
+// against concurrent readers.
+//
+// The journal file is opened lazily, on the first record worth keeping:
+// a fully warm render (every event a warm pre-scan hit) journals
+// nothing and creates no file, so repeated report-only invocations do
+// not accumulate phantom claimant files — the journal directory, like
+// each file in it, grows with campaign activity, not with invocations.
+//
+// Journal failures do not abort the campaign — the journal is history,
+// not results, and a full disk under the journal must not kill a
+// half-day sweep whose cache stores still succeed. The first failure
+// (open or append) is retained (Err) for the caller to surface; after
+// an open failure the recorder goes quiet, after an append failure
+// subsequent appends are still attempted.
+type JournalRecorder struct {
+	dir   string
+	owner string
+
+	mu sync.Mutex
+	w  *journal.Writer // nil until the first recorded event
+	// err is the first open/append failure (nil while healthy).
+	err error
+}
+
+// NewJournalRecorder returns a recording observer for the cache's
+// journal under the given owner ("" = DefaultOwner). No file is
+// created until the campaign produces history worth keeping. Callers
+// compose it with their other observers via MultiObserver and Close it
+// after the campaign.
+func NewJournalRecorder(c *Cache, owner string) *JournalRecorder {
+	if owner == "" {
+		owner = defaultOwner()
+	}
+	return &JournalRecorder{dir: c.JournalDir(), owner: owner}
+}
+
+// OnEvent implements Observer: one journal record per campaign event.
+func (j *JournalRecorder) OnEvent(ev Event) {
+	var rec journal.Record
+	switch ev := ev.(type) {
+	case CellStarted:
+		rec = journal.Record{Type: journal.TypeStarted, Index: ev.Index, Hash: ev.Hash}
+	case CellDone:
+		rec = journal.Record{Type: journal.TypeDone, Index: ev.Index, Hash: ev.Hash,
+			WallSec: ev.Result.Wall.Seconds()}
+	case CellCached:
+		if ev.Warm {
+			// A pre-scan hit is no new history — the cell file already
+			// proves completion — and journaling the warm set would grow
+			// the journal by the whole grid on every warm re-render.
+			// Cached records are kept for *late* hits only (a peer stored
+			// the cell while this campaign ran).
+			return
+		}
+		rec = journal.Record{Type: journal.TypeCached, Index: ev.Index, Hash: ev.Hash}
+	case CellSkipped:
+		// Not persisted, for the same reason as warm hits: a budgeted
+		// report-only invocation re-decides the same skips every time it
+		// runs, and journaling them would append the full skip set per
+		// invocation (times every fleet member). The skip report and
+		// SweepResult.Skipped are the durable record of the decision;
+		// journal.TypeSkipped stays reserved in the schema for readers.
+		return
+	case LeaseClaimed:
+		rec = journal.Record{Type: journal.TypeClaimed, Index: ev.Index, Hash: ev.Hash}
+	case LeaseReclaimed:
+		rec = journal.Record{Type: journal.TypeReclaimed, Hash: ev.Hash, By: ev.By}
+	default:
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.w == nil {
+		if j.err != nil {
+			return // the journal never opened; stay quiet
+		}
+		w, err := journal.Open(j.dir, j.owner)
+		if err != nil {
+			j.err = err
+			return
+		}
+		j.w = w
+	}
+	if err := j.w.Append(rec); err != nil && j.err == nil {
+		j.err = err
+	}
+}
+
+// Err returns the first open or append failure, nil while every record
+// landed (or none was needed).
+func (j *JournalRecorder) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Path returns the journal file this recorder appends to (which exists
+// only once something has been recorded).
+func (j *JournalRecorder) Path() string { return journal.FilePath(j.dir, j.owner) }
+
+// Close closes the underlying journal file, if one was ever opened.
+func (j *JournalRecorder) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.w == nil {
+		return nil
+	}
+	return j.w.Close()
+}

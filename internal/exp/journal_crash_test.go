@@ -1,0 +1,164 @@
+//go:build unix
+
+package exp
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+)
+
+// TestJournalCrashSafety is the journal's SIGKILL battery, the
+// crash-side acceptance criterion:
+//
+//  1. A worker subprocess journaling a claim campaign is SIGKILLed
+//     mid-cell; its journal (with the torn tail such a kill can leave
+//     mid-append) replays cleanly — the torn line is skipped with a
+//     counted warning, every complete record survives.
+//  2. A restarted claimant under the same owner reopens that journal
+//     without corrupting the dead session's records, finishes the grid,
+//     and the merged replay reconstructs exactly-once per-cell
+//     completion: simulated counts sum to the grid size, no cell done
+//     twice, both sessions visible.
+func TestJournalCrashSafety(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses and waits out lease TTLs")
+	}
+	dir := t.TempDir()
+	const owner = "crash-journal-worker"
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-test.run=^$")
+	cmd.Env = append(os.Environ(), journalWorkerEnv+"="+dir, journalOwnerEnv+"="+owner)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	defer cmd.Wait()
+
+	// Kill once the worker demonstrably holds a lease AND its journal
+	// exists (the recorder opens the file lazily on the first claim
+	// record, a moment after the lease file appears) — it is then inside
+	// a 5s cell with open/claimed records on disk.
+	jpathEarly := filepath.Join(filepath.Join(dir, JournalDirName), journal.SanitizeOwner(owner)+".jsonl")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		leases, _ := globLeases(dir)
+		if len(leases) > 0 {
+			if fi, err := os.Stat(jpathEarly); err == nil && fi.Size() > 0 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker never acquired a lease with a journaled claim")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jpath := filepath.Join(cache.JournalDir(), journal.SanitizeOwner(owner)+".jsonl")
+	if _, err := os.Stat(jpath); err != nil {
+		t.Fatalf("dead worker left no journal: %v", err)
+	}
+	// A SIGKILL can land mid-append, leaving a torn final line. The kill
+	// above raced real appends, so force the torn state deterministically:
+	// append a record prefix with no trailing newline.
+	f, err := os.OpenFile(jpath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"v":1,"t":17345,"type":"sta`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// (1) Replay of the dead worker's journal: torn tail skipped with a
+	// counted warning, complete records intact.
+	recs, stats, err := journal.ReadDir(cache.JournalDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TruncatedTails != 1 {
+		t.Errorf("read stats %v, want exactly one truncated tail", stats)
+	}
+	dead := journal.Replay(recs)
+	o := dead.Owners[owner]
+	if o == nil || o.Opens != 1 || o.Claimed == 0 {
+		t.Fatalf("dead session replay: %+v (records: %d)", o, len(recs))
+	}
+	if dead.Done != 0 {
+		t.Errorf("dead worker journaled %d completions before its first 5s cell could finish", dead.Done)
+	}
+
+	// (2) Restart under the same owner: the reopen must terminate the
+	// torn line, append a second open record, and complete the grid.
+	rec := NewJournalRecorder(cache, owner)
+	defer rec.Close()
+	camp := Campaign{
+		Grid:     crashGrid(),
+		Cache:    cache,
+		Parallel: 2,
+		Observer: rec,
+		Claim: &ClaimOptions{
+			Owner:     owner,
+			TTL:       400 * time.Millisecond,
+			Heartbeat: 50 * time.Millisecond,
+			Poll:      25 * time.Millisecond,
+		},
+		run: fakeRun,
+	}
+	_, cstats, err := camp.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Err(); err != nil {
+		t.Fatalf("restarted recorder error: %v", err)
+	}
+	total := crashGrid().NumRuns()
+	if cstats.Simulated != total {
+		t.Errorf("survivor stats %v, want simulated=%d", cstats, total)
+	}
+
+	recs, stats, err = journal.ReadDir(cache.JournalDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The torn line is now interior (newline-terminated by the reopen):
+	// still exactly one skipped line, reclassified, nothing else lost.
+	if stats.TruncatedTails != 0 || stats.Malformed != 1 {
+		t.Errorf("post-restart read stats %v, want the torn line as one malformed interior line", stats)
+	}
+	tl := journal.Replay(recs)
+	o = tl.Owners[owner]
+	if o == nil || o.Opens != 2 {
+		t.Fatalf("owner after restart: %+v, want both sessions (opens=2)", o)
+	}
+	if o.Reclaimed == 0 {
+		t.Error("restart journaled no stale-lease reclaim of its dead predecessor")
+	}
+	if tl.Done != total || tl.DoubleDone != 0 {
+		t.Errorf("replay done=%d double=%d, want exactly-once over the %d-run grid",
+			tl.Done, tl.DoubleDone, total)
+	}
+	sum := 0
+	for _, name := range tl.OwnerNames() {
+		sum += tl.Owners[name].Done
+	}
+	if sum != total {
+		t.Errorf("per-owner done counts sum to %d, want %d", sum, total)
+	}
+}

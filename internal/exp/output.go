@@ -122,6 +122,14 @@ func FormatSummary(res *SweepResult) string {
 		fmt.Fprintf(&b, "campaign cache: %d simulated, %d served from cache\n",
 			res.Simulated, res.CacheHits)
 	}
+	if len(res.Skipped) > 0 {
+		var est float64
+		for _, s := range res.Skipped {
+			est += s.EstSec
+		}
+		fmt.Fprintf(&b, "budget: %d runs skipped (estimated %.3fs of simulation deferred); resume without -budget to complete the grid\n",
+			len(res.Skipped), est)
+	}
 	return b.String()
 }
 

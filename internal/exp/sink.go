@@ -61,6 +61,62 @@ func (s *TraceDirSink) Consume(rr RunResult, tr *trace.Tracer) error {
 	return writeArtifact(pcf, tr.WriteParaverPCF)
 }
 
+// ChromeTraceSink writes one Chrome trace-event file
+// (<slug>.trace.json, loadable in chrome://tracing or Perfetto) per
+// simulated run into a directory — the ompss-sweep -chrome-trace-dir
+// mode. It shares TraceDirSink's contract end to end: deterministic
+// per-spec file names, atomic writes, and cached hits emit nothing
+// (no simulation, no tracer — re-export against a fresh cache).
+type ChromeTraceSink struct {
+	dir string
+}
+
+// NewChromeTraceSink creates (if needed) the artifact directory.
+func NewChromeTraceSink(dir string) (*ChromeTraceSink, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("exp: chrome trace directory must not be empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("exp: opening chrome trace directory: %w", err)
+	}
+	return &ChromeTraceSink{dir: dir}, nil
+}
+
+// Dir returns the sink's directory.
+func (s *ChromeTraceSink) Dir() string { return s.dir }
+
+// Consume implements ArtifactSink.
+func (s *ChromeTraceSink) Consume(rr RunResult, tr *trace.Tracer) error {
+	path := filepath.Join(s.dir, artifactSlug(rr.Spec)+".trace.json")
+	return writeArtifact(path, tr.WriteChromeTrace)
+}
+
+// MultiSink fans each simulated run's tracer out to several sinks, in
+// order (e.g. Paraver and Chrome trace exports from one campaign). A
+// nil entry is skipped; the first sink error stops the fan-out and
+// fails the campaign, like any sink error.
+func MultiSink(sinks ...ArtifactSink) ArtifactSink {
+	compact := make([]ArtifactSink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			compact = append(compact, s)
+		}
+	}
+	return multiSink(compact)
+}
+
+type multiSink []ArtifactSink
+
+// Consume implements ArtifactSink.
+func (m multiSink) Consume(rr RunResult, tr *trace.Tracer) error {
+	for _, s := range m {
+		if err := s.Consume(rr, tr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // writeArtifact writes atomically (temp file + rename, the Cache.Store
 // pattern): two processes that simulate the same cell after a
 // pathological lease reclaim then race byte-identical renames, never

@@ -52,11 +52,24 @@ type CellSummary struct {
 }
 
 // SweepResult is a completed sweep: every run in grid-expansion order
-// plus the per-cell aggregation.
+// plus the per-cell aggregation. A budgeted campaign's result can be
+// partial: Skipped lists the runs the budget priced out, their Runs
+// entries are zero values, and cells with any skipped replica are
+// excluded from Cells (so rendered outputs contain only fully resolved
+// cells — still deterministic, still byte-stable at any parallelism).
 type SweepResult struct {
 	Grid  Grid          `json:"grid"`
 	Runs  []RunResult   `json:"-"`
 	Cells []CellSummary `json:"cells"`
+	// Skipped lists budget-skipped runs in expansion order (empty for
+	// unbudgeted campaigns). Like the cache counters it is an execution
+	// fact, excluded from the deterministic outputs.
+	Skipped []SkippedRun `json:"-"`
+	// BudgetAdmitted counts the uncached runs the budget let through —
+	// the denominator of the skip report's admission decision. Cache
+	// hits are not admitted (they cost nothing); always zero without a
+	// budget.
+	BudgetAdmitted int `json:"-"`
 	// Simulated and CacheHits count how the runs were satisfied. Like
 	// Wall they are execution facts, not results, and are excluded from
 	// the deterministic outputs (a warm re-run must stay byte-identical
@@ -89,14 +102,22 @@ func sweep(g Grid, o SweepOptions, run func(RunSpec) (RunResult, error)) (*Sweep
 }
 
 // aggregate groups consecutive replicas (expansion order puts a cell's
-// replicas adjacent) into CellSummaries.
-func aggregate(runs []RunResult, replicas int) []CellSummary {
+// replicas adjacent) into CellSummaries. Groups touching a skipped run
+// (budgeted campaigns) are left out entirely: a summary over a partial
+// replica set would be a different statistic, not a partial one.
+func aggregate(runs []RunResult, replicas int, skipped map[int]bool) []CellSummary {
 	if replicas <= 0 {
 		replicas = 1
 	}
 	cells := make([]CellSummary, 0, len(runs)/replicas)
+group:
 	for i := 0; i < len(runs); i += replicas {
 		group := runs[i : i+replicas]
+		for j := range group {
+			if skipped[i+j] {
+				continue group
+			}
+		}
 		spec := group[0].Spec
 		spec.fillDefaults()
 		c := CellSummary{

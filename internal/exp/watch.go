@@ -8,12 +8,17 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/journal"
 )
 
 // Campaign observability for multi-host runs: a watcher process tails
 // the shared cache directory — the same coordination substrate the
 // claimants use — and needs no connection to any worker. Status is a
-// point-in-time snapshot; the ompss-sweep -watch mode polls it.
+// point-in-time snapshot of the cells and leases; JournalStatus layers
+// the claimants' persisted event history on top (throughput, per-owner
+// rates, a cost-model ETA), so `ompss-sweep -watch` can show where the
+// campaign is going, not just where it stands.
 
 // LeaseStatus describes one outstanding lease file.
 type LeaseStatus struct {
@@ -30,6 +35,26 @@ type LeaseStatus struct {
 	Age time.Duration
 }
 
+// describe renders the lease for a status line: the owner tag, the
+// claimant process behind it, and — when the watcher knows the TTL — a
+// "stale?" flag once the heartbeat age passes 3/4 of it: the owner has
+// missed at least two beats and is likely dead, worth an operator's
+// look before the protocol reclaims the cell at the full TTL.
+func (l LeaseStatus) describe(ttl time.Duration) string {
+	who := l.Owner
+	if l.Host != "?" && l.PID != 0 {
+		proc := fmt.Sprintf("%s:%d", l.Host, l.PID)
+		if proc != l.Owner { // default owners are already host:pid
+			who = fmt.Sprintf("%s[%s]", l.Owner, proc)
+		}
+	}
+	out := fmt.Sprintf("%s age=%s", who, l.Age.Round(time.Second))
+	if ttl > 0 && l.Age > ttl*3/4 {
+		out += " stale?"
+	}
+	return out
+}
+
 // CampaignStatus is a snapshot of a campaign over a shared cache
 // directory: how much of the grid is settled and who is working on what.
 type CampaignStatus struct {
@@ -40,6 +65,9 @@ type CampaignStatus struct {
 	// Leases are the outstanding lease files, sorted by descending age
 	// (the stalest — likeliest dead — first).
 	Leases []LeaseStatus
+	// TTL is the lease staleness threshold the watcher assumes (0 =
+	// unknown); it only drives the "stale?" rendering, never reclaim.
+	TTL time.Duration
 }
 
 // String renders the snapshot as one line, the -watch output format.
@@ -56,18 +84,129 @@ func (s CampaignStatus) String() string {
 		if i == 0 {
 			sep = ": "
 		}
-		fmt.Fprintf(&b, "%s%s age=%s", sep, l.Owner, l.Age.Round(time.Second))
+		b.WriteString(sep)
+		b.WriteString(l.describe(s.TTL))
 	}
 	return b.String()
+}
+
+// DefaultRateWindow is the trailing span live watch rates are computed
+// over. Long enough to smooth bursty fleets, short enough that a
+// resumed campaign's rate reflects the current session, not the idle
+// gap since the last one.
+const DefaultRateWindow = 10 * time.Minute
+
+// OwnerRate is one claimant's share of the journaled history.
+type OwnerRate struct {
+	// Owner is the claimant's owner tag.
+	Owner string
+	// Host and PID identify the claimant's most recent process.
+	Host string
+	PID  int
+	// Done counts cells this claimant simulated (all-time); PerMin is
+	// its simulation rate over the same trailing window as the fleet
+	// rate, so the claimant lines and the fleet line of one dashboard
+	// never tell different stories about a resumed campaign.
+	Done   int
+	PerMin float64
+}
+
+// JournalStatus summarizes the claimants' persisted event history plus
+// the forward-looking estimate a watcher wants: how fast is the fleet
+// retiring work, and when will the rest be done.
+type JournalStatus struct {
+	// Records is the number of journal records read; SkippedLines
+	// counts unreadable lines (torn tails of SIGKILLed writers,
+	// version skew) tolerated along the way.
+	Records      int
+	SkippedLines int
+	// Claimants is the number of distinct owners seen; Owners carries
+	// their per-claimant activity, sorted by owner tag.
+	Claimants int
+	Owners    []OwnerRate
+	// CellsPerMin is the fleet-wide completion rate over the journal's
+	// span (simulations plus first-time cached observations).
+	CellsPerMin float64
+	// CostPerSec is simulation cost retired per wall second — the
+	// fleet's effective parallel speed, in (estimated) simulation
+	// seconds per second.
+	CostPerSec float64
+	// Remaining counts grid runs not yet cached; RemainingEstSec sums
+	// the cost model's estimates for them (EstKnown of Remaining had
+	// an estimate).
+	Remaining       int
+	RemainingEstSec float64
+	EstKnown        int
+	// ETA is the projected time to finish the remaining runs: the
+	// cost-model estimate divided by the observed CostPerSec, falling
+	// back to Remaining/CellsPerMin when costs are unavailable. Valid
+	// only when OK (a journal with no measurable span, or a fleet that
+	// has retired nothing, projects nothing).
+	ETA time.Duration
+	OK  bool
+}
+
+// String renders the journal status as one stable, greppable line.
+func (j JournalStatus) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rate=%.1f cells/min", j.CellsPerMin)
+	if j.CostPerSec >= 0.005 { // below that it renders as a misleading 0.00x
+		fmt.Fprintf(&b, " speed=%.2fx", j.CostPerSec)
+	}
+	eta := "unknown"
+	if j.OK {
+		eta = "~" + j.ETA.Round(time.Second).String()
+	}
+	if j.Remaining == 0 {
+		eta = "0s"
+	}
+	fmt.Fprintf(&b, " eta=%s claimants=%d", eta, j.Claimants)
+	if j.SkippedLines > 0 {
+		fmt.Fprintf(&b, " journal_skipped_lines=%d", j.SkippedLines)
+	}
+	return b.String()
+}
+
+// OwnersLine renders the per-claimant rates ("" when no owner has
+// simulated anything yet).
+func (j JournalStatus) OwnersLine() string {
+	parts := make([]string, 0, len(j.Owners))
+	for _, o := range j.Owners {
+		if o.Done == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s: %d done (%.1f/min)", o.Owner, o.Done, o.PerMin))
+	}
+	return strings.Join(parts, ", ")
 }
 
 // Watcher polls one grid's progress over the cache directory. The grid
 // expansion and the per-spec canonicalization + SHA-256 are paid once at
 // construction — a watcher polls for hours on paper-size campaigns, and
-// the hashes never change between polls.
+// the hashes never change between polls. A Watcher is not safe for
+// concurrent use: it memoizes per-poll state (the uncached set, the
+// cost model) so a Status + JournalStatus poll pair stats each cell
+// once and only re-reads the cache's cost data when a new cell landed.
 type Watcher struct {
 	cache  *Cache
+	specs  []RunSpec
 	hashes []string
+	// TTL, when set, is the lease staleness threshold used to flag
+	// likely-dead claimants in rendered status lines.
+	TTL time.Duration
+	// RateWindow bounds the journal span the live rates (and the ETA
+	// divisor) are computed over (0 = DefaultRateWindow): a resumed
+	// campaign must report its current throughput, not the average
+	// over days of idle gap in its history.
+	RateWindow time.Duration
+
+	// uncached is the most recent Status scan's missing-cell indexes
+	// (nil until the first scan); model/modelDone memoize the cost
+	// model against the done count that built it.
+	uncached  []int
+	scanned   bool
+	model     *CostModel
+	modelDone int
 }
 
 // Watcher validates the grid and precomputes its spec hashes.
@@ -82,7 +221,7 @@ func (c *Cache) Watcher(g Grid) (*Watcher, error) {
 		specs[i].fillDefaults()
 		hashes[i] = specs[i].Hash()
 	}
-	return &Watcher{cache: c, hashes: hashes}, nil
+	return &Watcher{cache: c, specs: specs, hashes: hashes}, nil
 }
 
 // Status snapshots the campaign: which runs are settled on disk and
@@ -91,18 +230,98 @@ func (c *Cache) Watcher(g Grid) (*Watcher, error) {
 // corrupt cell will be caught and re-simulated by whichever claimant
 // next touches it).
 func (w *Watcher) Status() (CampaignStatus, error) {
-	st := CampaignStatus{Runs: len(w.hashes)}
-	for _, h := range w.hashes {
+	st := CampaignStatus{Runs: len(w.hashes), TTL: w.TTL}
+	w.uncached = w.uncached[:0]
+	for i, h := range w.hashes {
 		if _, err := os.Stat(w.cache.path(h)); err == nil {
 			st.Done++
+		} else {
+			w.uncached = append(w.uncached, i)
 		}
 	}
+	w.scanned = true
 	leases, err := w.cache.LeaseStatuses()
 	if err != nil {
 		return CampaignStatus{}, err
 	}
 	st.Leases = leases
 	return st, nil
+}
+
+// JournalStatus reads the campaign journal and projects rates and an
+// ETA for the runs the grid still misses. A cache without a journal
+// (pre-journal campaigns, or a grid that never ran) returns nil with no
+// error — the watcher simply has no history to show. The uncached set
+// comes from the preceding Status scan (re-scanned here only if Status
+// was never called), and the cost model — a read of every cell file —
+// is rebuilt only when a new cell has landed since it was last built:
+// estimates change exactly when cells do, and hour-long watches over
+// shared filesystems should not re-read a whole cache per poll.
+func (w *Watcher) JournalStatus() (*JournalStatus, error) {
+	recs, stats, err := journal.ReadDir(filepath.Join(w.cache.Dir(), JournalDirName))
+	if err != nil {
+		return nil, err
+	}
+	if stats.Files == 0 {
+		return nil, nil
+	}
+	tl := journal.Replay(recs)
+	js := &JournalStatus{
+		Records:      stats.Records,
+		SkippedLines: stats.Skipped(),
+		Claimants:    len(tl.Owners),
+	}
+	window := w.RateWindow
+	if window <= 0 {
+		window = DefaultRateWindow
+	}
+	now := float64(time.Now().UnixNano()) / 1e9
+	cellsPerSec, costPerSec := tl.RatesWindow(now, window.Seconds())
+	js.CellsPerMin = cellsPerSec * 60
+	js.CostPerSec = costPerSec
+	ownerRates := tl.OwnerRatesWindow(now, window.Seconds())
+	for _, name := range tl.OwnerNames() {
+		o := tl.Owners[name]
+		js.Owners = append(js.Owners, OwnerRate{
+			Owner: name, Host: o.Host, PID: o.PID,
+			Done: o.Done, PerMin: ownerRates[name] * 60,
+		})
+	}
+
+	// The remaining work, priced by the cost model over the cells the
+	// grid still misses.
+	if !w.scanned {
+		if _, err := w.Status(); err != nil {
+			return nil, err
+		}
+	}
+	done := len(w.hashes) - len(w.uncached)
+	if w.model == nil || done != w.modelDone {
+		model, err := w.cache.CostModel()
+		if err != nil {
+			return nil, err
+		}
+		w.model, w.modelDone = model, done
+	}
+	for _, i := range w.uncached {
+		js.Remaining++
+		if est, ok := w.model.Estimate(w.specs[i]); ok {
+			js.RemainingEstSec += est
+			js.EstKnown++
+		}
+	}
+	switch {
+	case js.Remaining == 0:
+		js.ETA, js.OK = 0, true
+	case js.EstKnown == js.Remaining && js.CostPerSec > 0:
+		js.ETA = time.Duration(js.RemainingEstSec / js.CostPerSec * float64(time.Second))
+		js.OK = true
+	case js.CellsPerMin > 0:
+		// No full cost picture: project from the completion rate alone.
+		js.ETA = time.Duration(float64(js.Remaining) / (js.CellsPerMin / 60) * float64(time.Second))
+		js.OK = true
+	}
+	return js, nil
 }
 
 // Status is the one-shot convenience form of Watcher + Status.

@@ -1,0 +1,233 @@
+// Package journal is an append-only, per-claimant event history for
+// experiment campaigns: each claimant process streams its campaign
+// events as JSON lines to its own file in a shared journal directory,
+// and a reader side merges every claimant's file back into one
+// campaign timeline (see Replay).
+//
+// The design constraints come from the claim protocol the journal
+// observes (internal/exp): claimants are independent processes — on one
+// host or on several sharing a filesystem — that can be SIGKILLed at
+// any instruction, restarted under the same owner tag, and must never
+// coordinate through anything but the filesystem. Hence:
+//
+//   - One file per owner (<dir>/<owner>.jsonl): no cross-process write
+//     interleaving, so a line's bytes always come from one writer.
+//   - Every record is one JSON line appended with a single O_APPEND
+//     write, so a crash can only ever tear the final line of a file,
+//     never an interior one.
+//   - The reader treats a torn tail as a counted warning, not an error:
+//     a SIGKILLed claimant's journal stays fully readable up to its
+//     last complete record.
+//   - Reopening an existing journal (a restarted claimant) first
+//     terminates any torn tail with a newline, so the first record of
+//     the new session can never be glued onto the remnants of the old
+//     one — prior records are immutable once written.
+//   - Records carry a schema version; the reader skips (and counts)
+//     records from other versions instead of misparsing them.
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Version is the journal record schema version, stamped into every
+// record. Bump it when a field changes meaning or type; adding a new
+// optional field is backward compatible and must not bump it (old
+// readers ignore unknown keys, old records read as the zero value).
+const Version = 1
+
+// Record types. The set mirrors the campaign event stream
+// (internal/exp event.go) plus "open", which marks a writer session
+// starting (first open and every reopen by a restarted claimant).
+const (
+	TypeOpen      = "open"
+	TypeStarted   = "started"
+	TypeDone      = "done"
+	TypeCached    = "cached"
+	TypeClaimed   = "claimed"
+	TypeReclaimed = "reclaimed"
+	TypeSkipped   = "skipped"
+)
+
+// Record is one journal line. Only V, T, Type and Owner are always
+// present; the rest depend on Type:
+//
+//	open:      Host, PID
+//	started:   Index, Hash
+//	done:      Index, Hash, WallSec (wall-clock cost of the simulation)
+//	cached:    Index, Hash
+//	claimed:   Index, Hash
+//	reclaimed: Hash, By (the owner tag that broke the stale lease)
+//	skipped:   Index, Hash, EstSec (the budget's cost-model estimate)
+type Record struct {
+	// V is the schema version (see Version). Append stamps it.
+	V int `json:"v"`
+	// T is the record time as Unix seconds (fractional). Append stamps
+	// it when zero. Journals are execution history — timestamps here
+	// never feed the deterministic campaign outputs.
+	T float64 `json:"t"`
+	// Type is one of the Type* constants.
+	Type string `json:"type"`
+	// Owner is the writing claimant's owner tag. Append fills it from
+	// the writer when empty.
+	Owner string `json:"owner"`
+	// Index is the cell's position in the campaign's expansion order.
+	// Meaningless (zero) for open and reclaimed records.
+	Index int `json:"index"`
+	// Hash is the cell's spec content hash.
+	Hash string `json:"hash,omitempty"`
+	// Host and PID identify the claimant process (open records).
+	Host string `json:"host,omitempty"`
+	PID  int    `json:"pid,omitempty"`
+	// WallSec is the simulation's wall-clock cost in seconds (done).
+	WallSec float64 `json:"wall_s,omitempty"`
+	// EstSec is the cost-model estimate that priced the cell out of a
+	// budgeted campaign, in seconds (skipped; 0 = no estimate).
+	EstSec float64 `json:"est_s,omitempty"`
+	// By is the owner tag that broke a stale lease (reclaimed).
+	By string `json:"by,omitempty"`
+}
+
+// suffix is the journal file naming convention.
+const suffix = ".jsonl"
+
+// FilePath is the journal file an owner writes in dir — exported so
+// callers can name the file (diagnostics, lazy writers) without
+// creating it.
+func FilePath(dir, owner string) string {
+	return filepath.Join(dir, SanitizeOwner(owner)+suffix)
+}
+
+// Writer appends records to one owner's journal file. It is safe for
+// concurrent use by one process; cross-process safety comes from the
+// one-file-per-owner convention, not from locking.
+type Writer struct {
+	mu    sync.Mutex
+	f     *os.File
+	owner string
+	path  string
+}
+
+// Open creates (if needed) the journal directory and opens the owner's
+// journal for appending, writing an "open" record that marks this
+// writer session. Reopening an existing file — a restarted claimant —
+// first terminates any torn final line left by a crashed predecessor,
+// so prior records are never corrupted by subsequent appends.
+func Open(dir, owner string) (*Writer, error) {
+	if owner == "" {
+		return nil, errors.New("journal: owner must not be empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: opening directory: %w", err)
+	}
+	path := FilePath(dir, owner)
+	// O_RDWR, not O_WRONLY: the torn-tail check below reads the final
+	// byte of an existing file before the first append.
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: opening %s: %w", path, err)
+	}
+	if err := terminateTornTail(f, path); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w := &Writer{f: f, owner: owner, path: path}
+	host, herr := os.Hostname()
+	if herr != nil || host == "" {
+		host = "unknown-host"
+	}
+	if err := w.Append(Record{Type: TypeOpen, Host: host, PID: os.Getpid()}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// terminateTornTail appends a newline if the file is non-empty and its
+// last byte is not one: the remnant of an append torn by a crash. The
+// torn fragment becomes a malformed line the reader skips with a
+// counted warning; without the newline, the next append would glue a
+// valid record onto the fragment and lose it too.
+func terminateTornTail(f *os.File, path string) error {
+	fi, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("journal: stat %s: %w", path, err)
+	}
+	if fi.Size() == 0 {
+		return nil
+	}
+	last := make([]byte, 1)
+	if _, err := f.ReadAt(last, fi.Size()-1); err != nil {
+		return fmt.Errorf("journal: reading tail of %s: %w", path, err)
+	}
+	if last[0] == '\n' {
+		return nil
+	}
+	if _, err := f.Write([]byte("\n")); err != nil {
+		return fmt.Errorf("journal: terminating torn tail of %s: %w", path, err)
+	}
+	return nil
+}
+
+// Path returns the journal file this writer appends to.
+func (w *Writer) Path() string { return w.path }
+
+// Owner returns the owner tag stamped into this writer's records.
+func (w *Writer) Owner() string { return w.owner }
+
+// Append stamps and writes one record as a single JSON line. The line
+// is written with one write call on an O_APPEND descriptor, so
+// concurrent appenders (or a crash) can tear at most the final line of
+// the file, never interleave or damage earlier lines.
+func (w *Writer) Append(r Record) error {
+	r.V = Version
+	if r.T == 0 {
+		r.T = float64(time.Now().UnixNano()) / 1e9
+	}
+	if r.Owner == "" {
+		r.Owner = w.owner
+	}
+	if r.Type == "" {
+		return errors.New("journal: record needs a type")
+	}
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("journal: encoding record: %w", err)
+	}
+	line = append(line, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(line); err != nil {
+		return fmt.Errorf("journal: appending to %s: %w", w.path, err)
+	}
+	return nil
+}
+
+// Close closes the journal file. Records already appended stay durable;
+// a writer that never closes (crash) loses nothing but its torn tail.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// SanitizeOwner maps an owner tag to a filesystem-portable file stem:
+// anything outside [A-Za-z0-9._-] becomes '-'. The default owner form
+// host:pid therefore journals as host-pid.jsonl.
+func SanitizeOwner(owner string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		}
+		return '-'
+	}, owner)
+}

@@ -1,0 +1,324 @@
+package journal
+
+import (
+	"sort"
+)
+
+// Cell is one campaign cell's replayed state: a tiny state machine fed
+// by that cell's records in time order. Counters are kept instead of
+// booleans so replay can report protocol violations (a cell simulated
+// twice) rather than silently collapsing them.
+type Cell struct {
+	// Hash is the cell's spec content hash (the state-machine key).
+	Hash string
+	// Index is the cell's expansion-order position (from the first
+	// record that named it).
+	Index int
+	// Started and Completed are the first start / first completion
+	// times (Unix seconds; 0 = never observed).
+	Started   float64
+	Completed float64
+	// Done counts "done" records for this cell across every claimant.
+	// Exactly-once simulation means Done <= 1 everywhere.
+	Done int
+	// Cached counts "cached" observations. Several claimants legally
+	// observe the same cell cached (each pre-scans the cache), so this
+	// is a view count, not a completion count.
+	Cached int
+	// Skipped counts budget skips of this cell.
+	Skipped int
+	// DoneOwner is the owner tag of the claimant that simulated the
+	// cell ("" when no done record was seen).
+	DoneOwner string
+	// WallSec is the simulation's recorded wall cost (done records).
+	WallSec float64
+}
+
+// Complete reports whether the cell reached a terminal state in the
+// replayed history: simulated by someone, or observed cached.
+func (c *Cell) Complete() bool { return c.Done > 0 || c.Cached > 0 }
+
+// Owner aggregates one claimant's activity across all its sessions.
+type Owner struct {
+	// Name is the owner tag.
+	Name string
+	// Opens counts writer sessions: 1 for a claimant that ran once,
+	// more for one restarted after a crash.
+	Opens int
+	// Host and PID are from the most recent open record.
+	Host string
+	PID  int
+	// Claimed, Done, Cached, Reclaimed and Skipped count this owner's
+	// records of each type.
+	Claimed   int
+	Done      int
+	Cached    int
+	Reclaimed int
+	Skipped   int
+	// CostSec is the summed wall cost of this owner's simulations.
+	CostSec float64
+	// First and Last bound this owner's records in time.
+	First, Last float64
+}
+
+// completion is one completion observation — a done record, or a
+// cell's first cached observation — kept so rates can be computed over
+// a recent window, not just the whole history. owner is set for done
+// records only (cached observations are fleet progress, not any one
+// claimant's work).
+type completion struct {
+	t     float64
+	cost  float64
+	owner string
+}
+
+// Timeline is a whole campaign's history replayed from the merged
+// journals of every claimant.
+type Timeline struct {
+	// Cells maps spec hash to replayed cell state.
+	Cells map[string]*Cell
+	// Owners maps owner tag to aggregated claimant activity.
+	Owners map[string]*Owner
+	// First and Last bound every record in time (Unix seconds; both 0
+	// for an empty timeline).
+	First, Last float64
+	// Done is the number of distinct cells with at least one done
+	// record: cells this campaign's claimants simulated.
+	Done int
+	// CachedOnly is the number of distinct cells observed cached but
+	// never simulated in the replayed history (warm cells from an
+	// earlier campaign).
+	CachedOnly int
+	// SkippedOnly is the number of distinct cells budget-skipped and
+	// never completed by anyone.
+	SkippedOnly int
+	// DoubleDone counts cells with more than one done record — the
+	// exactly-once violation counter, 0 on every healthy campaign.
+	DoubleDone int
+	// CostSec is the summed wall cost of every done record.
+	CostSec float64
+
+	// completions backs the windowed rates: one entry per done record
+	// and per cell's first cached observation, in record order.
+	completions []completion
+}
+
+// Replay folds records (as returned by ReadDir: time-ordered) into a
+// campaign timeline.
+func Replay(recs []Record) *Timeline {
+	t := &Timeline{
+		Cells:  make(map[string]*Cell),
+		Owners: make(map[string]*Owner),
+	}
+	cell := func(r Record) *Cell {
+		key := r.Hash
+		if key == "" {
+			return nil // open records, or a journal from a cacheless run
+		}
+		c := t.Cells[key]
+		if c == nil {
+			c = &Cell{Hash: key, Index: r.Index}
+			t.Cells[key] = c
+		}
+		return c
+	}
+	for _, r := range recs {
+		if t.First == 0 || r.T < t.First {
+			t.First = r.T
+		}
+		if r.T > t.Last {
+			t.Last = r.T
+		}
+		o := t.Owners[r.Owner]
+		if o == nil {
+			o = &Owner{Name: r.Owner, First: r.T}
+			t.Owners[r.Owner] = o
+		}
+		if r.T < o.First {
+			o.First = r.T
+		}
+		if r.T > o.Last {
+			o.Last = r.T
+		}
+		switch r.Type {
+		case TypeOpen:
+			o.Opens++
+			o.Host, o.PID = r.Host, r.PID
+		case TypeStarted:
+			if c := cell(r); c != nil && (c.Started == 0 || r.T < c.Started) {
+				c.Started = r.T
+			}
+		case TypeDone:
+			o.Done++
+			o.CostSec += r.WallSec
+			t.CostSec += r.WallSec
+			t.completions = append(t.completions, completion{t: r.T, cost: r.WallSec, owner: r.Owner})
+			if c := cell(r); c != nil {
+				c.Done++
+				c.DoneOwner = r.Owner
+				c.WallSec = r.WallSec
+				if c.Completed == 0 || r.T < c.Completed {
+					c.Completed = r.T
+				}
+			}
+		case TypeCached:
+			o.Cached++
+			if c := cell(r); c != nil {
+				c.Cached++
+				if c.Cached == 1 && c.Done == 0 {
+					// Only a cell's first cached observation is campaign
+					// progress; every further claimant seeing it is not.
+					t.completions = append(t.completions, completion{t: r.T})
+				}
+				if c.Completed == 0 || r.T < c.Completed {
+					c.Completed = r.T
+				}
+			}
+		case TypeClaimed:
+			o.Claimed++
+		case TypeReclaimed:
+			o.Reclaimed++
+		case TypeSkipped:
+			o.Skipped++
+			if c := cell(r); c != nil {
+				c.Skipped++
+			}
+		}
+	}
+	for _, c := range t.Cells {
+		switch {
+		case c.Done > 0:
+			t.Done++
+			if c.Done > 1 {
+				t.DoubleDone++
+			}
+		case c.Cached > 0:
+			t.CachedOnly++
+		case c.Skipped > 0:
+			t.SkippedOnly++
+		}
+	}
+	return t
+}
+
+// Span is the timeline's wall-clock extent in seconds.
+func (t *Timeline) Span() float64 {
+	if t.Last <= t.First {
+		return 0
+	}
+	return t.Last - t.First
+}
+
+// Rates summarizes throughput over the whole timeline span:
+// cellsPerSec counts completions (simulated cells plus cached-only
+// observations — campaign progress as a watcher sees it), and
+// costPerSec is simulation cost retired per wall second (the fleet's
+// effective parallel speed, the divisor for cost-model ETAs). Both are
+// 0 when the span is degenerate. For live dashboards use RatesWindow:
+// all-time rates average over every idle gap a resumed campaign's
+// history contains.
+func (t *Timeline) Rates() (cellsPerSec, costPerSec float64) {
+	span := t.Span()
+	if span <= 0 {
+		return 0, 0
+	}
+	return float64(t.Done+t.CachedOnly) / span, t.CostSec / span
+}
+
+// RatesWindow is Rates restricted to the trailing window (seconds)
+// before now — the live view: a campaign resumed after days of idle
+// reports its current throughput, not the average over the gap, and a
+// fleet that died decays to zero as now moves past its last record
+// instead of reporting its old rate forever. A now earlier than the
+// newest record (cross-host clock skew) is clamped to it, and a
+// non-positive window falls back to the all-time Rates.
+func (t *Timeline) RatesWindow(now, window float64) (cellsPerSec, costPerSec float64) {
+	if window <= 0 {
+		return t.Rates()
+	}
+	if now < t.Last {
+		now = t.Last
+	}
+	start := now - window
+	if start < t.First {
+		start = t.First
+	}
+	span := now - start
+	if span <= 0 {
+		return 0, 0
+	}
+	n, cost := 0, 0.0
+	for _, c := range t.completions {
+		if c.t >= start {
+			n++
+			cost += c.cost
+		}
+	}
+	return float64(n) / span, cost / span
+}
+
+// OwnerRatesWindow is the per-claimant companion of RatesWindow: each
+// owner's simulations per second over the same trailing window, with
+// the same now-clamping. Owners with no done record in the window
+// report zero — on a live dashboard, a claimant that stopped working
+// should read as stopped, not as its lifetime average.
+func (t *Timeline) OwnerRatesWindow(now, window float64) map[string]float64 {
+	out := make(map[string]float64, len(t.Owners))
+	for name := range t.Owners {
+		out[name] = 0
+	}
+	if window <= 0 {
+		window = t.Span()
+	}
+	if now < t.Last {
+		now = t.Last
+	}
+	start := now - window
+	if start < t.First {
+		start = t.First
+	}
+	span := now - start
+	if span <= 0 {
+		return out
+	}
+	for _, c := range t.completions {
+		if c.owner != "" && c.t >= start {
+			out[c.owner] += 1 / span
+		}
+	}
+	return out
+}
+
+// OwnerNames lists the owners sorted by tag, for deterministic
+// rendering.
+func (t *Timeline) OwnerNames() []string {
+	names := make([]string, 0, len(t.Owners))
+	for n := range t.Owners {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HistogramBounds are the wall-cost bucket upper bounds (seconds) used
+// by CostHistogram: <1ms, <10ms, <100ms, <1s, <10s, and an implicit
+// overflow bucket.
+var HistogramBounds = []float64{0.001, 0.01, 0.1, 1, 10}
+
+// CostHistogram buckets the wall cost of every simulated cell into
+// HistogramBounds plus a final overflow bucket (len(HistogramBounds)+1
+// counts in total).
+func (t *Timeline) CostHistogram() []int {
+	counts := make([]int, len(HistogramBounds)+1)
+	for _, c := range t.Cells {
+		if c.Done == 0 {
+			continue
+		}
+		i := sort.SearchFloat64s(HistogramBounds, c.WallSec)
+		if i < len(HistogramBounds) && c.WallSec == HistogramBounds[i] {
+			i++ // bounds are exclusive upper edges
+		}
+		counts[i]++
+	}
+	return counts
+}
