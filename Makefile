@@ -1,0 +1,57 @@
+# Developer entry points for the simulator's test, benchmark and
+# profiling workflow. Everything here is reproducible from a clean
+# checkout with only the Go toolchain; CI runs the same commands.
+
+GO ?= go
+
+# BENCH_RE selects the gated benchmarks: the latency-bound pool pair
+# (SweepLatency*) and the CPU-bound engine-throughput pair
+# (EngineTaskNs / EngineCellGrid). Keep it in sync with the bench step
+# in .github/workflows/ci.yml.
+BENCH_RE = SweepLatency|EngineTaskNs|EngineCellGrid
+
+# PROFILE_DIR collects pprof artifacts; it is gitignored scratch space.
+PROFILE_DIR ?= profiles
+
+.PHONY: test bench profile bench-baseline bench-gate
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+# bench runs the gated benchmarks exactly as CI does: -benchtime 1x
+# (each is internally iteration-heavy), min of 3 runs taken by
+# ompss-benchdiff.
+bench:
+	$(GO) test -bench '$(BENCH_RE)' -benchtime 1x -count 3 -run '^$$' ./internal/exp/
+
+# profile captures CPU and allocation profiles of the pinned heavy cell
+# (BenchmarkEngineTaskNs: pbpi-hyb/quick/versioning/2smp+2gpu) — the
+# reproducible starting point of every engine optimization. See the
+# "Profiling the engine" section of internal/exp/README.md for how to
+# read the output.
+profile:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) test -run '^$$' -bench EngineTaskNs -benchtime 200x \
+		-cpuprofile $(PROFILE_DIR)/engine.cpu.pprof \
+		-memprofile $(PROFILE_DIR)/engine.mem.pprof \
+		-o $(PROFILE_DIR)/exp.test ./internal/exp/
+	@echo
+	@echo "profiles written; inspect with:"
+	@echo "  $(GO) tool pprof -top $(PROFILE_DIR)/exp.test $(PROFILE_DIR)/engine.cpu.pprof"
+	@echo "  $(GO) tool pprof -top -sample_index=alloc_objects $(PROFILE_DIR)/exp.test $(PROFILE_DIR)/engine.mem.pprof"
+
+# bench-gate compares a fresh run against the committed baseline; fails
+# beyond +25% ns/op on any gated benchmark (same command as CI).
+bench-gate:
+	$(GO) test -bench '$(BENCH_RE)' -benchtime 1x -count 3 -run '^$$' ./internal/exp/ \
+		| $(GO) run ./cmd/ompss-benchdiff -baseline BENCH_baseline.json
+
+# bench-baseline regenerates BENCH_baseline.json in place. Only commit a
+# refreshed baseline together with the change that legitimately moved
+# the numbers, and re-apply the headroom policy documented in the file's
+# note (engine figures are machine-dependent; pad the observed min
+# before committing).
+bench-baseline:
+	$(GO) test -bench '$(BENCH_RE)' -benchtime 1x -count 3 -run '^$$' ./internal/exp/ \
+		| $(GO) run ./cmd/ompss-benchdiff -write BENCH_baseline.json

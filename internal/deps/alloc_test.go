@@ -1,0 +1,39 @@
+package deps
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestAddSteadyStateZeroAlloc pins the dependence tracker's hot path: a
+// chain of whole-object inout accesses — the shape every stencil tile
+// produces per iteration — must not allocate once the history and the
+// reusable preds buffer have reached steady state. The interval
+// carve-outs reuse their backing arrays and subtract returns fixed-size
+// pieces, so a single allocation here means one of those regressed.
+func TestAddSteadyStateZeroAlloc(t *testing.T) {
+	tr := NewTracker()
+	o := &mem.Object{ID: 0, Name: "tile", Size: 64}
+	accs := []Access{InOut(o)}
+	// Distinct pointer nodes, pre-boxed: interface conversion of a
+	// fresh value inside the measured loop would itself allocate.
+	nodes := make([]Node, 2048)
+	for i := range nodes {
+		v := i
+		nodes[i] = &v
+	}
+	next := 0
+	add := func() {
+		if deps := tr.Add(nodes[next], accs); len(deps) > 1 {
+			t.Fatalf("inout chain produced %d preds, want <=1", len(deps))
+		}
+		next++
+	}
+	for i := 0; i < 8; i++ {
+		add() // warm the per-object history and preds buffer
+	}
+	if allocs := testing.AllocsPerRun(100, add); allocs != 0 {
+		t.Errorf("steady-state Add allocates %v times per task, want 0", allocs)
+	}
+}

@@ -92,19 +92,22 @@ func (iv interval) overlaps(other interval) bool {
 	return iv.lo < other.hi && other.lo < iv.hi
 }
 
-// subtract removes cut from iv, returning the 0..2 remaining pieces.
-func (iv interval) subtract(cut interval) []interval {
+// subtract removes cut from iv, returning the 0..2 remaining pieces in a
+// fixed-size array (no allocation on the submit hot path).
+func (iv interval) subtract(cut interval) (pieces [2]interval, n int) {
 	if !iv.overlaps(cut) {
-		return []interval{iv}
+		pieces[0] = iv
+		return pieces, 1
 	}
-	var out []interval
 	if iv.lo < cut.lo {
-		out = append(out, interval{iv.lo, cut.lo})
+		pieces[n] = interval{iv.lo, cut.lo}
+		n++
 	}
 	if cut.hi < iv.hi {
-		out = append(out, interval{cut.hi, iv.hi})
+		pieces[n] = interval{cut.hi, iv.hi}
+		n++
 	}
-	return out
+	return pieces, n
 }
 
 type wEntry struct {
@@ -130,7 +133,11 @@ type objHist struct {
 
 // Tracker incrementally builds the task dependence graph.
 type Tracker struct {
-	hist map[mem.ObjectID]*objHist
+	// hist is indexed by the dense mem.ObjectID and grown on demand.
+	hist []*objHist
+
+	// preds is the reusable result buffer Add returns slices of.
+	preds []Node
 
 	// Edges counts the total number of dependence edges produced, for
 	// diagnostics.
@@ -139,31 +146,42 @@ type Tracker struct {
 
 // NewTracker returns an empty tracker.
 func NewTracker() *Tracker {
-	return &Tracker{hist: make(map[mem.ObjectID]*objHist)}
+	return &Tracker{}
 }
 
 func (t *Tracker) histFor(obj *mem.Object) *objHist {
-	h, ok := t.hist[obj.ID]
-	if !ok {
-		h = &objHist{}
-		t.hist[obj.ID] = h
+	id := int(obj.ID)
+	for id >= len(t.hist) {
+		t.hist = append(t.hist, nil)
 	}
-	return h
+	if t.hist[id] == nil {
+		t.hist[id] = &objHist{}
+	}
+	return t.hist[id]
+}
+
+// collect appends p to the pending preds unless it is the task itself or
+// already recorded. Dependence lists are short, so a linear dedup scan
+// beats allocating a set per Add call.
+func (t *Tracker) collect(n, p Node) {
+	if p == n {
+		return
+	}
+	for _, q := range t.preds {
+		if q == p {
+			return
+		}
+	}
+	t.preds = append(t.preds, p)
 }
 
 // Add registers a task and its accesses, returning the distinct earlier
 // tasks it depends on (never including itself), in first-encountered
-// order (deterministic given deterministic submission order).
+// order (deterministic given deterministic submission order). The
+// returned slice is reused by the next Add call; callers must consume it
+// before registering another task.
 func (t *Tracker) Add(n Node, accs []Access) []Node {
-	var preds []Node
-	seen := make(map[Node]bool)
-	collect := func(p Node) {
-		if p == n || seen[p] {
-			return
-		}
-		seen[p] = true
-		preds = append(preds, p)
-	}
+	t.preds = t.preds[:0]
 
 	for _, a := range accs {
 		h := t.histFor(a.Obj)
@@ -179,12 +197,12 @@ func (t *Tracker) Add(n Node, accs []Access) []Node {
 			// intra-group edges arise.
 			for _, w := range h.writers {
 				if w.iv.overlaps(iv) {
-					collect(w.n)
+					t.collect(n, w.n)
 				}
 			}
 			for _, r := range h.readers {
 				if r.iv.overlaps(iv) {
-					collect(r.n)
+					t.collect(n, r.n)
 				}
 			}
 			h.comm = append(h.comm, n)
@@ -208,7 +226,7 @@ func (t *Tracker) Add(n Node, accs []Access) []Node {
 			// RAW: depend on overlapping writers.
 			for _, w := range h.writers {
 				if w.iv.overlaps(iv) {
-					collect(w.n)
+					t.collect(n, w.n)
 				}
 			}
 			h.readers = append(h.readers, rEntry{iv, n})
@@ -218,12 +236,12 @@ func (t *Tracker) Add(n Node, accs []Access) []Node {
 		// Write or ReadWrite: RAW/WAW on writers, WAR on readers.
 		for _, w := range h.writers {
 			if w.iv.overlaps(iv) {
-				collect(w.n)
+				t.collect(n, w.n)
 			}
 		}
 		for _, r := range h.readers {
 			if r.iv.overlaps(iv) {
-				collect(r.n)
+				t.collect(n, r.n)
 			}
 		}
 		// Register as the new last writer of iv: carve iv out of existing
@@ -232,22 +250,22 @@ func (t *Tracker) Add(n Node, accs []Access) []Node {
 		h.readers = subtractFromReaders(h.readers, iv)
 		h.writers = append(h.writers, wEntry{iv, n})
 	}
-	t.Edges += int64(len(preds))
-	return preds
+	t.Edges += int64(len(t.preds))
+	return t.preds
 }
 
 func subtractFromWriters(entries []wEntry, cut interval) []wEntry {
 	out := entries[:0]
 	var extra []wEntry
 	for _, e := range entries {
-		pieces := e.iv.subtract(cut)
-		if len(pieces) == 0 {
+		pieces, np := e.iv.subtract(cut)
+		if np == 0 {
 			continue
 		}
 		e.iv = pieces[0]
 		out = append(out, e)
-		for _, p := range pieces[1:] {
-			extra = append(extra, wEntry{p, e.n})
+		if np > 1 {
+			extra = append(extra, wEntry{pieces[1], e.n})
 		}
 	}
 	return append(out, extra...)
@@ -257,14 +275,14 @@ func subtractFromReaders(entries []rEntry, cut interval) []rEntry {
 	out := entries[:0]
 	var extra []rEntry
 	for _, e := range entries {
-		pieces := e.iv.subtract(cut)
-		if len(pieces) == 0 {
+		pieces, np := e.iv.subtract(cut)
+		if np == 0 {
 			continue
 		}
 		e.iv = pieces[0]
 		out = append(out, e)
-		for _, p := range pieces[1:] {
-			extra = append(extra, rEntry{p, e.n})
+		if np > 1 {
+			extra = append(extra, rEntry{pieces[1], e.n})
 		}
 	}
 	return append(out, extra...)
@@ -281,10 +299,10 @@ func maxInt64(a, b int64) int64 {
 // object, or nil. Used by locality-aware schedulers to find the producer
 // of a task's inputs.
 func (t *Tracker) LastWriter(obj *mem.Object, off int64) Node {
-	h, ok := t.hist[obj.ID]
-	if !ok {
+	if int(obj.ID) >= len(t.hist) || t.hist[obj.ID] == nil {
 		return nil
 	}
+	h := t.hist[obj.ID]
 	for _, w := range h.writers {
 		if w.iv.lo <= off && off < w.iv.hi {
 			return w.n

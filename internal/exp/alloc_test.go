@@ -1,0 +1,36 @@
+package exp
+
+import (
+	"testing"
+)
+
+// TestEngineAllocsPerTaskBudget bounds whole-cell allocation on the
+// pinned profiling cell. The pooled engine runs the steady-state event
+// loop allocation-free (see internal/sim); what remains is per-task
+// setup — arena chunk refills, dependence history growth, staging
+// closures — which the profile-driven work brought below ~10 allocations
+// per simulated task. The budget is deliberately loose (4x headroom):
+// it exists to catch a reintroduced per-event allocation, which shows
+// up as hundreds of allocations per task, not to pin the exact figure.
+func TestEngineAllocsPerTaskBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-cell run in -short mode")
+	}
+	spec := engineHeavyCell()
+	tasks := 0
+	allocs := testing.AllocsPerRun(3, func() {
+		rr, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks = rr.Tasks
+	})
+	if tasks == 0 {
+		t.Fatal("pinned cell simulated zero tasks")
+	}
+	perTask := allocs / float64(tasks)
+	t.Logf("%.0f allocs for %d tasks = %.1f allocs/task", allocs, tasks, perTask)
+	if perTask > 40 {
+		t.Errorf("cell allocates %.1f times per task, budget is 40", perTask)
+	}
+}

@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+// Engine-throughput benchmarks: unlike the latency-bound pool benchmarks
+// (which measure worker-pool overlap with a stub runner), these run the
+// real single-threaded simulation engine on pinned cells and report the
+// figures the CI regression gate tracks — ns per simulated task and the
+// serial cell rate on a pinned mini-grid. ReportMetric overrides ns/op,
+// so ompss-benchdiff gates directly on ns/simulated-task (ns/cell for
+// the grid benchmark) against BENCH_baseline.json.
+
+// engineHeavyCell is the pinned profiling cell: the heaviest registered
+// workload (pbpi at quick size runs ~6.6k tasks through the versioning
+// scheduler), so per-task engine costs dominate setup costs. The same
+// spec is what `make profile` captures pprof profiles from.
+func engineHeavyCell() RunSpec {
+	return RunSpec{
+		App: "pbpi-hyb", Size: SizeQuick, Scheduler: "versioning",
+		SMPWorkers: 2, GPUs: 2, NoiseSigma: 0.05, Seed: 1,
+	}
+}
+
+// BenchmarkEngineTaskNs reports ns per simulated task on the pinned
+// heavy cell (as ns/op, for the bench-regression gate).
+func BenchmarkEngineTaskNs(b *testing.B) {
+	var tasks int64
+	b.ReportAllocs()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		rr, err := Run(engineHeavyCell())
+		if err != nil {
+			b.Fatal(err)
+		}
+		tasks += int64(rr.Tasks)
+	}
+	elapsed := time.Since(start)
+	if tasks > 0 {
+		b.ReportMetric(float64(elapsed.Nanoseconds())/float64(tasks), "ns/op")
+		b.ReportMetric(float64(tasks)/elapsed.Seconds(), "tasks/s")
+	}
+}
+
+// BenchmarkEngineCellGrid reports ns per cell over the pinned acceptance
+// grid, simulated serially (ns/op is ns/cell; cells/min is 6e10 divided
+// by it). This is the campaign-facing figure: how fast one claimant
+// retires sweep cells.
+func BenchmarkEngineCellGrid(b *testing.B) {
+	g := benchGrid()
+	specs := g.Runs()
+	var cells int64
+	b.ReportAllocs()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		for _, s := range specs {
+			if _, err := Run(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+		cells += int64(len(specs))
+	}
+	elapsed := time.Since(start)
+	if cells > 0 {
+		b.ReportMetric(float64(elapsed.Nanoseconds())/float64(cells), "ns/op")
+		b.ReportMetric(float64(cells)/elapsed.Minutes(), "cells/min")
+	}
+}

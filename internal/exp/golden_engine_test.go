@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+	"testing"
+)
+
+// goldenMixedGrid exercises every subsystem the engine refactors touch:
+// all four compared schedulers, hybrid/GPU-only apps, a commutative
+// workload (pbpi), a cluster machine shape, and every versioning
+// extension knob, across two GPU counts and two seeds.
+func goldenMixedGrid() Grid {
+	return Grid{
+		Apps:       []string{"matmul-hyb", "cholesky-potrf-hyb", "pbpi-hyb", "stencil", "randdag"},
+		Schedulers: []string{"bf", "dep", "affinity", "versioning"},
+		SMPWorkers: []int{2},
+		GPUs:       []int{1, 2},
+		Noise:      []float64{0.05},
+		Size:       SizeTiny,
+		Replicas:   2,
+	}
+}
+
+// goldenKnobGrid covers the versioning extension axes and a cluster
+// machine shape, which route through scheduling and transfer paths the
+// plain grid never touches.
+func goldenKnobGrid() Grid {
+	return Grid{
+		Apps:           []string{"matmul-hyb"},
+		Schedulers:     []string{"versioning"},
+		Machines:       []MachineSpec{MachineNode, "cluster:2x2+1g"},
+		SMPWorkers:     []int{6},
+		GPUs:           []int{2},
+		Lambdas:        []int{0, 1},
+		SizeTolerances: []float64{0, 0.5},
+		EWMAAlphas:     []float64{0, 0.3},
+		LocalityAware:  []bool{false, true},
+		Noise:          []float64{0.1},
+		Size:           SizeTiny,
+		Replicas:       1,
+	}
+}
+
+// Frozen SHA-256 fingerprints of the sweep CSV for the two golden grids,
+// captured from the engine BEFORE the pooled/flattened hot-path rewrite
+// (PR 6). The optimized engine must reproduce the pre-refactor output
+// byte for byte: any change here is a simulation-behaviour change, not a
+// performance change, and needs the spec-hash SimBehaviorVersion bumped
+// plus a deliberate refresh of these constants.
+const (
+	goldenMixedCSVSHA = "a0e7295931d5423e2a1f2eb680a654807fad61227ceea7454df2ce1861fd3510"
+	goldenKnobCSVSHA  = "350176af10971a4d784f0d8a1eb37422f17913d5e5b66c713e6cc3083db79333"
+)
+
+func sweepCSVSHA(t *testing.T, g Grid, parallel int) string {
+	t.Helper()
+	res, err := Sweep(g, SweepOptions{Parallel: parallel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteCSV(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestGoldenEngineFingerprint asserts the engine's observable behaviour
+// is frozen across the hot-path optimization work: the sweep CSV over
+// the mixed golden grids must hash to the pre-refactor values, at more
+// than one pool width.
+func TestGoldenEngineFingerprint(t *testing.T) {
+	if got := sweepCSVSHA(t, goldenMixedGrid(), 1); got != goldenMixedCSVSHA {
+		t.Errorf("mixed-grid CSV fingerprint changed:\n got %s\nwant %s", got, goldenMixedCSVSHA)
+	}
+	if got := sweepCSVSHA(t, goldenMixedGrid(), 4); got != goldenMixedCSVSHA {
+		t.Errorf("mixed-grid CSV fingerprint changed at -parallel 4:\n got %s\nwant %s", got, goldenMixedCSVSHA)
+	}
+	if got := sweepCSVSHA(t, goldenKnobGrid(), 2); got != goldenKnobCSVSHA {
+		t.Errorf("knob-grid CSV fingerprint changed:\n got %s\nwant %s", got, goldenKnobCSVSHA)
+	}
+}

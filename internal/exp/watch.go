@@ -29,9 +29,20 @@ type LeaseStatus struct {
 	Owner string
 	Host  string
 	PID   int
-	// Age is the time since the last heartbeat (file mtime). A healthy
-	// lease is refreshed every TTL/4, so an age approaching the TTL
-	// means the owner is dead and the cell will be reclaimed.
+	// Mtime is the lease file's raw heartbeat mtime (zero when even the
+	// stat failed — the lease is still listed, owner unknown).
+	Mtime time.Time
+	// Age is the time since the last heartbeat. Heartbeats are mtimes
+	// stamped with the claimant's clock (os.Chtimes in Lease.Refresh),
+	// so a snapshot measures age against the freshest heartbeat in the
+	// directory — the claimants' own clock frame — never against the
+	// observer's time.Now(), which on another host may run fast enough
+	// to mislabel every healthy lease stale. The cost of the skew-proof
+	// frame is resolution: a healthy fleet beats every TTL/4, so
+	// snapshot ages read up to one heartbeat young, and a directory
+	// whose claimants are all dead ages only across Watcher polls (the
+	// watcher then measures growth on its own clock between polls,
+	// which no cross-host skew can touch).
 	Age time.Duration
 }
 
@@ -207,6 +218,22 @@ type Watcher struct {
 	scanned   bool
 	model     *CostModel
 	modelDone int
+	// tail incrementally reads the campaign journal: each JournalStatus
+	// poll reads only the bytes appended since the last one, instead of
+	// every claimant's full history every tick.
+	tail *journal.Tailer
+	// leaseObs tracks each lease's last distinct heartbeat mtime, so
+	// Status can age an unmoving heartbeat on the watcher's own clock
+	// across polls — immune to cross-host skew, because only local
+	// durations and mtime *changes* are ever compared.
+	leaseObs map[string]leaseObs
+}
+
+// leaseObs is the watcher's memory of one lease's heartbeat.
+type leaseObs struct {
+	mtime  time.Time     // last distinct heartbeat mtime observed
+	seenAt time.Time     // watcher-clock instant that mtime appeared
+	seed   time.Duration // snapshot age it carried at that instant
 }
 
 // Watcher validates the grid and precomputes its spec hashes.
@@ -244,6 +271,41 @@ func (w *Watcher) Status() (CampaignStatus, error) {
 	if err != nil {
 		return CampaignStatus{}, err
 	}
+	// Layer observational aging over the snapshot: the snapshot measures
+	// each lease against the freshest heartbeat in the directory (the
+	// claimants' clock frame), and across polls the watcher adds the
+	// local time for which that lease's mtime has not advanced. Both
+	// terms are skew-free, so a dead claimant's lease ages at true rate
+	// even when no peer heartbeats remain to anchor the snapshot frame.
+	if w.leaseObs == nil {
+		w.leaseObs = make(map[string]leaseObs)
+	}
+	now := time.Now()
+	alive := make(map[string]bool, len(leases))
+	for i := range leases {
+		l := &leases[i]
+		alive[l.Hash] = true
+		if l.Mtime.IsZero() {
+			continue // unreadable even to stat: age unknown
+		}
+		o, ok := w.leaseObs[l.Hash]
+		if !ok || !o.mtime.Equal(l.Mtime) {
+			o = leaseObs{mtime: l.Mtime, seenAt: now, seed: l.Age}
+			w.leaseObs[l.Hash] = o
+		}
+		l.Age = o.seed + now.Sub(o.seenAt)
+	}
+	for h := range w.leaseObs {
+		if !alive[h] {
+			delete(w.leaseObs, h) // released: forget, the hash may be re-leased
+		}
+	}
+	sort.Slice(leases, func(i, j int) bool {
+		if leases[i].Age != leases[j].Age {
+			return leases[i].Age > leases[j].Age
+		}
+		return leases[i].Hash < leases[j].Hash
+	})
 	st.Leases = leases
 	return st, nil
 }
@@ -251,14 +313,21 @@ func (w *Watcher) Status() (CampaignStatus, error) {
 // JournalStatus reads the campaign journal and projects rates and an
 // ETA for the runs the grid still misses. A cache without a journal
 // (pre-journal campaigns, or a grid that never ran) returns nil with no
-// error — the watcher simply has no history to show. The uncached set
-// comes from the preceding Status scan (re-scanned here only if Status
-// was never called), and the cost model — a read of every cell file —
-// is rebuilt only when a new cell has landed since it was last built:
-// estimates change exactly when cells do, and hour-long watches over
-// shared filesystems should not re-read a whole cache per poll.
+// error — the watcher simply has no history to show. The journal is
+// tailed, not re-read: the watcher keeps a byte offset per claimant
+// file, so a poll reads only what was appended since the previous one —
+// zero bytes when nothing happened — instead of every claimant's full
+// history every tick. The uncached set comes from the preceding Status
+// scan (re-scanned here only if Status was never called), and the cost
+// model — a read of every cell file — is rebuilt only when a new cell
+// has landed since it was last built: estimates change exactly when
+// cells do, and hour-long watches over shared filesystems should not
+// re-read a whole cache per poll.
 func (w *Watcher) JournalStatus() (*JournalStatus, error) {
-	recs, stats, err := journal.ReadDir(filepath.Join(w.cache.Dir(), JournalDirName))
+	if w.tail == nil {
+		w.tail = journal.NewTailer(filepath.Join(w.cache.Dir(), JournalDirName))
+	}
+	recs, stats, err := w.tail.Poll()
 	if err != nil {
 		return nil, err
 	}
@@ -336,13 +405,24 @@ func (c *Cache) Status(g Grid) (CampaignStatus, error) {
 // LeaseStatuses lists every outstanding lease file with its owner and
 // heartbeat age, sorted stalest-first. Diagnostics only: by the time the
 // caller looks at one, it may already be released.
+//
+// A lease that exists but cannot be read — stat or read failure, a body
+// torn mid-write, unparsable JSON — is still listed, as in-flight with
+// an unknown owner: dropping it would understate the fleet, and the one
+// lease a watcher most wants to see is exactly the one that is
+// misbehaving. Only a lease that vanished between the directory scan
+// and the stat (a release, the normal race) is skipped.
+//
+// Ages are measured against the freshest heartbeat mtime in the
+// directory, not the local clock — see LeaseStatus.Age for the clock
+// frame and its tolerance.
 func (c *Cache) LeaseStatuses() ([]LeaseStatus, error) {
 	entries, err := os.ReadDir(c.dir)
 	if err != nil {
 		return nil, fmt.Errorf("exp: listing leases: %w", err)
 	}
-	now := time.Now()
 	var out []LeaseStatus
+	var newest time.Time
 	for _, e := range entries {
 		name := e.Name()
 		hash, ok := leaseHashFromName(name)
@@ -352,15 +432,27 @@ func (c *Cache) LeaseStatuses() ([]LeaseStatus, error) {
 		ls := LeaseStatus{Hash: hash, Owner: "?", Host: "?"}
 		path := filepath.Join(c.dir, name)
 		if fi, err := os.Lstat(path); err == nil {
-			ls.Age = now.Sub(fi.ModTime())
-		} else {
+			ls.Mtime = fi.ModTime()
+			if ls.Mtime.After(newest) {
+				newest = ls.Mtime
+			}
+		} else if os.IsNotExist(err) {
 			continue // released between ReadDir and Lstat
 		}
+		// Any other failure keeps the lease in the listing with "?"
+		// fields: it exists, someone may hold it, report it.
 		var info leaseInfo
 		if data, err := os.ReadFile(path); err == nil && json.Unmarshal(data, &info) == nil {
 			ls.Owner, ls.Host, ls.PID = info.Owner, info.Host, info.PID
+		} else if err != nil && os.IsNotExist(err) && !ls.Mtime.IsZero() {
+			continue // released between Lstat and read
 		}
 		out = append(out, ls)
+	}
+	for i := range out {
+		if !out[i].Mtime.IsZero() {
+			out[i].Age = newest.Sub(out[i].Mtime)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Age != out[j].Age {

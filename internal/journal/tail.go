@@ -1,0 +1,206 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Tailer is the incremental counterpart of ReadDir for pollers: it keeps
+// a per-file byte offset and, on each Poll, reads only the bytes
+// appended since the previous one. A watch loop over an hour-long
+// campaign calls Poll every few seconds; with ReadDir each tick re-reads
+// every claimant's full history, with a Tailer a tick on an unchanged
+// directory stats the files and reads zero bytes.
+//
+// Poll returns the same merged timeline ReadDir would (all records so
+// far, sorted by time; ties keep per-file append order and sorted
+// file-name order across files), with one deliberate difference: an
+// unterminated final line is never consumed, even if it happens to parse
+// — it may be the front half of an in-flight append, and only the
+// newline proves the writer finished it. The offset holds at the start
+// of such a tail (counted in ReadStats.TruncatedTails) and the line is
+// re-examined once the file grows.
+//
+// A Tailer is not safe for concurrent use.
+type Tailer struct {
+	dir   string
+	files map[string]*tailFile
+
+	// merged is the cached timeline, rebuilt only when a poll consumed
+	// new records or a journal file disappeared.
+	merged []Record
+	// consumed accumulates the skip counts of consumed lines; pending
+	// torn tails are added per poll (they are re-counted until resolved,
+	// matching ReadDir's behavior on the same directory).
+	consumed ReadStats
+	// lastPollBytes is the number of journal-file bytes the most recent
+	// Poll read.
+	lastPollBytes int64
+}
+
+// tailFile is the tail state of one journal file.
+type tailFile struct {
+	// offset is the byte position up to which the file has been
+	// consumed: always the start of a line (one past the last consumed
+	// newline).
+	offset int64
+	// size is the file size the last poll observed; an unchanged size
+	// means nothing to read, even when a torn tail holds offset < size.
+	size int64
+	// pendingTorn records whether the unconsumed [offset, size) region
+	// is a non-blank unterminated tail (reported as a truncated tail).
+	pendingTorn bool
+	// recs are the records consumed from this file, in append order.
+	recs []Record
+}
+
+// NewTailer returns a Tailer over a journal directory. The directory
+// need not exist yet — like ReadDir, a missing directory is an empty
+// journal, not an error.
+func NewTailer(dir string) *Tailer {
+	return &Tailer{dir: dir, files: make(map[string]*tailFile)}
+}
+
+// LastPollBytes reports how many journal-file bytes the most recent
+// Poll read: zero on a poll over an unchanged directory.
+func (t *Tailer) LastPollBytes() int64 { return t.lastPollBytes }
+
+// Poll reads whatever the journal files grew by since the previous Poll
+// and returns the full merged timeline, equivalent to ReadDir over the
+// same directory (see the type comment for the torn-tail difference).
+// The returned slice is reused by later Polls; callers must not retain
+// it across calls.
+func (t *Tailer) Poll() ([]Record, ReadStats, error) {
+	t.lastPollBytes = 0
+	entries, err := os.ReadDir(t.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ReadStats{}, nil
+		}
+		return nil, ReadStats{}, fmt.Errorf("journal: reading directory: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), suffix) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+
+	dirty := false
+	seen := make(map[string]bool, len(names))
+	for _, name := range names {
+		seen[name] = true
+		tf := t.files[name]
+		if tf == nil {
+			tf = &tailFile{}
+			t.files[name] = tf
+		}
+		grew, err := t.pollFile(name, tf)
+		if err != nil {
+			return nil, ReadStats{}, err
+		}
+		if grew {
+			dirty = true
+		}
+	}
+	stats := t.consumed
+	stats.Files = len(names)
+	for _, name := range names {
+		if t.files[name].pendingTorn {
+			stats.TruncatedTails++
+		}
+	}
+	// A vanished file takes its records with it, as a ReadDir of the
+	// directory now would.
+	for name := range t.files {
+		if !seen[name] {
+			delete(t.files, name)
+			dirty = true
+		}
+	}
+
+	if dirty || t.merged == nil {
+		t.merged = t.merged[:0]
+		for _, name := range names {
+			t.merged = append(t.merged, t.files[name].recs...)
+		}
+		sort.SliceStable(t.merged, func(i, j int) bool { return t.merged[i].T < t.merged[j].T })
+	}
+	stats.Records = len(t.merged)
+	return t.merged, stats, nil
+}
+
+// pollFile advances one file's tail state, reporting whether it consumed
+// anything new (records or skip-counted lines).
+func (t *Tailer) pollFile(name string, tf *tailFile) (bool, error) {
+	path := filepath.Join(t.dir, name)
+	fi, err := os.Stat(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil // deleted between ReadDir and Stat; next poll forgets it
+		}
+		return false, fmt.Errorf("journal: stat %s: %w", name, err)
+	}
+	sz := fi.Size()
+	if sz < tf.offset {
+		// The file shrank — journals are append-only, so it was replaced
+		// wholesale. Start over from byte zero.
+		tf.offset, tf.size, tf.pendingTorn = 0, 0, false
+		tf.recs = tf.recs[:0]
+	}
+	if sz == tf.size {
+		return false, nil // unchanged since last poll: zero bytes to read
+	}
+	tf.size = sz
+	if sz == tf.offset {
+		tf.pendingTorn = false
+		return false, nil
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		return false, fmt.Errorf("journal: reading %s: %w", name, err)
+	}
+	defer f.Close()
+	buf := make([]byte, sz-tf.offset)
+	if _, err := io.ReadFull(io.NewSectionReader(f, tf.offset, sz-tf.offset), buf); err != nil {
+		return false, fmt.Errorf("journal: reading %s: %w", name, err)
+	}
+	t.lastPollBytes += int64(len(buf))
+
+	// Consume only newline-terminated lines; an unterminated tail (even
+	// a parsable one) may still be mid-append, so the offset holds at
+	// its start until the newline lands.
+	consumed := bytes.LastIndexByte(buf, '\n') + 1
+	tail := buf[consumed:]
+	tf.pendingTorn = len(bytes.TrimSpace(tail)) > 0
+	if consumed == 0 {
+		return false, nil
+	}
+	grew := false
+	for _, line := range bytes.Split(buf[:consumed-1], []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		grew = true
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil || r.Type == "" {
+			t.consumed.Malformed++
+			continue
+		}
+		if r.V != Version {
+			t.consumed.VersionSkew++
+			continue
+		}
+		tf.recs = append(tf.recs, r)
+	}
+	tf.offset += int64(consumed)
+	return grew, nil
+}

@@ -1,0 +1,156 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// appendRaw appends raw bytes to a journal file, bypassing the Writer —
+// tests use it to forge malformed lines, version skew and torn tails.
+func appendRaw(t *testing.T, dir, name string, data []byte) {
+	t.Helper()
+	f, err := os.OpenFile(filepath.Join(dir, name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTailerMatchesReadDir: over a directory of well-terminated files —
+// multiple claimants, malformed interior lines, version skew — a Tailer
+// poll returns exactly what a full ReadDir does.
+func TestTailerMatchesReadDir(t *testing.T) {
+	dir := t.TempDir()
+	for _, owner := range []string{"beta", "alpha"} {
+		w, err := Open(dir, owner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if err := w.Append(Record{Type: TypeDone, Index: i, Hash: "h", T: float64(10 + i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w.Close()
+	}
+	appendRaw(t, dir, "alpha.jsonl", []byte("not json at all\n"))
+	appendRaw(t, dir, "beta.jsonl", []byte(`{"v":999,"t":11,"type":"done","owner":"beta"}`+"\n"))
+
+	want, wantStats, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := NewTailer(dir)
+	got, gotStats, err := tl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Poll records diverge from ReadDir:\n got %+v\nwant %+v", got, want)
+	}
+	if gotStats != wantStats {
+		t.Errorf("Poll stats = %+v, ReadDir stats = %+v", gotStats, wantStats)
+	}
+	if tl.LastPollBytes() == 0 {
+		t.Error("first poll read zero bytes from a populated journal")
+	}
+}
+
+// TestTailerSecondPollReadsZeroBytes: the satellite contract — a poll
+// over an unchanged directory reads zero journal bytes, and a poll after
+// one append reads only that append.
+func TestTailerSecondPollReadsZeroBytes(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, "claimant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := w.Append(Record{Type: TypeDone, Index: i, Hash: "h", T: float64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tl := NewTailer(dir)
+	first, _, err := tl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 51 { // open record + 50 done records
+		t.Fatalf("first poll = %d records, want 51", len(first))
+	}
+
+	second, stats, err := tl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.LastPollBytes() != 0 {
+		t.Errorf("poll over unchanged directory read %d bytes, want 0", tl.LastPollBytes())
+	}
+	if len(second) != 51 || stats.Records != 51 {
+		t.Errorf("unchanged poll = %d records (stats %d), want 51", len(second), stats.Records)
+	}
+
+	// One more record: the next poll reads just that line, not the file.
+	if err := w.Append(Record{Type: TypeDone, Index: 50, Hash: "h", T: 99}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	full, err := os.Stat(FilePath(dir, "claimant"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	third, _, err := tl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(third) != 52 {
+		t.Errorf("poll after append = %d records, want 52", len(third))
+	}
+	if n := tl.LastPollBytes(); n == 0 || n >= full.Size() {
+		t.Errorf("poll after one append read %d of %d bytes, want one line's worth", n, full.Size())
+	}
+}
+
+// TestTailerHoldsTornTail: an unterminated final line — even one that
+// already parses — is never consumed until its newline lands; the offset
+// holds and the completed line is picked up by a later poll.
+func TestTailerHoldsTornTail(t *testing.T) {
+	dir := t.TempDir()
+	line := `{"v":1,"t":5,"type":"done","owner":"o","index":0}`
+	appendRaw(t, dir, "o.jsonl", []byte(line[:20])) // torn mid-record
+
+	tl := NewTailer(dir)
+	recs, stats, err := tl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || stats.TruncatedTails != 1 {
+		t.Fatalf("torn tail: %d records, stats %+v, want 0 records and 1 truncated tail", len(recs), stats)
+	}
+
+	// Unchanged torn file: still zero bytes read, tail still reported.
+	if _, stats, err = tl.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if tl.LastPollBytes() != 0 || stats.TruncatedTails != 1 {
+		t.Errorf("unchanged torn file: read %d bytes, stats %+v", tl.LastPollBytes(), stats)
+	}
+
+	// The writer finishes the line: the record appears, the tail clears.
+	appendRaw(t, dir, "o.jsonl", []byte(line[20:]+"\n"))
+	recs, stats, err = tl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].T != 5 || stats.TruncatedTails != 0 {
+		t.Errorf("completed tail: %d records, stats %+v, want the one record and no truncated tail", len(recs), stats)
+	}
+}

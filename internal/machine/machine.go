@@ -28,6 +28,10 @@ const (
 	// KindCell is a Cell/BE SPE (the paper's historical motivation;
 	// present for API completeness).
 	KindCell
+
+	// NumDeviceKinds is the number of device kinds; DeviceKind values are
+	// dense in [0, NumDeviceKinds), so per-kind state can live in arrays.
+	NumDeviceKinds = int(KindCell) + 1
 )
 
 // String returns the OmpSs device-clause spelling of the kind.

@@ -10,6 +10,11 @@
 // Device memory is finite: copies are reference-counted (pinned) while
 // tasks use them and evicted LRU when space is needed, with dirty copies
 // written back to host first.
+//
+// The directory sits on the scheduler's hot path (BytesNeeded is called
+// per candidate worker per scheduling decision), so per-object state is a
+// single slice of packed per-space records indexed by the dense
+// machine.SpaceID — no maps, no per-access allocation.
 package mem
 
 import (
@@ -78,14 +83,23 @@ type Object struct {
 
 func (o *Object) String() string { return fmt.Sprintf("%s(#%d,%dB)", o.Name, o.ID, o.Size) }
 
-// objState is the directory entry for one object.
+// spaceState is the per-(object, space) directory record. reserved tracks
+// bytes charged to the space so eviction and invalidation release exactly
+// what allocation charged.
+type spaceState struct {
+	valid    bool
+	reserved bool
+	pins     int32
+	lastUse  sim.Time
+	inflight []func() // waiters on an in-progress copy-in
+}
+
+// objState is the directory entry for one object: one packed record per
+// memory space, indexed by the dense SpaceID.
 type objState struct {
-	obj      *Object
-	valid    map[machine.SpaceID]bool
-	dirty    bool // the unique valid copy is a device copy newer than host
-	pins     map[machine.SpaceID]int
-	lastUse  map[machine.SpaceID]sim.Time
-	inflight map[machine.SpaceID][]func() // waiters on an in-progress copy-in
+	obj    *Object
+	dirty  bool // the unique valid copy is a device copy newer than host
+	spaces []spaceState
 }
 
 func (s *objState) dirtyOwner() machine.SpaceID {
@@ -93,18 +107,15 @@ func (s *objState) dirtyOwner() machine.SpaceID {
 		return machine.HostSpace
 	}
 	// A dirty object may be valid in several device spaces (a peer read
-	// replicates the dirty copy); pick the lowest-numbered one so the
-	// writeback source — and with it the whole trace — is deterministic.
-	best := machine.SpaceID(-1)
-	for sp, v := range s.valid {
-		if v && sp != machine.HostSpace && (best == -1 || sp < best) {
-			best = sp
+	// replicates the dirty copy); scan upward from the lowest-numbered
+	// device space so the writeback source — and with it the whole trace
+	// — is deterministic.
+	for sp := int(machine.HostSpace) + 1; sp < len(s.spaces); sp++ {
+		if s.spaces[sp].valid {
+			return machine.SpaceID(sp)
 		}
 	}
-	if best == -1 {
-		panic(fmt.Sprintf("mem: object %v marked dirty but no device copy", s.obj))
-	}
-	return best
+	panic(fmt.Sprintf("mem: object %v marked dirty but no device copy", s.obj))
 }
 
 // pendingAlloc is an allocation waiting for device memory to free up.
@@ -121,11 +132,8 @@ type Directory struct {
 	fabric *xfer.Fabric
 
 	objects []*objState
-	used    map[machine.SpaceID]int64
+	used    []int64 // bytes charged per space, indexed by SpaceID
 	pending []pendingAlloc
-	// reserved tracks bytes charged to (object, space) so eviction and
-	// invalidation release exactly what allocation charged.
-	reserved map[ObjectID]map[machine.SpaceID]bool
 
 	// Evictions counts LRU evictions per space, for diagnostics.
 	Evictions map[machine.SpaceID]int64
@@ -137,8 +145,7 @@ func NewDirectory(e *sim.Engine, m *machine.Machine, f *xfer.Fabric) *Directory 
 		eng:       e,
 		mach:      m,
 		fabric:    f,
-		used:      make(map[machine.SpaceID]int64),
-		reserved:  make(map[ObjectID]map[machine.SpaceID]bool),
+		used:      make([]int64, len(m.Spaces)),
 		Evictions: make(map[machine.SpaceID]int64),
 	}
 }
@@ -150,14 +157,13 @@ func (d *Directory) Register(name string, size int64) *Object {
 	}
 	obj := &Object{ID: ObjectID(len(d.objects)), Name: name, Size: size}
 	st := &objState{
-		obj:      obj,
-		valid:    map[machine.SpaceID]bool{machine.HostSpace: true},
-		pins:     make(map[machine.SpaceID]int),
-		lastUse:  make(map[machine.SpaceID]sim.Time),
-		inflight: make(map[machine.SpaceID][]func()),
+		obj:    obj,
+		spaces: make([]spaceState, len(d.mach.Spaces)),
 	}
+	host := &st.spaces[machine.HostSpace]
+	host.valid = true
+	host.reserved = true
 	d.objects = append(d.objects, st)
-	d.reserved[obj.ID] = map[machine.SpaceID]bool{machine.HostSpace: true}
 	d.used[machine.HostSpace] += size
 	return obj
 }
@@ -170,7 +176,7 @@ func (d *Directory) NumObjects() int { return len(d.objects) }
 
 // ValidAt reports whether the object has an up-to-date copy in the space.
 func (d *Directory) ValidAt(obj *Object, sp machine.SpaceID) bool {
-	return d.objects[obj.ID].valid[sp]
+	return d.objects[obj.ID].spaces[sp].valid
 }
 
 // Dirty reports whether the freshest copy of the object is a device copy.
@@ -184,11 +190,11 @@ func (d *Directory) UsedBytes(sp machine.SpaceID) int64 { return d.used[sp] }
 // accesses and already-valid (or already-incoming) copies cost zero.
 // This is the quantity the affinity scheduler minimizes.
 func (d *Directory) BytesNeeded(obj *Object, sp machine.SpaceID, mode AccessMode) int64 {
-	st := d.objects[obj.ID]
 	if !mode.Reads() {
 		return 0
 	}
-	if st.valid[sp] || len(st.inflight[sp]) > 0 {
+	ss := &d.objects[obj.ID].spaces[sp]
+	if ss.valid || len(ss.inflight) > 0 {
 		return 0
 	}
 	return obj.Size
@@ -203,34 +209,42 @@ func (d *Directory) Acquire(obj *Object, sp machine.SpaceID, mode AccessMode, on
 		onReady = func() {}
 	}
 	st := d.objects[obj.ID]
-	st.pins[sp]++
-	st.lastUse[sp] = d.eng.Now()
+	ss := &st.spaces[sp]
+	ss.pins++
+	ss.lastUse = d.eng.Now()
 
-	needCopy := mode.Reads() && !st.valid[sp]
+	needCopy := mode.Reads() && !ss.valid
 	if !needCopy {
-		// Write-only still needs backing store in the space.
+		// Write-only still needs backing store in the space. The common
+		// case — already charged, or chargeable without waiting — completes
+		// without allocating a continuation.
+		if d.tryAllocate(st, sp) {
+			d.eng.Immediately(onReady)
+			return
+		}
 		d.ensureAllocated(st, sp, func() {
 			d.eng.Immediately(onReady)
 		})
 		return
 	}
-	if waiters := st.inflight[sp]; len(waiters) > 0 {
-		st.inflight[sp] = append(waiters, onReady)
+	if len(ss.inflight) > 0 {
+		ss.inflight = append(ss.inflight, onReady)
 		return
 	}
-	st.inflight[sp] = []func(){onReady}
+	ss.inflight = append(ss.inflight, onReady)
 	d.ensureAllocated(st, sp, func() {
 		src := d.pickSource(st)
 		d.fabric.Transfer(src, sp, obj.Size, obj.Name, func() {
-			st.valid[sp] = true
+			ss := &st.spaces[sp]
+			ss.valid = true
 			if sp == machine.HostSpace {
 				// Pulling a dirty object home is an implicit writeback:
 				// host now holds the freshest data, so a later flush
 				// must not transfer it again.
 				st.dirty = false
 			}
-			waiters := st.inflight[sp]
-			delete(st.inflight, sp)
+			waiters := ss.inflight
+			ss.inflight = nil
 			for _, w := range waiters {
 				w()
 			}
@@ -242,30 +256,24 @@ func (d *Directory) Acquire(obj *Object, sp machine.SpaceID, mode AccessMode, on
 // host copy is valid, otherwise the (unique or lowest-numbered) device
 // copy. Deterministic by construction.
 func (d *Directory) pickSource(st *objState) machine.SpaceID {
-	if st.valid[machine.HostSpace] {
-		return machine.HostSpace
-	}
-	best := machine.SpaceID(-1)
-	for sp, v := range st.valid {
-		if v && (best == -1 || sp < best) {
-			best = sp
+	for sp := range st.spaces {
+		if st.spaces[sp].valid {
+			return machine.SpaceID(sp)
 		}
 	}
-	if best == -1 {
-		panic(fmt.Sprintf("mem: object %v has no valid copy anywhere", st.obj))
-	}
-	return best
+	panic(fmt.Sprintf("mem: object %v has no valid copy anywhere", st.obj))
 }
 
 // Release unpins the object from a space, making its copy evictable, and
 // retries any allocations that were waiting for memory.
 func (d *Directory) Release(obj *Object, sp machine.SpaceID) {
 	st := d.objects[obj.ID]
-	if st.pins[sp] <= 0 {
+	ss := &st.spaces[sp]
+	if ss.pins <= 0 {
 		panic(fmt.Sprintf("mem: Release of unpinned object %v at space %d", obj, sp))
 	}
-	st.pins[sp]--
-	st.lastUse[sp] = d.eng.Now()
+	ss.pins--
+	ss.lastUse = d.eng.Now()
 	d.retryPending()
 }
 
@@ -274,20 +282,22 @@ func (d *Directory) Release(obj *Object, sp machine.SpaceID) {
 // invalidated (and its device memory freed).
 func (d *Directory) CommitWrite(obj *Object, sp machine.SpaceID) {
 	st := d.objects[obj.ID]
-	for other, v := range st.valid {
-		if !v || other == sp {
+	for other := range st.spaces {
+		os := &st.spaces[other]
+		if !os.valid || machine.SpaceID(other) == sp {
 			continue
 		}
-		if st.pins[other] > 0 {
+		if os.pins > 0 {
 			panic(fmt.Sprintf("mem: invalidating pinned copy of %v at space %d (dependence bug)", obj, other))
 		}
-		st.valid[other] = false
-		d.unreserve(st, other)
+		os.valid = false
+		d.unreserve(st, machine.SpaceID(other))
 	}
-	st.valid[sp] = true
+	ss := &st.spaces[sp]
+	ss.valid = true
 	d.reserve(st, sp) // ensure accounted (Write-only path allocated already, this is idempotent)
 	st.dirty = sp != machine.HostSpace
-	st.lastUse[sp] = d.eng.Now()
+	ss.lastUse = d.eng.Now()
 	d.retryPending()
 }
 
@@ -330,7 +340,7 @@ func (d *Directory) flushSet(set []*objState, onDone func()) {
 		st := st
 		owner := st.dirtyOwner()
 		d.fabric.Transfer(owner, machine.HostSpace, st.obj.Size, st.obj.Name, func() {
-			st.valid[machine.HostSpace] = true
+			st.spaces[machine.HostSpace].valid = true
 			st.dirty = false
 			remaining--
 			if remaining == 0 && onDone != nil {
@@ -355,19 +365,42 @@ func (d *Directory) DirtyBytes() int64 {
 // --- allocation and eviction ---
 
 func (d *Directory) reserve(st *objState, sp machine.SpaceID) {
-	m := d.reserved[st.obj.ID]
-	if !m[sp] {
-		m[sp] = true
+	ss := &st.spaces[sp]
+	if !ss.reserved {
+		ss.reserved = true
 		d.used[sp] += st.obj.Size
 	}
 }
 
 func (d *Directory) unreserve(st *objState, sp machine.SpaceID) {
-	m := d.reserved[st.obj.ID]
-	if m[sp] {
-		delete(m, sp)
+	ss := &st.spaces[sp]
+	if ss.reserved {
+		ss.reserved = false
 		d.used[sp] -= st.obj.Size
 	}
+}
+
+// tryAllocate charges the object's size against the space (unless already
+// charged), evicting LRU unpinned copies if needed. It returns false —
+// charging nothing — when even eviction cannot make room, in which case
+// the caller must park the request via ensureAllocated.
+func (d *Directory) tryAllocate(st *objState, sp machine.SpaceID) bool {
+	if st.spaces[sp].reserved {
+		return true
+	}
+	capacity := d.mach.Space(sp).Capacity
+	if sp == machine.HostSpace || capacity <= 0 {
+		d.reserve(st, sp)
+		return true
+	}
+	if d.used[sp]+st.obj.Size > capacity {
+		d.evictLRU(sp, d.used[sp]+st.obj.Size-capacity)
+	}
+	if d.used[sp]+st.obj.Size > capacity {
+		return false
+	}
+	d.reserve(st, sp)
+	return true
 }
 
 // ensureAllocated charges the object's size against the space (unless
@@ -375,27 +408,13 @@ func (d *Directory) unreserve(st *objState, sp machine.SpaceID) {
 // LRU unpinned copies; if that is not enough the request parks until a
 // Release or CommitWrite frees memory.
 func (d *Directory) ensureAllocated(st *objState, sp machine.SpaceID, fn func()) {
-	if d.reserved[st.obj.ID][sp] {
+	if d.tryAllocate(st, sp) {
 		fn()
 		return
 	}
-	capacity := d.mach.Space(sp).Capacity
-	if sp == machine.HostSpace || capacity <= 0 {
-		d.reserve(st, sp)
-		fn()
-		return
-	}
-	if d.used[sp]+st.obj.Size > capacity {
-		d.evictLRU(sp, d.used[sp]+st.obj.Size-capacity)
-	}
-	if d.used[sp]+st.obj.Size > capacity {
-		d.pending = append(d.pending, pendingAlloc{space: sp, size: st.obj.Size, fn: func() {
-			d.ensureAllocated(st, sp, fn)
-		}})
-		return
-	}
-	d.reserve(st, sp)
-	fn()
+	d.pending = append(d.pending, pendingAlloc{space: sp, size: st.obj.Size, fn: func() {
+		d.ensureAllocated(st, sp, fn)
+	}})
 }
 
 // evictLRU frees at least `need` bytes in the space by dropping the least
@@ -410,8 +429,9 @@ func (d *Directory) evictLRU(sp machine.SpaceID, need int64) {
 	}
 	var victims []victim
 	for _, st := range d.objects {
-		if st.valid[sp] && st.pins[sp] == 0 && len(st.inflight[sp]) == 0 {
-			victims = append(victims, victim{st, st.lastUse[sp]})
+		ss := &st.spaces[sp]
+		if ss.valid && ss.pins == 0 && len(ss.inflight) == 0 {
+			victims = append(victims, victim{st, ss.lastUse})
 		}
 	}
 	sort.Slice(victims, func(i, j int) bool {
@@ -429,10 +449,10 @@ func (d *Directory) evictLRU(sp machine.SpaceID, need int64) {
 		if st.dirty && st.dirtyOwner() == sp {
 			// Writeback before dropping the only fresh copy.
 			d.fabric.Transfer(sp, machine.HostSpace, st.obj.Size, st.obj.Name, nil)
-			st.valid[machine.HostSpace] = true
+			st.spaces[machine.HostSpace].valid = true
 			st.dirty = false
 		}
-		st.valid[sp] = false
+		st.spaces[sp].valid = false
 		d.unreserve(st, sp)
 		d.Evictions[sp]++
 		freed += st.obj.Size

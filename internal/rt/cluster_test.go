@@ -77,27 +77,27 @@ func TestClusterTasksStageOverInfiniBand(t *testing.T) {
 type rotor struct {
 	rtime  *rt.Runtime
 	next   int
-	queues map[int][]*rt.Assignment
+	queues map[int][]rt.Assignment
 }
 
 func (s *rotor) Name() string       { return "rotor" }
-func (s *rotor) Init(r *rt.Runtime) { s.rtime = r; s.queues = make(map[int][]*rt.Assignment) }
+func (s *rotor) Init(r *rt.Runtime) { s.rtime = r; s.queues = make(map[int][]rt.Assignment) }
 func (s *rotor) TaskReady(t *rt.Task) {
 	workers := s.rtime.Workers()
 	for range workers { // find the next worker that can run the main version
 		w := workers[s.next%len(workers)]
 		s.next++
 		if t.Type.Main().RunsOn(w.Kind()) {
-			s.queues[w.ID()] = append(s.queues[w.ID()], &rt.Assignment{Task: t, Version: t.Type.Main()})
+			s.queues[w.ID()] = append(s.queues[w.ID()], rt.Assignment{Task: t, Version: t.Type.Main()})
 			return
 		}
 	}
 	panic("rotor: no compatible worker")
 }
-func (s *rotor) NextTask(w *rt.Worker) *rt.Assignment {
+func (s *rotor) NextTask(w *rt.Worker) rt.Assignment {
 	q := s.queues[w.ID()]
 	if len(q) == 0 {
-		return nil
+		return rt.Assignment{}
 	}
 	s.queues[w.ID()] = q[1:]
 	return q[0]

@@ -62,6 +62,13 @@ type Runtime struct {
 	outstanding int
 	waiters     []func()
 
+	// taskArena hands out Task records from chunked slabs: one allocation
+	// per arenaChunk submits instead of one per task. Slots are never
+	// reused, so *Task pointers stay valid for the run's lifetime.
+	taskArena []Task
+	// idArena hands out predID backing storage the same way.
+	idArena []int64
+
 	// Commutative mutual exclusion (the OmpSs commutative clause): a
 	// task holding an object's commutative lock excludes every other
 	// member of the group; dependence-free members park here until the
@@ -115,11 +122,16 @@ func New(cfg Config) *Runtime {
 	if cfg.GPUWorkers > len(gpu) {
 		panic(fmt.Sprintf("rt: %d GPU workers requested, machine has %d GPUs", cfg.GPUWorkers, len(gpu)))
 	}
+	addWorker := func(dev machine.Device) {
+		w := &Worker{id: len(r.workers), dev: dev, rt: r}
+		w.completeFn = func() { w.complete(w.current) }
+		r.workers = append(r.workers, w)
+	}
 	for i := 0; i < cfg.SMPWorkers; i++ {
-		r.workers = append(r.workers, &Worker{id: len(r.workers), dev: smp[i], rt: r})
+		addWorker(smp[i])
 	}
 	for i := 0; i < cfg.GPUWorkers; i++ {
-		r.workers = append(r.workers, &Worker{id: len(r.workers), dev: gpu[i], rt: r})
+		addWorker(gpu[i])
 	}
 	if len(r.workers) == 0 {
 		panic("rt: no workers configured")
@@ -176,25 +188,57 @@ func (r *Runtime) TaskType(name string) *TaskType { return r.types[name] }
 // Outstanding returns the number of submitted-but-unfinished tasks.
 func (r *Runtime) Outstanding() int { return r.outstanding }
 
+// arenaChunk is how many Task records each arena slab holds.
+const arenaChunk = 256
+
+// newTask returns a zeroed Task slot from the arena.
+func (r *Runtime) newTask() *Task {
+	if len(r.taskArena) == 0 {
+		r.taskArena = make([]Task, arenaChunk)
+	}
+	t := &r.taskArena[0]
+	r.taskArena = r.taskArena[1:]
+	return t
+}
+
+// allocIDs returns an n-element int64 slice from the arena, capped so
+// appends cannot bleed into the next handout.
+func (r *Runtime) allocIDs(n int) []int64 {
+	if n > len(r.idArena) {
+		size := 4 * arenaChunk
+		if n > size {
+			size = n
+		}
+		r.idArena = make([]int64, size)
+	}
+	out := r.idArena[:n:n]
+	r.idArena = r.idArena[n:]
+	return out
+}
+
 // submit creates a task instance, wires its dependences and hands it to
 // the scheduler when ready. Must run in engine or master context.
 func (r *Runtime) submit(tt *TaskType, accs []deps.Access, work perfmodel.Work, args any, priority int) *Task {
 	if len(tt.Versions) == 0 {
 		panic(fmt.Sprintf("rt: submit of task %q with no versions", tt.Name))
 	}
-	runnable := false
-	for _, w := range r.workers {
-		if tt.HasVersionFor(w.dev.Kind) {
-			runnable = true
-			break
+	// Runnability only ever flips false→true (versions are added, never
+	// removed), so a positive answer is cached on the type.
+	if !tt.runnable {
+		for _, w := range r.workers {
+			if tt.HasVersionFor(w.dev.Kind) {
+				tt.runnable = true
+				break
+			}
 		}
-	}
-	if !runnable {
-		panic(fmt.Sprintf("rt: task %q has no version runnable on any configured worker", tt.Name))
+		if !tt.runnable {
+			panic(fmt.Sprintf("rt: task %q has no version runnable on any configured worker", tt.Name))
+		}
 	}
 
 	r.taskSeq++
-	t := &Task{
+	t := r.newTask()
+	*t = Task{
 		ID:          r.taskSeq,
 		Type:        tt,
 		Accesses:    accs,
@@ -210,12 +254,15 @@ func (r *Runtime) submit(tt *TaskType, accs []deps.Access, work perfmodel.Work, 
 	r.TotalFlops += work.Flops
 
 	preds := r.tracker.Add(t, accs)
-	for _, p := range preds {
-		pt := p.(*Task)
-		t.predIDs = append(t.predIDs, pt.ID)
-		if pt.state != StateFinished {
-			pt.succs = append(pt.succs, t)
-			t.npred++
+	if len(preds) > 0 {
+		t.predIDs = r.allocIDs(len(preds))
+		for i, p := range preds {
+			pt := p.(*Task)
+			t.predIDs[i] = pt.ID
+			if pt.state != StateFinished {
+				pt.succs = append(pt.succs, t)
+				t.npred++
+			}
 		}
 	}
 	if t.npred == 0 {

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"repro/internal/deps"
-	"repro/internal/mem"
 	"repro/internal/perfmodel"
 	"repro/internal/sim"
 )
@@ -71,6 +70,7 @@ type Task struct {
 	succs    []*Task // tasks waiting on this one
 	predIDs  []int64 // every dependence predecessor (finished or not)
 	onFinish []func()
+	staging  int // accesses not yet acquired (staging countdown)
 
 	submitAt sim.Time
 	readyAt  sim.Time
@@ -111,12 +111,19 @@ func (t *Task) String() string {
 }
 
 // computeDataSetSize sums the sizes of the distinct objects accessed.
+// Access lists are short (a handful of dependence clauses), so a
+// quadratic scan beats allocating a set on every submit.
 func computeDataSetSize(accs []deps.Access) int64 {
-	seen := make(map[mem.ObjectID]bool, len(accs))
 	var sum int64
-	for _, a := range accs {
-		if !seen[a.Obj.ID] {
-			seen[a.Obj.ID] = true
+	for i, a := range accs {
+		dup := false
+		for j := 0; j < i; j++ {
+			if accs[j].Obj.ID == a.Obj.ID {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			sum += a.Obj.Size
 		}
 	}

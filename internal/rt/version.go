@@ -84,6 +84,21 @@ type TaskType struct {
 	Versions []*Version
 
 	rt *Runtime
+
+	// Scheduling-decision caches, rebuilt lazily after AddVersion: version
+	// sets rarely change after registration but are consulted on every
+	// submit and every scheduling decision, so the hot paths must not
+	// re-derive them (or allocate) per call.
+	vfor     [][]*Version // versions runnable per device kind; nil = stale
+	names    []string     // version names in registration order
+	runnable bool         // some configured worker can run some version
+}
+
+// invalidate drops the decision caches; called whenever Versions changes.
+func (tt *TaskType) invalidate() {
+	tt.vfor = nil
+	tt.names = nil
+	tt.runnable = false
 }
 
 // AddVersion registers an implementation targeting one device kind; the
@@ -124,6 +139,7 @@ func (tt *TaskType) AddMultiDeviceVersion(name string, devices []machine.DeviceK
 		index:    len(tt.Versions),
 	}
 	tt.Versions = append(tt.Versions, v)
+	tt.invalidate()
 	return v
 }
 
@@ -136,19 +152,37 @@ func (tt *TaskType) Main() *Version {
 }
 
 // VersionsFor returns the versions runnable on the given device kind.
+// The slice is cached and shared; do not mutate.
 func (tt *TaskType) VersionsFor(kind machine.DeviceKind) []*Version {
-	var out []*Version
-	for _, v := range tt.Versions {
-		if v.RunsOn(kind) {
-			out = append(out, v)
+	if tt.vfor == nil {
+		tt.vfor = make([][]*Version, machine.NumDeviceKinds)
+		for _, v := range tt.Versions {
+			for _, d := range v.Devices {
+				tt.vfor[d] = append(tt.vfor[d], v)
+			}
 		}
 	}
-	return out
+	if int(kind) >= len(tt.vfor) {
+		return nil
+	}
+	return tt.vfor[kind]
 }
 
 // HasVersionFor reports whether any version targets the device kind.
 func (tt *TaskType) HasVersionFor(kind machine.DeviceKind) bool {
 	return len(tt.VersionsFor(kind)) > 0
+}
+
+// VersionNames returns the version names in registration order. The slice
+// is cached and shared; do not mutate.
+func (tt *TaskType) VersionNames() []string {
+	if tt.names == nil {
+		tt.names = make([]string, len(tt.Versions))
+		for i, v := range tt.Versions {
+			tt.names[i] = v.Name
+		}
+	}
+	return tt.names
 }
 
 // EstimateMain returns the main version's modelled duration for the given

@@ -27,6 +27,12 @@ type Worker struct {
 
 	busyUntil sim.Time
 
+	// completeFn is the prebound completion callback: when the execution
+	// event fires, the running task is by construction still w.current
+	// (tryDispatch refuses to replace a non-nil current), so a single
+	// per-worker closure replaces a per-task allocation in startExec.
+	completeFn func()
+
 	// TasksRun counts completed tasks, for diagnostics.
 	TasksRun int64
 }
@@ -97,19 +103,12 @@ func (w *Worker) tryDispatch() {
 		return
 	}
 	a := w.rt.sched.NextTask(w)
-	if a == nil {
+	if a.Empty() {
 		return
 	}
 	w.checkAssignment(a)
 	w.current = a.Task
-	w.stage(a.Task, a.Version, func() {
-		if w.current == a.Task {
-			w.startExec(a.Task)
-		} else {
-			// Was staged as prefetch and promoted meanwhile: mark staged.
-			w.nextStaged = true
-		}
-	})
+	w.stage(a.Task, a.Version)
 }
 
 // tryPrefetch asks the scheduler for one look-ahead task and stages its
@@ -119,22 +118,15 @@ func (w *Worker) tryPrefetch() {
 		return
 	}
 	a := w.rt.sched.NextTask(w)
-	if a == nil {
+	if a.Empty() {
 		return
 	}
 	w.checkAssignment(a)
 	w.next = a.Task
-	w.stage(a.Task, a.Version, func() {
-		if w.current == a.Task {
-			// Promoted to current while staging: run it now.
-			w.startExec(a.Task)
-		} else {
-			w.nextStaged = true
-		}
-	})
+	w.stage(a.Task, a.Version)
 }
 
-func (w *Worker) checkAssignment(a *Assignment) {
+func (w *Worker) checkAssignment(a Assignment) {
 	if a.Task == nil || a.Version == nil {
 		panic(fmt.Sprintf("rt: %v received incomplete assignment", w))
 	}
@@ -146,23 +138,39 @@ func (w *Worker) checkAssignment(a *Assignment) {
 	}
 }
 
-// stage pins and copies in the task's data, then calls onStaged.
-func (w *Worker) stage(t *Task, v *Version, onStaged func()) {
+// stage pins and copies in the task's data; when the last access is
+// acquired, staged(t) runs the task (if it is, or has been promoted to,
+// the worker's current task) or marks the prefetch slot staged.
+func (w *Worker) stage(t *Task, v *Version) {
 	t.state = StateStaging
 	t.worker = w
 	t.version = v
-	remaining := len(t.Accesses)
-	if remaining == 0 {
-		w.rt.eng.Immediately(onStaged)
+	t.staging = len(t.Accesses)
+	if t.staging == 0 {
+		w.rt.eng.Immediately(func() { w.staged(t) })
 		return
 	}
+	// One shared countdown closure for all accesses (Acquire completions
+	// are simulation events, never concurrent).
+	done := func() {
+		t.staging--
+		if t.staging == 0 {
+			w.staged(t)
+		}
+	}
 	for _, a := range t.Accesses {
-		w.rt.dir.Acquire(a.Obj, w.dev.Space, a.Mode, func() {
-			remaining--
-			if remaining == 0 {
-				onStaged()
-			}
-		})
+		w.rt.dir.Acquire(a.Obj, w.dev.Space, a.Mode, done)
+	}
+}
+
+// staged fires when the task's data is fully resident on the worker's
+// device: run it if it occupies (or was promoted into) the current slot,
+// otherwise record that the prefetched task is ready to start instantly.
+func (w *Worker) staged(t *Task) {
+	if w.current == t {
+		w.startExec(t)
+	} else {
+		w.nextStaged = true
 	}
 }
 
@@ -181,7 +189,7 @@ func (w *Worker) startExec(t *Task) {
 		t.version.Fn(&ExecContext{Task: t, Version: t.version, Worker: w})
 	}
 
-	w.rt.eng.After(dur, func() { w.complete(t) })
+	w.rt.eng.After(dur, w.completeFn)
 
 	// Execution frees the link: a prefetch may now overlap it.
 	if w.rt.cfg.Prefetch && w.next == nil {

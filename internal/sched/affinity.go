@@ -77,11 +77,11 @@ func (s *Affinity) TaskReady(t *rt.Task) {
 }
 
 // NextTask implements rt.Scheduler.
-func (s *Affinity) NextTask(w *rt.Worker) *rt.Assignment {
+func (s *Affinity) NextTask(w *rt.Worker) rt.Assignment {
 	if q := s.local[w.ID()]; len(q) > 0 {
 		t := q[0]
 		s.local[w.ID()] = q[1:]
-		return &rt.Assignment{Task: t, Version: t.Type.Main()}
+		return rt.Assignment{Task: t, Version: t.Type.Main()}
 	}
 	// Steal from the longest compatible peer queue.
 	var victim *rt.Worker
@@ -99,9 +99,9 @@ func (s *Affinity) NextTask(w *rt.Worker) *rt.Assignment {
 		q := s.local[victim.ID()]
 		t := q[len(q)-1]
 		s.local[victim.ID()] = q[:len(q)-1]
-		return &rt.Assignment{Task: t, Version: t.Type.Main()}
+		return rt.Assignment{Task: t, Version: t.Type.Main()}
 	}
-	return nil
+	return rt.Assignment{}
 }
 
 // TaskFinished implements rt.Scheduler.

@@ -29,15 +29,15 @@ func (s *BreadthFirst) Init(r *rt.Runtime) { s.rt = r }
 func (s *BreadthFirst) TaskReady(t *rt.Task) { s.queue = InsertByPriority(s.queue, t) }
 
 // NextTask implements rt.Scheduler: oldest compatible task wins.
-func (s *BreadthFirst) NextTask(w *rt.Worker) *rt.Assignment {
+func (s *BreadthFirst) NextTask(w *rt.Worker) rt.Assignment {
 	for i, t := range s.queue {
 		main := t.Type.Main()
 		if main.RunsOn(w.Kind()) {
 			s.queue = append(s.queue[:i], s.queue[i+1:]...)
-			return &rt.Assignment{Task: t, Version: main}
+			return rt.Assignment{Task: t, Version: main}
 		}
 	}
-	return nil
+	return rt.Assignment{}
 }
 
 // TaskFinished implements rt.Scheduler.

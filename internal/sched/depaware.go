@@ -43,18 +43,18 @@ func (s *DepAware) TaskReady(t *rt.Task) {
 }
 
 // NextTask implements rt.Scheduler.
-func (s *DepAware) NextTask(w *rt.Worker) *rt.Assignment {
+func (s *DepAware) NextTask(w *rt.Worker) rt.Assignment {
 	// Own chain queue first (front: oldest chain link).
 	if q := s.local[w.ID()]; len(q) > 0 {
 		t := q[0]
 		s.local[w.ID()] = q[1:]
-		return &rt.Assignment{Task: t, Version: t.Type.Main()}
+		return rt.Assignment{Task: t, Version: t.Type.Main()}
 	}
 	// Central queue: oldest compatible.
 	for i, t := range s.central {
 		if t.Type.Main().RunsOn(w.Kind()) {
 			s.central = append(s.central[:i], s.central[i+1:]...)
-			return &rt.Assignment{Task: t, Version: t.Type.Main()}
+			return rt.Assignment{Task: t, Version: t.Type.Main()}
 		}
 	}
 	// Steal from the longest compatible peer queue (back = newest, to
@@ -74,9 +74,9 @@ func (s *DepAware) NextTask(w *rt.Worker) *rt.Assignment {
 		q := s.local[victim.ID()]
 		t := q[len(q)-1]
 		s.local[victim.ID()] = q[:len(q)-1]
-		return &rt.Assignment{Task: t, Version: t.Type.Main()}
+		return rt.Assignment{Task: t, Version: t.Type.Main()}
 	}
-	return nil
+	return rt.Assignment{}
 }
 
 // TaskFinished implements rt.Scheduler.

@@ -18,12 +18,12 @@ func InsertByPriority(queue []*rt.Task, t *rt.Task) []*rt.Task {
 
 // InsertAssignmentByPriority is InsertByPriority for assignment queues
 // (used by the versioning scheduler's per-worker queues).
-func InsertAssignmentByPriority(queue []*rt.Assignment, a *rt.Assignment) []*rt.Assignment {
+func InsertAssignmentByPriority(queue []rt.Assignment, a rt.Assignment) []rt.Assignment {
 	i := len(queue)
 	for i > 0 && queue[i-1].Task.Priority < a.Task.Priority {
 		i--
 	}
-	queue = append(queue, nil)
+	queue = append(queue, rt.Assignment{})
 	copy(queue[i+1:], queue[i:])
 	queue[i] = a
 	return queue

@@ -52,10 +52,10 @@ func (s *Random) TaskReady(t *rt.Task) {
 // compatible victim's newest task when empty (otherwise an unlucky
 // assignment sequence could leave workers idle forever while others
 // drown).
-func (s *Random) NextTask(w *rt.Worker) *rt.Assignment {
+func (s *Random) NextTask(w *rt.Worker) rt.Assignment {
 	if q := s.queues[w.ID()]; len(q) > 0 {
 		s.queues[w.ID()] = q[1:]
-		return &rt.Assignment{Task: q[0], Version: q[0].Type.Main()}
+		return rt.Assignment{Task: q[0], Version: q[0].Type.Main()}
 	}
 	var victims []*rt.Worker
 	for _, other := range s.rt.Workers() {
@@ -67,13 +67,13 @@ func (s *Random) NextTask(w *rt.Worker) *rt.Assignment {
 		}
 	}
 	if len(victims) == 0 {
-		return nil
+		return rt.Assignment{}
 	}
 	v := victims[s.rng.Intn(len(victims))]
 	q := s.queues[v.ID()]
 	t := q[len(q)-1]
 	s.queues[v.ID()] = q[:len(q)-1]
-	return &rt.Assignment{Task: t, Version: t.Type.Main()}
+	return rt.Assignment{Task: t, Version: t.Type.Main()}
 }
 
 // TaskFinished implements rt.Scheduler.

@@ -65,10 +65,11 @@ type Versioning struct {
 	rtime *rt.Runtime
 	store *verprof.Store
 
-	queues map[int][]*rt.Assignment // per-worker FIFO
-	// outstanding estimated busy time per worker: queued + dispatched but
-	// unfinished work, in nanoseconds of estimated execution time.
-	outstanding map[int]time.Duration
+	queues [][]rt.Assignment // per-worker FIFO, indexed by worker ID
+	// outstanding estimated busy time per worker (indexed by worker ID):
+	// queued + dispatched but unfinished work, in nanoseconds of estimated
+	// execution time.
+	outstanding []time.Duration
 	// estOf remembers the estimate charged per task so TaskFinished can
 	// subtract exactly what TaskReady added.
 	estOf map[*rt.Task]taskCharge
@@ -87,6 +88,9 @@ type Versioning struct {
 type taskCharge struct {
 	worker int
 	est    time.Duration
+	// group is the profile group the estimate came from, so TaskFinished
+	// records into it without a second GroupFor lookup.
+	group *verprof.Group
 }
 
 // New builds a versioning scheduler with the given options.
@@ -99,12 +103,10 @@ func New(opts Options) *Versioning {
 		store.ConfidenceCV = opts.ConfidenceCV
 	}
 	return &Versioning{
-		opts:        opts,
-		store:       store,
-		queues:      make(map[int][]*rt.Assignment),
-		outstanding: make(map[int]time.Duration),
-		estOf:       make(map[*rt.Task]taskCharge),
-		assigned:    make(map[*verprof.Group]map[string]int64),
+		opts:     opts,
+		store:    store,
+		estOf:    make(map[*rt.Task]taskCharge),
+		assigned: make(map[*verprof.Group]map[string]int64),
 	}
 }
 
@@ -116,22 +118,19 @@ func (s *Versioning) Name() string { return "versioning" }
 func (s *Versioning) Store() *verprof.Store { return s.store }
 
 // Init implements rt.Scheduler.
-func (s *Versioning) Init(r *rt.Runtime) { s.rtime = r }
-
-func versionNames(tt *rt.TaskType) []string {
-	out := make([]string, len(tt.Versions))
-	for i, v := range tt.Versions {
-		out[i] = v.Name
-	}
-	return out
+func (s *Versioning) Init(r *rt.Runtime) {
+	s.rtime = r
+	n := len(r.Workers())
+	s.queues = make([][]rt.Assignment, n)
+	s.outstanding = make([]time.Duration, n)
 }
 
 // TaskReady implements rt.Scheduler: decide the task's version and worker
 // now, and enqueue it on that worker's own queue.
 func (s *Versioning) TaskReady(t *rt.Task) {
-	g := s.store.GroupFor(t.Type.Name, t.DataSetSize, versionNames(t.Type))
+	g := s.store.GroupFor(t.Type.Name, t.DataSetSize, t.Type.VersionNames())
 
-	var choice *rt.Assignment
+	var choice rt.Assignment
 	var worker *rt.Worker
 	if g.Reliable() {
 		worker, choice = s.earliestExecutor(t, g)
@@ -141,13 +140,13 @@ func (s *Versioning) TaskReady(t *rt.Task) {
 		s.LearningAssignments++
 	}
 	if worker == nil {
-		panic(fmt.Sprintf("versioning: no worker can run task %q (versions %v)", t.Type.Name, versionNames(t.Type)))
+		panic(fmt.Sprintf("versioning: no worker can run task %q (versions %v)", t.Type.Name, t.Type.VersionNames()))
 	}
 
 	est := s.estimate(g, choice.Version)
 	s.queues[worker.ID()] = sched.InsertAssignmentByPriority(s.queues[worker.ID()], choice)
 	s.outstanding[worker.ID()] += est
-	s.estOf[t] = taskCharge{worker: worker.ID(), est: est}
+	s.estOf[t] = taskCharge{worker: worker.ID(), est: est, group: g}
 }
 
 // estimate is the scheduler's expected execution time for a version: its
@@ -166,7 +165,7 @@ func (s *Versioning) estimate(g *verprof.Group, v *rt.Version) time.Duration {
 // executions are in flight), further tasks fall back to the best decision
 // the partial profiles allow, so a burst of ready tasks does not flood a
 // slow version beyond its lambda forced runs.
-func (s *Versioning) learningPick(t *rt.Task, g *verprof.Group) (*rt.Worker, *rt.Assignment) {
+func (s *Versioning) learningPick(t *rt.Task, g *verprof.Group) (*rt.Worker, rt.Assignment) {
 	asg, ok := s.assigned[g]
 	if !ok {
 		asg = make(map[string]int64)
@@ -201,7 +200,7 @@ func (s *Versioning) learningPick(t *rt.Task, g *verprof.Group) (*rt.Worker, *rt
 	if version != nil {
 		asg[version.Name]++
 		w := s.leastBusyWorker(version)
-		return w, &rt.Assignment{Task: t, Version: version}
+		return w, rt.Assignment{Task: t, Version: version}
 	}
 
 	// All versions already have their lambda forced assignments in
@@ -215,10 +214,10 @@ func (s *Versioning) learningPick(t *rt.Task, g *verprof.Group) (*rt.Worker, *rt
 		if s.hasWorkerFor(v) {
 			asg[v.Name]++
 			w := s.leastBusyWorker(v)
-			return w, &rt.Assignment{Task: t, Version: v}
+			return w, rt.Assignment{Task: t, Version: v}
 		}
 	}
-	return nil, nil
+	return nil, rt.Assignment{}
 }
 
 // chainSlack is how much estimated completion time the LocalityAware
@@ -235,20 +234,12 @@ const chainSlack = 1.05
 // (Figure 5), ties breaking toward the lower worker ID. With the
 // LocalityAware extension, near-ties (within chainSlack) go to the
 // worker whose memory already holds the most of the task's data.
-func (s *Versioning) earliestExecutor(t *rt.Task, g *verprof.Group) (*rt.Worker, *rt.Assignment) {
+func (s *Versioning) earliestExecutor(t *rt.Task, g *verprof.Group) (*rt.Worker, rt.Assignment) {
 	var bestW *rt.Worker
 	var bestV *rt.Version
 	var bestFinish time.Duration
-	finishOn := func(w *rt.Worker) (*rt.Version, time.Duration, bool) {
-		v := s.fastestVersionFor(t, g, w.Kind())
-		if v == nil {
-			return nil, 0, false
-		}
-		mean, _ := g.Mean(v.Name)
-		return v, s.busyTime(w) + mean, true
-	}
 	for _, w := range s.rtime.Workers() {
-		v, finish, ok := finishOn(w)
+		v, finish, ok := s.finishOn(t, g, w)
 		if !ok {
 			continue
 		}
@@ -257,37 +248,51 @@ func (s *Versioning) earliestExecutor(t *rt.Task, g *verprof.Group) (*rt.Worker,
 		}
 	}
 	if bestW == nil {
-		return nil, nil
+		return nil, rt.Assignment{}
 	}
 	if s.opts.LocalityAware {
 		// Future-work extension (Section VII): among workers finishing
 		// within the slack of the earliest executor, prefer the one whose
 		// memory space already holds the most of the task's data.
-		dir := s.rtime.Directory()
-		missing := func(w *rt.Worker) int64 {
-			var b int64
-			for _, a := range t.Accesses {
-				b += dir.BytesNeeded(a.Obj, w.Space(), a.Mode)
-			}
-			return b
-		}
 		localW, localV := bestW, bestV
-		bestMissing := missing(bestW)
+		bestMissing := s.missingBytes(t, bestW)
 		for _, w := range s.rtime.Workers() {
 			if w == bestW {
 				continue
 			}
-			v, finish, ok := finishOn(w)
+			v, finish, ok := s.finishOn(t, g, w)
 			if !ok || float64(finish) > float64(bestFinish)*chainSlack {
 				continue
 			}
-			if m := missing(w); m < bestMissing {
+			if m := s.missingBytes(t, w); m < bestMissing {
 				localW, localV, bestMissing = w, v, m
 			}
 		}
-		return localW, &rt.Assignment{Task: t, Version: localV}
+		return localW, rt.Assignment{Task: t, Version: localV}
 	}
-	return bestW, &rt.Assignment{Task: t, Version: bestV}
+	return bestW, rt.Assignment{Task: t, Version: bestV}
+}
+
+// finishOn estimates when the worker would finish the task: its busy time
+// plus the mean of the fastest profiled version its device can run.
+func (s *Versioning) finishOn(t *rt.Task, g *verprof.Group, w *rt.Worker) (*rt.Version, time.Duration, bool) {
+	v := s.fastestVersionFor(t, g, w.Kind())
+	if v == nil {
+		return nil, 0, false
+	}
+	mean, _ := g.Mean(v.Name)
+	return v, s.busyTime(w) + mean, true
+}
+
+// missingBytes is how much of the task's data is absent from the worker's
+// memory space (the LocalityAware tie-breaking criterion).
+func (s *Versioning) missingBytes(t *rt.Task, w *rt.Worker) int64 {
+	dir := s.rtime.Directory()
+	var b int64
+	for _, a := range t.Accesses {
+		b += dir.BytesNeeded(a.Obj, w.Space(), a.Mode)
+	}
+	return b
 }
 
 // fastestVersionFor returns the version with the smallest recorded mean
@@ -295,10 +300,7 @@ func (s *Versioning) earliestExecutor(t *rt.Task, g *verprof.Group) (*rt.Worker,
 func (s *Versioning) fastestVersionFor(t *rt.Task, g *verprof.Group, kind machine.DeviceKind) *rt.Version {
 	var best *rt.Version
 	var bestMean time.Duration
-	for _, v := range t.Type.Versions {
-		if !v.RunsOn(kind) {
-			continue
-		}
+	for _, v := range t.Type.VersionsFor(kind) {
 		m, ok := g.Mean(v.Name)
 		if !ok {
 			continue
@@ -351,10 +353,10 @@ func (s *Versioning) leastBusyWorker(v *rt.Version) *rt.Worker {
 }
 
 // NextTask implements rt.Scheduler: workers pop their own queue.
-func (s *Versioning) NextTask(w *rt.Worker) *rt.Assignment {
+func (s *Versioning) NextTask(w *rt.Worker) rt.Assignment {
 	q := s.queues[w.ID()]
 	if len(q) == 0 {
-		return nil
+		return rt.Assignment{}
 	}
 	a := q[0]
 	s.queues[w.ID()] = q[1:]
@@ -365,9 +367,15 @@ func (s *Versioning) NextTask(w *rt.Worker) *rt.Assignment {
 // into the profile (the scheduler never stops learning) and release the
 // worker's busy-time charge.
 func (s *Versioning) TaskFinished(w *rt.Worker, t *rt.Task, v *rt.Version, exec time.Duration) {
-	g := s.store.GroupFor(t.Type.Name, t.DataSetSize, versionNames(t.Type))
+	ch, ok := s.estOf[t]
+	g := ch.group
+	if g == nil {
+		// The charge was recorded by TaskReady; a nil group means the task
+		// never passed through it (defensive — cannot happen in practice).
+		g = s.store.GroupFor(t.Type.Name, t.DataSetSize, t.Type.VersionNames())
+	}
 	g.Record(v.Name, exec)
-	if ch, ok := s.estOf[t]; ok {
+	if ok {
 		s.outstanding[ch.worker] -= ch.est
 		if s.outstanding[ch.worker] < 0 {
 			s.outstanding[ch.worker] = 0

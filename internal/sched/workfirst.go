@@ -44,17 +44,17 @@ func (s *WorkFirst) TaskReady(t *rt.Task) {
 
 // NextTask implements rt.Scheduler: own deque top, then the central
 // stack, then steal from the bottom of the deepest compatible deque.
-func (s *WorkFirst) NextTask(w *rt.Worker) *rt.Assignment {
+func (s *WorkFirst) NextTask(w *rt.Worker) rt.Assignment {
 	if q := s.deques[w.ID()]; len(q) > 0 {
 		t := q[len(q)-1]
 		s.deques[w.ID()] = q[:len(q)-1]
-		return &rt.Assignment{Task: t, Version: t.Type.Main()}
+		return rt.Assignment{Task: t, Version: t.Type.Main()}
 	}
 	for i := len(s.central) - 1; i >= 0; i-- {
 		t := s.central[i]
 		if t.Type.Main().RunsOn(w.Kind()) {
 			s.central = append(s.central[:i], s.central[i+1:]...)
-			return &rt.Assignment{Task: t, Version: t.Type.Main()}
+			return rt.Assignment{Task: t, Version: t.Type.Main()}
 		}
 	}
 	var victim *rt.Worker
@@ -72,9 +72,9 @@ func (s *WorkFirst) NextTask(w *rt.Worker) *rt.Assignment {
 		q := s.deques[victim.ID()]
 		t := q[0] // steal bottom (oldest)
 		s.deques[victim.ID()] = q[1:]
-		return &rt.Assignment{Task: t, Version: t.Type.Main()}
+		return rt.Assignment{Task: t, Version: t.Type.Main()}
 	}
-	return nil
+	return rt.Assignment{}
 }
 
 // TaskFinished implements rt.Scheduler.

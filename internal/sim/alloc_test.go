@@ -1,0 +1,31 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestSteadyStateSchedulingZeroAlloc pins the engine's core contract
+// after the pooled rewrite: once the slab, freelist and heap have grown
+// to the simulation's live-event high-water mark, scheduling and running
+// events allocates nothing. Every campaign cell spends its life in this
+// loop, so a single allocation here is a real regression, not noise.
+func TestSteadyStateSchedulingZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	run := func() {
+		// A mix of the three scheduling forms plus a cancellation: the
+		// shapes the runtime hot path uses (After for completions and
+		// heartbeats, Immediately for ready hand-offs, Cancel for
+		// prefetch abort).
+		for i := 0; i < 32; i++ {
+			e.After(Duration(i), fn)
+			e.Immediately(fn)
+		}
+		e.After(5, fn).Cancel()
+		e.Run()
+	}
+	run() // warm the slab, freelist and heap to steady state
+	if allocs := testing.AllocsPerRun(100, run); allocs != 0 {
+		t.Errorf("steady-state event loop allocates %v times per cycle, want 0", allocs)
+	}
+}

@@ -8,10 +8,17 @@
 // future virtual times. Determinism is guaranteed because ties in time are
 // broken by a monotonically increasing sequence number, and coroutines are
 // resumed synchronously from within event handlers.
+//
+// The engine is the innermost loop of every campaign cell, so its data
+// structures are flat and pooled: event records live in a reusable slab
+// (a freelist recycles slots, so steady-state scheduling allocates
+// nothing) and the priority queue is a slice of packed (time, seq, slot)
+// entries sifted in place — no per-event heap allocation, no
+// container/heap interface calls, and comparisons touch one contiguous
+// array instead of chasing pointers.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -40,43 +47,40 @@ func (t Time) Duration() Duration { return Duration(t) }
 
 func (t Time) String() string { return Duration(t).String() }
 
-// event is a single scheduled callback.
+// event is one pooled event slot. The seq doubles as the slot's
+// generation: it changes every time the slot is reused, so a stale
+// EventID can never cancel the slot's next tenant.
 type event struct {
-	at   Time
 	seq  uint64
 	fn   func()
 	dead bool // cancelled
 }
 
-// eventHeap implements container/heap ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// heapEntry is one priority-queue element: the ordering key (at, seq)
+// packed next to the slot index, so sift comparisons never touch the
+// event slab.
+type heapEntry struct {
+	at  Time
+	seq uint64
+	idx int32
 }
 
 // EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *event }
+type EventID struct {
+	e   *Engine
+	idx int32
+	seq uint64
+}
 
 // Cancel marks the event dead; a dead event is skipped when popped.
 // Cancelling an already-fired or already-cancelled event is a no-op.
 func (id EventID) Cancel() {
-	if id.ev != nil {
-		id.ev.dead = true
+	if id.e == nil {
+		return
+	}
+	ev := &id.e.events[id.idx]
+	if ev.seq == id.seq { // still the same tenant, not yet fired
+		ev.dead = true
 	}
 }
 
@@ -85,7 +89,9 @@ func (id EventID) Cancel() {
 type Engine struct {
 	now     Time
 	seq     uint64
-	heap    eventHeap
+	events  []event     // slot slab; grows once, slots recycle
+	free    []int32     // recycled slot indexes
+	heap    []heapEntry // binary min-heap ordered by (at, seq)
 	procs   []*Proc
 	running bool
 	stopped bool
@@ -110,9 +116,17 @@ func (e *Engine) At(t Time, fn func()) EventID {
 		panic(fmt.Sprintf("sim: scheduling event at %v, before now %v", t, e.now))
 	}
 	e.seq++
-	ev := &event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.heap, ev)
-	return EventID{ev}
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.events = append(e.events, event{})
+		idx = int32(len(e.events) - 1)
+	}
+	e.events[idx] = event{seq: e.seq, fn: fn}
+	e.heapPush(heapEntry{at: t, seq: e.seq, idx: idx})
+	return EventID{e: e, idx: idx, seq: e.seq}
 }
 
 // After schedules fn to run d after the current time. Negative durations
@@ -137,12 +151,62 @@ func (e *Engine) Stop() { e.stopped = true }
 // Pending reports the number of live events in the queue.
 func (e *Engine) Pending() int {
 	n := 0
-	for _, ev := range e.heap {
-		if !ev.dead {
+	for _, he := range e.heap {
+		if !e.events[he.idx].dead {
 			n++
 		}
 	}
 	return n
+}
+
+// --- flat binary heap over (at, seq) ---
+
+func heapLess(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) heapPush(he heapEntry) {
+	h := append(e.heap, he)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !heapLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.heap = h
+}
+
+func (e *Engine) heapPop() heapEntry {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	// Sift down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		child := l
+		if r := l + 1; r < n && heapLess(h[r], h[l]) {
+			child = r
+		}
+		if !heapLess(h[child], h[i]) {
+			break
+		}
+		h[i], h[child] = h[child], h[i]
+		i = child
+	}
+	e.heap = h
+	return top
 }
 
 // Run processes events in (time, seq) order until no events remain or
@@ -168,16 +232,23 @@ func (e *Engine) Run() Time {
 	}
 
 	for len(e.heap) > 0 && !e.stopped {
-		ev := heap.Pop(&e.heap).(*event)
-		if ev.dead {
+		he := e.heapPop()
+		ev := &e.events[he.idx]
+		fn, dead := ev.fn, ev.dead
+		// Recycle the slot before running fn: fn may schedule new
+		// events, and the bumped seq keeps stale EventIDs harmless.
+		ev.fn = nil
+		ev.dead = false
+		e.free = append(e.free, he.idx)
+		if dead {
 			continue
 		}
-		if ev.at < e.now {
+		if he.at < e.now {
 			panic("sim: time went backwards")
 		}
-		e.now = ev.at
+		e.now = he.at
 		e.EventCount++
-		ev.fn()
+		fn()
 	}
 
 	if !e.stopped {

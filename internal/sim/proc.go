@@ -18,6 +18,10 @@ type Proc struct {
 	started  bool
 	finished bool
 	parked   bool
+	// unparkFn is the prebound Unpark method value, so Sleep (called once
+	// per task when CreateOverhead is modelled) schedules its wake-up
+	// without allocating a fresh closure each time.
+	unparkFn func()
 }
 
 // Spawn registers a coroutine with the engine. The body starts executing
@@ -32,6 +36,7 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 		resume: make(chan struct{}),
 		yield:  make(chan struct{}),
 	}
+	p.unparkFn = p.Unpark
 	e.procs = append(e.procs, p)
 	return p
 }
@@ -91,7 +96,7 @@ func (p *Proc) Name() string { return p.name }
 // wake-up event and parks until it fires. Must be called from the
 // coroutine itself.
 func (p *Proc) Sleep(d Duration) {
-	p.e.After(d, func() { p.Unpark() })
+	p.e.After(d, p.unparkFn)
 	p.Park()
 }
 

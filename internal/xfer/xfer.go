@@ -84,33 +84,35 @@ type engine struct {
 	busyUntil sim.Time
 }
 
+// numCategories sizes the per-category accounting arrays.
+const numCategories = int(CatDevice) + 1
+
 // Fabric routes and times transfers across all machine links.
 type Fabric struct {
 	eng     *sim.Engine
 	mach    *machine.Machine
-	engines map[machine.LinkID]*engine
+	engines []engine // indexed by the dense machine.LinkID
 	routes  map[[2]machine.SpaceID][]machine.Link
 	rec     Recorder
 
-	// TotalBytes accumulates transferred bytes per category.
-	TotalBytes map[Category]int64
+	// TotalBytes accumulates transferred bytes per category (indexed by
+	// Category, which is dense).
+	TotalBytes [numCategories]int64
 	// Count accumulates the number of transfers per category.
-	Count map[Category]int64
+	Count [numCategories]int64
 }
 
 // NewFabric builds the fabric for a machine. rec may be nil.
 func NewFabric(e *sim.Engine, m *machine.Machine, rec Recorder) *Fabric {
 	f := &Fabric{
-		eng:        e,
-		mach:       m,
-		engines:    make(map[machine.LinkID]*engine),
-		routes:     make(map[[2]machine.SpaceID][]machine.Link),
-		rec:        rec,
-		TotalBytes: make(map[Category]int64),
-		Count:      make(map[Category]int64),
+		eng:     e,
+		mach:    m,
+		engines: make([]engine, len(m.Links)),
+		routes:  make(map[[2]machine.SpaceID][]machine.Link),
+		rec:     rec,
 	}
 	for _, l := range m.Links {
-		f.engines[l.ID] = &engine{link: l}
+		f.engines[l.ID] = engine{link: l}
 	}
 	return f
 }
@@ -134,11 +136,9 @@ func (f *Fabric) Transfer(from, to machine.SpaceID, bytes int64, tag string, onD
 		panic("xfer: negative transfer size")
 	}
 	if from == to {
-		f.eng.Immediately(func() {
-			if onDone != nil {
-				onDone()
-			}
-		})
+		if onDone != nil {
+			f.eng.Immediately(onDone)
+		}
 		return
 	}
 	path := f.route(from, to)
@@ -165,11 +165,15 @@ func (f *Fabric) route(from, to machine.SpaceID) []machine.Link {
 // copies on machines without peer-to-peer DMA).
 func (f *Fabric) transferPath(path []machine.Link, bytes int64, tag string, onDone func()) {
 	if len(path) == 0 {
-		f.eng.Immediately(func() {
-			if onDone != nil {
-				onDone()
-			}
-		})
+		if onDone != nil {
+			f.eng.Immediately(onDone)
+		}
+		return
+	}
+	if len(path) == 1 {
+		// Single-leg fast path: the overwhelmingly common case (host<->GPU
+		// over PCIe) needs no continuation closure.
+		f.transferDirect(path[0].From, path[0].To, bytes, tag, onDone)
 		return
 	}
 	leg := path[0]
@@ -185,7 +189,7 @@ func (f *Fabric) transferDirect(from, to machine.SpaceID, bytes int64, tag strin
 	if !ok {
 		panic(fmt.Sprintf("xfer: no direct link %d->%d", from, to))
 	}
-	en := f.engines[link.ID]
+	en := &f.engines[link.ID]
 	now := f.eng.Now()
 	start := now
 	if en.busyUntil > start {
@@ -200,11 +204,9 @@ func (f *Fabric) transferDirect(from, to machine.SpaceID, bytes int64, tag strin
 	if f.rec != nil {
 		f.rec.RecordTransfer(Record{From: from, To: to, Bytes: bytes, Category: cat, Start: start, End: end, Tag: tag})
 	}
-	f.eng.At(end, func() {
-		if onDone != nil {
-			onDone()
-		}
-	})
+	if onDone != nil {
+		f.eng.At(end, onDone)
+	}
 }
 
 // EstimateDuration returns the wire time a copy would take over its route
@@ -229,7 +231,7 @@ func (f *Fabric) QueueDelay(from, to machine.SpaceID) time.Duration {
 	if !ok {
 		return 0
 	}
-	en := f.engines[l.ID]
+	en := &f.engines[l.ID]
 	if en.busyUntil <= f.eng.Now() {
 		return 0
 	}
@@ -238,9 +240,9 @@ func (f *Fabric) QueueDelay(from, to machine.SpaceID) time.Duration {
 
 // BytesByCategory returns a copy of the per-category byte totals.
 func (f *Fabric) BytesByCategory() map[Category]int64 {
-	out := make(map[Category]int64, len(f.TotalBytes))
+	out := make(map[Category]int64, numCategories)
 	for k, v := range f.TotalBytes {
-		out[k] = v
+		out[Category(k)] = v
 	}
 	return out
 }
