@@ -29,22 +29,26 @@
 // -budget completes the grid byte-identically to a never-budgeted
 // campaign — the budget decides which cells run, never their bytes.
 //
-// With -cache DIR campaigns are resumable: every completed run is stored
-// as a JSON file named by its spec's content hash (with its wall cost),
-// and later sweeps — including grown grids — only simulate cells whose
-// hash is not on disk. Cached cells reproduce their fresh output byte
-// for byte.
+// With -store URL campaigns are resumable: every completed run is stored
+// as a cell named by its spec's content hash (with its wall cost), and
+// later sweeps — including grown grids — only simulate cells whose hash
+// the store has never seen. Cached cells reproduce their fresh output
+// byte for byte. Two store schemes exist: dir:///path (a directory,
+// also reachable as a bare path or via the historical -cache DIR alias)
+// and http://host:port (an ompss-sweepd coordinator serving such a
+// directory over the network).
 //
-// The cache directory is also a coordination substrate: -procs N spawns
-// N claim workers that partition one grid through atomically-created
-// lease files (no network layer), and -claim runs one such worker
-// directly — launch several by hand on hosts sharing a filesystem to
-// fan a campaign out across machines. Either way the merged output is
-// byte-identical to a single-process -parallel 1 run. `-watch DIR`
-// tails such a shared directory from any host: cells done, leases
-// outstanding with owner, process and heartbeat age (flagged "stale?"
-// past 3/4 of the TTL), plus — whenever the claimants journaled —
-// live rates per claimant and a cost-model ETA over the uncached rest.
+// The store is also a coordination substrate: -procs N spawns N claim
+// workers that partition one grid through atomically-granted leases,
+// and -claim runs one such worker directly — launch several by hand on
+// hosts sharing a filesystem (dir://) or on any hosts that can reach an
+// ompss-sweepd coordinator (http://) to fan a campaign out across
+// machines. Either way the merged output is byte-identical to a
+// single-process -parallel 1 run. `-watch URL` tails such a campaign
+// from any host: cells done, leases outstanding with owner, process and
+// heartbeat age (flagged "stale?" past 3/4 of the TTL), plus — whenever
+// the claimants journaled — live rates per claimant and a cost-model
+// ETA over the uncached rest.
 //
 // Usage:
 //
@@ -60,7 +64,9 @@
 //	ompss-sweep -cache .sweep-cache -chrome-trace-dir chrome/  # per-run Chrome traces
 //	ompss-sweep -cache /shared/c -procs 4 -csv out.csv  # 4-process fan-out
 //	ompss-sweep -cache /shared/c -claim      # one worker, e.g. per host
+//	ompss-sweep -store http://coord:8427 -claim  # join a fleet over the network
 //	ompss-sweep -watch /shared/c             # tail a campaign from anywhere
+//	ompss-sweep -watch http://coord:8427     # same, via the coordinator
 //	ompss-sweep -cost-csv costs.csv -cache .sweep-cache  # per-run wall costs
 //	ompss-sweep -list-apps                   # registered applications
 package main
@@ -78,6 +84,9 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	// Register the http/https store schemes with exp.OpenStore, so
+	// -store http://host:port reaches an ompss-sweepd coordinator.
+	_ "repro/internal/sweepd"
 )
 
 func main() {
@@ -96,7 +105,8 @@ func main() {
 		seed        = flag.Int64("seed", 1, "base seed for the replica seeds (0 = default 1)")
 		sizeFlag    = flag.String("size", "tiny", "problem size tier: tiny, quick or full")
 		parallel    = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size (1 = serial)")
-		cachePath   = flag.String("cache", "", "campaign cache directory: skip runs already on disk, store new ones")
+		storeURL    = flag.String("store", "", "campaign store URL: dir:///path or http://host:port (an ompss-sweepd coordinator); skip runs the store has seen, store new ones")
+		cachePath   = flag.String("cache", "", "campaign cache directory (alias for -store dir://DIR)")
 		planFlag    = flag.String("plan", "order", "uncached-cell execution order: order (grid expansion) or cost (most expensive first, from costs recorded in -cache)")
 		budgetFlag  = flag.Duration("budget", 0, "stop claiming new cells once cost-model estimates of the admitted work would exceed this many simulation-seconds (requires -cache; implies -plan cost; skipped cells are reported and left for an unbudgeted resume)")
 		traceDir    = flag.String("trace-dir", "", "write one Paraver .prv/.pcf pair per freshly simulated run into this directory")
@@ -104,7 +114,7 @@ func main() {
 		procs       = flag.Int("procs", 1, "spawn this many claim-worker processes over -cache and merge their results")
 		claim       = flag.Bool("claim", false, "run as one claim worker: lease uncached cells of -cache, simulate, store, exit when the grid is fully cached")
 		leaseTTL    = flag.Duration("lease-ttl", exp.DefaultLeaseTTL, "claim-mode lease staleness threshold (crashed workers' cells are reclaimed after this)")
-		watchDir    = flag.String("watch", "", "tail this campaign cache directory (cells done, leases outstanding) instead of sweeping; uses the grid flags for the total")
+		watchDir    = flag.String("watch", "", "tail this campaign store — a directory, dir:// URL or http:// coordinator — (cells done, leases outstanding) instead of sweeping; uses the grid flags for the total")
 		watchEvery  = flag.Duration("watch-interval", time.Second, "poll interval for -watch")
 		csvPath     = flag.String("csv", "", "write per-cell CSV to this file (- for stdout)")
 		jsonPath    = flag.String("json", "", "write per-cell JSON to this file (- for stdout)")
@@ -161,24 +171,34 @@ func main() {
 		return
 	}
 
-	var cache *exp.Cache
+	// -cache DIR is the historical spelling of -store dir://DIR; exactly
+	// one of the two may name the store.
+	target := *storeURL
 	if *cachePath != "" {
-		cache, err = exp.OpenCache(*cachePath)
+		if target != "" {
+			fatal(fmt.Errorf("-store and -cache name the same thing; pass one (got -store %s -cache %s)", *storeURL, *cachePath))
+		}
+		target = *cachePath // bare paths open as dir stores
+	}
+	var store exp.CellStore
+	if target != "" {
+		store, err = exp.OpenStore(target)
 		if err != nil {
 			fatal(err)
 		}
+		defer store.Close()
 	}
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	switch {
 	case *claim && *procs != 1:
 		fatal(fmt.Errorf("-claim and -procs are mutually exclusive (a worker never spawns workers)"))
-	case *claim && cache == nil:
-		fatal(fmt.Errorf("-claim requires -cache: the cache directory is the claim substrate"))
+	case *claim && store == nil:
+		fatal(fmt.Errorf("-claim requires -store (or -cache): the shared store is the claim substrate"))
 	case *procs < 1:
 		fatal(fmt.Errorf("-procs must be at least 1, got %d", *procs))
-	case *procs > 1 && cache == nil:
-		fatal(fmt.Errorf("-procs requires -cache: workers partition the grid through the shared cache directory"))
+	case *procs > 1 && store == nil:
+		fatal(fmt.Errorf("-procs requires -store (or -cache): workers partition the grid through the shared store"))
 	case (*claim || *procs > 1) && *leaseTTL < time.Second:
 		// Library callers may pick shorter TTLs (tests do); at the CLI a
 		// sub-second TTL only manufactures spurious reclaims on any real
@@ -186,8 +206,8 @@ func main() {
 		fatal(fmt.Errorf("-lease-ttl %v is below the 1s minimum", *leaseTTL))
 	case *budgetFlag < 0:
 		fatal(fmt.Errorf("-budget must be non-negative, got %v", *budgetFlag))
-	case *budgetFlag > 0 && cache == nil:
-		fatal(fmt.Errorf("-budget requires -cache: the cache records the wall costs the estimates come from"))
+	case *budgetFlag > 0 && store == nil:
+		fatal(fmt.Errorf("-budget requires -store (or -cache): the store records the wall costs the estimates come from"))
 	case *budgetFlag > 0 && explicit["plan"] && *planFlag != "cost":
 		fatal(fmt.Errorf("-budget campaigns claim in cost order; drop -plan %s", *planFlag))
 	}
@@ -208,21 +228,21 @@ func main() {
 		// One cost model, built once, shared by the planner and the
 		// budget, so what the plan prefers and what the budget charges
 		// can never disagree.
-		model, err := cache.CostModel()
+		model, err := store.CostModel()
 		if err != nil {
 			fatal(err)
 		}
 		planner = exp.CostPlanner{Model: model}
 		budget = &exp.BudgetOptions{Limit: *budgetFlag, Model: model}
 	} else {
-		planner, err = exp.NewPlanner(*planFlag, cache)
+		planner, err = exp.NewPlanner(*planFlag, store)
 		if err != nil {
 			fatal(err)
 		}
 	}
 	camp := exp.Campaign{
 		Grid:     grid,
-		Cache:    cache,
+		Store:    store,
 		Parallel: *parallel,
 		Planner:  planner,
 		Budget:   budget,
@@ -260,12 +280,12 @@ func main() {
 	// in-process pool, a -claim worker, and each -procs fleet member all
 	// write their own <cache>/journal/<owner>.jsonl.
 	var journalRec *exp.JournalRecorder
-	if cache != nil {
+	if store != nil {
 		// The recorder opens its file lazily, on the first event worth
 		// keeping, and never fails the campaign: a warm render from a
 		// read-only shared cache journals nothing and keeps working (an
 		// unwritable journal surfaces as the warning below).
-		journalRec = exp.NewJournalRecorder(cache, exp.DefaultOwner())
+		journalRec = exp.NewJournalRecorder(store, exp.DefaultOwner())
 		defer journalRec.Close()
 		camp.Observer = exp.MultiObserver(progress, journalRec)
 	} else {
@@ -286,7 +306,7 @@ func main() {
 		// The claim accounting prints even under -quiet: it is the
 		// protocol evidence — CI sums simulated= across a worker fleet to
 		// assert every cell was simulated exactly once.
-		fmt.Fprintf(os.Stderr, "ompss-sweep: claim: %v dir=%s\n", stats, cache.Dir())
+		fmt.Fprintf(os.Stderr, "ompss-sweep: claim: %v store=%s\n", stats, store.Description())
 	} else {
 		cachedBeforeFleet := -1
 		if *procs > 1 {
@@ -294,7 +314,11 @@ func main() {
 				// Snapshot how much of the grid predates the fleet, so the
 				// coordinator's skip report can state how many cells the
 				// fleet actually admitted (grid - pre-existing - skipped).
-				st, err := cache.Status(grid)
+				w, err := exp.NewWatcher(store, grid)
+				if err != nil {
+					fatal(err)
+				}
+				st, err := w.Status()
 				if err != nil {
 					fatal(err)
 				}
@@ -331,11 +355,12 @@ func main() {
 			// report the coordinator prints matches what actually ran.
 			res.BudgetAdmitted = grid.NumRuns() - cachedBeforeFleet - len(res.Skipped)
 		}
-		if cache != nil && !*quiet {
+		if store != nil && !*quiet {
 			// Machine-greppable resume accounting; CI asserts simulated=0
-			// on a fully warm re-run and after a -procs fan-out.
-			fmt.Fprintf(os.Stderr, "ompss-sweep: cache: simulated=%d cached=%d dir=%s\n",
-				res.Simulated, res.CacheHits, cache.Dir())
+			// on a fully warm re-run and after a -procs fan-out. The
+			// "cache:" prefix is part of the stable format.
+			fmt.Fprintf(os.Stderr, "ompss-sweep: cache: simulated=%d cached=%d store=%s\n",
+				res.Simulated, res.CacheHits, store.Description())
 		}
 	}
 	if camp.Budget != nil {
@@ -442,26 +467,33 @@ func (p *linePrefixer) Write(data []byte) (int, error) {
 	return written, nil
 }
 
-// watch tails a shared campaign cache directory: one status line per
-// poll (cells done out of the grid the flags describe, leases
-// outstanding with owner, process and heartbeat age), exiting once the
-// campaign is complete and the lease directory has drained. Campaigns
-// whose claimants journaled get a second line per poll — completion
-// rate, per-claimant rates, and a cost-model ETA over the uncached
-// remainder. Run it from any host that sees the filesystem; it never
-// writes, claims or simulates.
-func watch(dir string, grid exp.Grid, interval, ttl time.Duration) {
-	if _, err := os.Stat(dir); err != nil {
-		fatal(fmt.Errorf("-watch %s: %w", dir, err))
+// watch tails a shared campaign store — a directory, dir:// URL or
+// http:// coordinator: one status line per poll (cells done out of the
+// grid the flags describe, leases outstanding with owner, process and
+// heartbeat age), exiting once the campaign is complete and the leases
+// have drained. Campaigns whose claimants journaled get a second line
+// per poll — completion rate, per-claimant rates, and a cost-model ETA
+// over the uncached remainder. Run it from any host that sees the
+// filesystem or can reach the coordinator; it never writes, claims or
+// simulates.
+func watch(target string, grid exp.Grid, interval, ttl time.Duration) {
+	if !strings.Contains(target, "://") {
+		// A bare path names a directory; unlike a sweep, a watcher must
+		// not create (and then happily tail) an empty store on a typo.
+		if _, err := os.Stat(target); err != nil {
+			fatal(fmt.Errorf("-watch %s: %w", target, err))
+		}
 	}
-	cache, err := exp.OpenCache(dir)
+	store, err := exp.OpenStore(target)
 	if err != nil {
 		fatal(err)
 	}
+	defer store.Close()
 	// The Watcher precomputes the grid's spec hashes once; each poll is
-	// then one Stat per run plus a lease-directory listing (and, with a
-	// journal, one journal read + cache cost scan for the ETA).
-	watcher, err := cache.Watcher(grid)
+	// then grid-size map lookups over the store's manifest snapshot plus
+	// a lease listing (and, with a journal, an incremental journal tail)
+	// — never a cell read.
+	watcher, err := exp.NewWatcher(store, grid)
 	if err != nil {
 		fatal(err)
 	}

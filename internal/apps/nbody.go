@@ -131,33 +131,52 @@ func BuildNBody(r *ompss.Runtime, cfg NBodyConfig) (*NBody, error) {
 		app.initData()
 	}
 
+	// Every step submits the identical dependence pattern: access lists
+	// and boxed args depend only on the block pair, never on the step, so
+	// they are built once and shared across steps (the runtime treats
+	// submitted access slices and args as immutable).
+	forceAccs := make([][]ompss.Access, nb*nb)
+	forceArgs := make([]any, nb*nb)
+	for i := 0; i < nb; i++ {
+		for j := 0; j < nb; j++ {
+			accs := []ompss.Access{ompss.In(posObj[i])}
+			if j != i {
+				accs = append(accs, ompss.In(posObj[j]))
+			}
+			switch {
+			case j == 0:
+				// First pair overwrites the accumulator: no
+				// dependence on last step's acc contents.
+				accs = append(accs, ompss.Out(accObj[i]))
+			case cfg.Commutative:
+				accs = append(accs, ompss.Commutative(accObj[i]))
+			default:
+				accs = append(accs, ompss.InOut(accObj[i]))
+			}
+			forceAccs[i*nb+j] = accs
+			forceArgs[i*nb+j] = [2]int{i, j}
+		}
+	}
+	updateAccs := make([][]ompss.Access, nb)
+	updateArgs := make([]any, nb)
+	for i := 0; i < nb; i++ {
+		updateAccs[i] = []ompss.Access{
+			ompss.InOut(posObj[i]),
+			ompss.InOut(velObj[i]),
+			ompss.In(accObj[i]),
+		}
+		updateArgs[i] = i
+	}
+
 	r.Main(func(m *ompss.Master) {
 		for s := 0; s < cfg.Steps; s++ {
 			for i := 0; i < nb; i++ {
 				for j := 0; j < nb; j++ {
-					accs := []ompss.Access{ompss.In(posObj[i])}
-					if j != i {
-						accs = append(accs, ompss.In(posObj[j]))
-					}
-					switch {
-					case j == 0:
-						// First pair overwrites the accumulator: no
-						// dependence on last step's acc contents.
-						accs = append(accs, ompss.Out(accObj[i]))
-					case cfg.Commutative:
-						accs = append(accs, ompss.Commutative(accObj[i]))
-					default:
-						accs = append(accs, ompss.InOut(accObj[i]))
-					}
-					m.Submit(force, accs, forceWork, [3]int{i, j, s})
+					m.Submit(force, forceAccs[i*nb+j], forceWork, forceArgs[i*nb+j])
 				}
 			}
 			for i := 0; i < nb; i++ {
-				m.Submit(update, []ompss.Access{
-					ompss.InOut(posObj[i]),
-					ompss.InOut(velObj[i]),
-					ompss.In(accObj[i]),
-				}, updateWork, i)
+				m.Submit(update, updateAccs[i], updateWork, updateArgs[i])
 			}
 		}
 		m.Taskwait()
@@ -194,7 +213,7 @@ func (a *NBody) realForce(ctx *ompss.ExecContext) {
 	if a.pos == nil {
 		return
 	}
-	idx := ctx.Task.Args.([3]int)
+	idx := ctx.Task.Args.([2]int)
 	i, j := idx[0], idx[1]
 	if j == 0 {
 		for k := range a.acc[i] {

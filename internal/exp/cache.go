@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/journal"
 	"repro/ompss"
 )
 
@@ -16,10 +19,13 @@ import (
 // overwritten on the next store), never parsed across versions.
 const CacheFormatVersion = 1
 
-// Cache is an on-disk, content-addressed store of completed run results:
-// one JSON file per RunSpec, named by the spec's canonical hash
-// (<dir>/<sha256-hex>.json). Sweep consults it so re-running a grown
-// campaign only simulates cells whose hash has never been seen.
+// DirStore is the directory-backed CellStore: an on-disk,
+// content-addressed store of completed run results — one JSON file per
+// RunSpec, named by the spec's canonical hash (<dir>/<sha256-hex>.json)
+// — plus the lease files, journal directory and campaign manifest that
+// make the directory a complete coordination substrate. Campaigns
+// consult it so re-running a grown grid only simulates cells whose hash
+// has never been seen.
 //
 // Properties the rest of the system relies on:
 //
@@ -38,27 +44,95 @@ const CacheFormatVersion = 1
 // The directory is also the coordination substrate for multi-process
 // campaigns: claimants serialize work through <hash>.json.lease files
 // (see TryLease and Dispatcher), so N processes — or N hosts sharing
-// the directory — partition one grid with no network layer. The spec
-// hash pins the simulator-behaviour fingerprint (SimBehaviorVersion),
-// so a shared cache can never satisfy a spec with results computed
-// under a different model.
-type Cache struct {
+// the directory, or an ompss-sweepd coordinator serving it over HTTP —
+// partition one grid. The spec hash pins the simulator-behaviour
+// fingerprint (SimBehaviorVersion), so a shared store can never satisfy
+// a spec with results computed under a different model.
+//
+// Alongside the cells, the store maintains a denormalized campaign
+// manifest (manifest.jsonl; see manifest.go) listing every settled
+// cell's hash, wall cost and spec, so Snapshot and CostModel answer
+// from one small file instead of re-reading every cell — watch polls
+// over an idle store read zero cell files.
+type DirStore struct {
 	dir string
+
+	// mu guards the manifest view (manifest.go).
+	mu        sync.Mutex
+	manifest  map[string]ManifestEntry
+	rev       int64
+	mfOffset  int64 // consumed bytes of manifest.jsonl (start of a line)
+	mfSize    int64 // size observed by the last poll (skip torn re-reads)
+	cellReads atomic.Int64
+
+	// jmu guards the lazily created journal writers and tailer.
+	jmu      sync.Mutex
+	journals map[string]*journal.Writer
+	jerrs    map[string]error
+	tail     *journal.Tailer
 }
 
-// OpenCache opens (creating if needed) a cache directory.
-func OpenCache(dir string) (*Cache, error) {
+// Cache is the historical name of DirStore, kept as an alias so every
+// existing caller and test compiles unchanged.
+//
+// Deprecated: use DirStore (or better, the CellStore interface).
+type Cache = DirStore
+
+// OpenDirStore opens (creating if needed) a store directory and
+// reconciles its campaign manifest against the cells on disk (see
+// reconcileManifest), so a directory populated by pre-manifest
+// campaigns — or one whose writer was killed between a cell landing and
+// its manifest line — reads complete.
+func OpenDirStore(dir string) (*DirStore, error) {
 	if dir == "" {
-		return nil, errors.New("exp: cache directory must not be empty")
+		return nil, errors.New("exp: store directory must not be empty")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("exp: opening cache: %w", err)
+		return nil, fmt.Errorf("exp: opening store: %w", err)
 	}
-	return &Cache{dir: dir}, nil
+	c := &DirStore{
+		dir:      dir,
+		manifest: make(map[string]ManifestEntry),
+		journals: make(map[string]*journal.Writer),
+		jerrs:    make(map[string]error),
+	}
+	if err := c.reconcileManifest(); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
-// Dir returns the cache's directory.
-func (c *Cache) Dir() string { return c.dir }
+// OpenCache is the historical name of OpenDirStore.
+//
+// Deprecated: use OpenDirStore or OpenStore("dir://...").
+func OpenCache(dir string) (*Cache, error) { return OpenDirStore(dir) }
+
+// Dir returns the store's directory.
+func (c *DirStore) Dir() string { return c.dir }
+
+// Description implements CellStore.
+func (c *DirStore) Description() string { return "dir://" + c.dir }
+
+// CellReads reports how many cell-file reads this store value has
+// performed (load attempts plus manifest reconciliation). It exists so
+// tests — and the ompss-sweepd metrics endpoint — can assert the O(1)
+// status property: idle watch polls add zero.
+func (c *DirStore) CellReads() int64 { return c.cellReads.Load() }
+
+// Close implements CellStore: it closes any journal writers opened by
+// AppendJournal. Cells, leases and the manifest hold no open state.
+func (c *DirStore) Close() error {
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	var first error
+	for owner, w := range c.journals {
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(c.journals, owner)
+	}
+	return first
+}
 
 // cacheEntry is the JSON cell-file layout. Hash and Spec are both stored
 // so a file is self-describing (and self-validating: a loaded entry
@@ -76,32 +150,25 @@ type cacheEntry struct {
 	Result  ompss.Result `json:"result"`
 }
 
-func (c *Cache) path(hash string) string {
+func (c *DirStore) path(hash string) string {
 	return filepath.Join(c.dir, hash+".json")
 }
 
 // Load looks a spec up. Any failure — missing file, unparsable JSON,
 // format-version skew, hash mismatch — is reported as a miss so the
-// caller falls back to simulation; the cache never fails a sweep on the
+// caller falls back to simulation; the store never fails a sweep on the
 // read side.
-func (c *Cache) Load(spec RunSpec) (RunResult, bool) {
+func (c *DirStore) Load(spec RunSpec) (RunResult, bool) {
 	spec.fillDefaults()
-	return c.load(spec, spec.Hash())
+	return c.LoadCell(spec, spec.Hash())
 }
 
-// load is Load with the hash precomputed and the spec already
-// default-filled — the dispatcher's claim loop rescans pending cells
+// LoadCell implements CellStore: Load with the hash precomputed and the
+// spec already default-filled — the claim loop rescans pending cells
 // every poll pass and must not pay canonicalization + SHA-256 each time.
-func (c *Cache) load(spec RunSpec, hash string) (RunResult, bool) {
-	data, err := os.ReadFile(c.path(hash))
-	if err != nil {
-		return RunResult{}, false
-	}
-	var e cacheEntry
-	if err := json.Unmarshal(data, &e); err != nil {
-		return RunResult{}, false
-	}
-	if e.Format != CacheFormatVersion || e.Hash != hash || e.Spec.Hash() != hash {
+func (c *DirStore) LoadCell(spec RunSpec, hash string) (RunResult, bool) {
+	e, ok := c.readCell(hash)
+	if !ok {
 		return RunResult{}, false
 	}
 	// The recorded wall cost rides along so warm campaigns can still
@@ -110,9 +177,32 @@ func (c *Cache) load(spec RunSpec, hash string) (RunResult, bool) {
 	return RunResult{Spec: spec, Result: e.Result, Wall: wall, Cached: true}, true
 }
 
-// Store persists a completed run, atomically (temp file + rename), so a
-// crashed or killed campaign never leaves a half-written cell behind.
-func (c *Cache) Store(rr RunResult) error {
+// readCell reads and validates one cell file (shared by LoadCell and
+// the manifest reconciliation). Every call counts as a cell read.
+func (c *DirStore) readCell(hash string) (cacheEntry, bool) {
+	c.cellReads.Add(1)
+	data, err := os.ReadFile(c.path(hash))
+	if err != nil {
+		return cacheEntry{}, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return cacheEntry{}, false
+	}
+	if e.Format != CacheFormatVersion || e.Hash != hash || e.Spec.Hash() != hash {
+		return cacheEntry{}, false
+	}
+	return e, true
+}
+
+// StoreCell implements CellStore: it persists a completed run
+// atomically (temp file + rename), so a crashed or killed campaign
+// never leaves a half-written cell behind, then records the cell in the
+// campaign manifest. A manifest failure is an error like a cell-write
+// failure — a completed campaign must leave a complete manifest — but a
+// crash in the gap between the two is healed by the next open's
+// reconciliation.
+func (c *DirStore) StoreCell(rr RunResult) error {
 	spec := rr.Spec
 	spec.fillDefaults()
 	hash := spec.Hash()
@@ -143,5 +233,97 @@ func (c *Cache) Store(rr RunResult) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("exp: committing cache entry: %w", err)
 	}
-	return nil
+	return c.recordManifest(ManifestEntry{Hash: hash, WallSec: rr.Wall.Seconds(), Spec: spec})
+}
+
+// Store is the historical name of StoreCell.
+//
+// Deprecated: use StoreCell.
+func (c *DirStore) Store(rr RunResult) error { return c.StoreCell(rr) }
+
+// CellData is the raw stored form of one cell — the spec that produced
+// it, the advisory wall cost, and the simulation result. It exists for
+// relays (the ompss-sweepd coordinator) that serve cells by hash without
+// knowing the requesting spec, and doubles as the cell wire format.
+type CellData struct {
+	Spec    RunSpec      `json:"spec"`
+	WallSec float64      `json:"wall_s,omitempty"`
+	Result  ompss.Result `json:"result"`
+}
+
+// ReadCellData returns one validated cell by hash, false on any miss
+// (absent, torn, version-skewed, hash-mismatched — the same misses as
+// LoadCell).
+func (c *DirStore) ReadCellData(hash string) (CellData, bool) {
+	e, ok := c.readCell(hash)
+	if !ok {
+		return CellData{}, false
+	}
+	return CellData{Spec: e.Spec, WallSec: e.WallSec, Result: e.Result}, true
+}
+
+// Claim implements CellStore over the lease protocol: a TryLease whose
+// granted lease is returned behind the StoreLease interface. The nil
+// check matters — returning a nil *Lease inside a non-nil interface
+// would read as a granted claim to every caller.
+func (c *DirStore) Claim(hash, owner string, ttl time.Duration) (StoreLease, bool, error) {
+	l, reclaimed, err := c.TryLease(hash, owner, ttl)
+	if l == nil {
+		return nil, reclaimed, err
+	}
+	return l, reclaimed, err
+}
+
+// AppendJournal implements CellStore: one record appended to the
+// owner's journal file under <dir>/journal. Writers are opened lazily
+// on the first record — a store that never journals creates no files —
+// and kept open until Close. An owner whose journal failed to open
+// stays failed (the error is returned on every later append) rather
+// than retrying per record.
+func (c *DirStore) AppendJournal(owner string, rec journal.Record) error {
+	if owner == "" {
+		owner = defaultOwner()
+	}
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	if err := c.jerrs[owner]; err != nil {
+		return err
+	}
+	w := c.journals[owner]
+	if w == nil {
+		var err error
+		w, err = journal.Open(c.JournalDir(), owner)
+		if err != nil {
+			c.jerrs[owner] = err
+			return err
+		}
+		c.journals[owner] = w
+	}
+	return w.Append(rec)
+}
+
+// closeJournal closes and forgets one owner's journal writer (the
+// JournalRecorder's Close path; a later append reopens it).
+func (c *DirStore) closeJournal(owner string) error {
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	w := c.journals[owner]
+	delete(c.journals, owner)
+	if w == nil {
+		return nil
+	}
+	return w.Close()
+}
+
+// PollJournal implements CellStore via an incremental tailer: each poll
+// reads only the bytes appended since the previous one (zero on an idle
+// poll) and returns the full merged timeline. The returned slice is
+// reused by later polls; callers must not retain it.
+func (c *DirStore) PollJournal() ([]journal.Record, journal.ReadStats, error) {
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	if c.tail == nil {
+		c.tail = journal.NewTailer(c.JournalDir())
+	}
+	return c.tail.Poll()
 }

@@ -36,9 +36,16 @@ type Campaign struct {
 	// spec is one cell; aggregation treats every run as its own cell and
 	// the result's Grid is left zero.
 	Specs []RunSpec
-	// Cache, if set, makes the campaign resumable (and is required for
-	// claim mode): cells already on disk are not re-simulated, fresh
-	// results are persisted with their wall cost.
+	// Store, if set, makes the campaign resumable (and is required for
+	// claim mode): cells the store already holds are not re-simulated,
+	// fresh results are persisted with their wall cost. Any CellStore
+	// works — a DirStore for shared-filesystem campaigns, an HTTP store
+	// for an ompss-sweepd fleet.
+	Store CellStore
+	// Cache is the historical form of Store, kept so existing callers
+	// compile unchanged; it is used only when Store is nil.
+	//
+	// Deprecated: set Store.
 	Cache *Cache
 	// Parallel bounds the worker pool (<=0 selects GOMAXPROCS).
 	Parallel int
@@ -93,24 +100,25 @@ func (c *Campaign) Execute() (*SweepResult, ClaimStats, error) {
 	if err != nil {
 		return nil, stats, err
 	}
-	if c.Claim != nil && c.Cache == nil {
-		return nil, stats, errors.New("exp: claim campaigns need a Cache (the cache directory is the claim substrate)")
+	store := c.resolveStore()
+	if c.Claim != nil && store == nil {
+		return nil, stats, errors.New("exp: claim campaigns need a Store (the store is the claim substrate)")
 	}
-	e := &engine{c: c, specs: specs, results: make([]RunResult, len(specs))}
+	e := &engine{c: c, store: store, specs: specs, results: make([]RunResult, len(specs))}
 	if c.Budget != nil {
 		// The model is resolved per Execute, into the engine — never
 		// written back into the caller's BudgetOptions, so a reused
-		// options value prices every campaign with current cache costs.
+		// options value prices every campaign with current store costs.
 		e.budgetModel = c.Budget.Model
-		if e.budgetModel == nil && c.Cache != nil {
-			m, err := c.Cache.CostModel()
+		if e.budgetModel == nil && store != nil {
+			m, err := store.CostModel()
 			if err != nil {
 				return nil, stats, err
 			}
 			e.budgetModel = m
 		}
 	}
-	if c.Cache != nil {
+	if store != nil {
 		// Hashes are immutable per spec but the claim loop revisits
 		// pending cells every poll pass; precompute them once instead of
 		// re-running canonicalization + SHA-256 per cell per pass.
@@ -137,6 +145,19 @@ func (c *Campaign) Execute() (*SweepResult, ClaimStats, error) {
 		CacheHits:      stats.Hits,
 		Wall:           time.Since(start),
 	}, stats, nil
+}
+
+// resolveStore picks the campaign's store: Store when set, otherwise
+// the deprecated Cache field. The nil checks are per concrete field so
+// a typed-nil *Cache never leaks into the interface as "a store".
+func (c *Campaign) resolveStore() CellStore {
+	if c.Store != nil {
+		return c.Store
+	}
+	if c.Cache != nil {
+		return c.Cache
+	}
+	return nil
 }
 
 // expand resolves the campaign definition into run specs (defaults
@@ -204,9 +225,12 @@ func (s RunSpec) validate() error {
 // engine is one Execute call's mutable state, shared by the pool and
 // claim modes.
 type engine struct {
-	c       *Campaign
+	c *Campaign
+	// store is the resolved CellStore (nil for uncached campaigns) —
+	// the engine never touches c.Cache/c.Store directly.
+	store   CellStore
 	specs   []RunSpec
-	hashes  []string // nil when the campaign has no cache
+	hashes  []string // nil when the campaign has no store
 	results []RunResult
 	skipped []SkippedRun // budget skips, expansion-index order
 	// admitted counts the uncached cells the budget let through
@@ -271,8 +295,8 @@ func (e *engine) runner() func(RunSpec) (RunResult, *trace.Tracer, error) {
 // fails the campaign, because a silently unpersisted result is exactly
 // what the cache exists to prevent.
 func (e *engine) satisfy(idx int, run func(RunSpec) (RunResult, *trace.Tracer, error)) (RunResult, bool, error) {
-	if e.c.Cache != nil {
-		if rr, ok := e.c.Cache.load(e.specs[idx], e.hashes[idx]); ok {
+	if e.store != nil {
+		if rr, ok := e.store.LoadCell(e.specs[idx], e.hashes[idx]); ok {
 			return rr, true, nil
 		}
 	}
@@ -288,8 +312,8 @@ func (e *engine) satisfy(idx int, run func(RunSpec) (RunResult, *trace.Tracer, e
 			return RunResult{}, false, serr
 		}
 	}
-	if e.c.Cache != nil {
-		if err := e.c.Cache.Store(rr); err != nil {
+	if e.store != nil {
+		if err := e.store.StoreCell(rr); err != nil {
 			return RunResult{}, false, err
 		}
 	}
@@ -335,8 +359,8 @@ func (e *engine) pool() (ClaimStats, error) {
 
 	pending := make([]PlanCell, 0, len(e.specs))
 	for idx := range e.specs {
-		if e.c.Cache != nil {
-			if rr, ok := e.c.Cache.load(e.specs[idx], e.hashes[idx]); ok {
+		if e.store != nil {
+			if rr, ok := e.store.LoadCell(e.specs[idx], e.hashes[idx]); ok {
 				e.results[idx] = rr
 				stats.Hits++
 				e.emit(CellCached{Index: idx, Result: rr, Hash: e.hashes[idx], Warm: true})
@@ -420,7 +444,7 @@ const (
 
 type claimJob struct {
 	idx    int
-	lease  *Lease
+	lease  StoreLease
 	stopHB chan struct{}
 }
 
@@ -432,12 +456,12 @@ type claimDone struct {
 }
 
 // claim executes the campaign cooperatively with every other claimant of
-// the same cache directory and blocks until all of it is cached,
-// whoever computed it. Exactly-once simulation holds because a cell is
-// only run under a held lease, after a cache re-check inside that lease:
-// a peer that stored the cell before us turns our claim into a hit,
-// never a second simulation. The planner orders the scan, so a
-// CostPlanner-equipped claimant leases expensive cells first.
+// the same store and blocks until all of it is cached, whoever computed
+// it. Exactly-once simulation holds because a cell is only run under a
+// held lease, after a store re-check inside that lease: a peer that
+// stored the cell before us turns our claim into a hit, never a second
+// simulation. The planner orders the scan, so a CostPlanner-equipped
+// claimant leases expensive cells first.
 func (e *engine) claim() (ClaimStats, error) {
 	stats := ClaimStats{Runs: len(e.specs)}
 	co := e.c.Claim
@@ -465,16 +489,16 @@ func (e *engine) claim() (ClaimStats, error) {
 		owner = defaultOwner()
 	}
 
-	// Pre-scan the cache (expansion order, like pool mode): cells already
-	// settled on disk become hits immediately and the planner sees only
-	// the cells that may actually need running — the documented Planner
+	// Pre-scan the store (expansion order, like pool mode): cells already
+	// settled become hits immediately and the planner sees only the
+	// cells that may actually need running — the documented Planner
 	// contract. The scan loop below still re-checks the remainder every
 	// pass, because peers keep storing cells while we work.
 	state := make([]int, len(e.specs))
 	settled := 0
 	pending := make([]PlanCell, 0, len(e.specs))
 	for idx := range e.specs {
-		if rr, ok := e.c.Cache.load(e.specs[idx], e.hashes[idx]); ok {
+		if rr, ok := e.store.LoadCell(e.specs[idx], e.hashes[idx]); ok {
 			state[idx] = cellDone
 			e.results[idx] = rr
 			stats.Hits++
@@ -565,7 +589,7 @@ func (e *engine) claim() (ClaimStats, error) {
 			if state[idx] != cellPending {
 				continue
 			}
-			if rr, ok := e.c.Cache.load(e.specs[idx], e.hashes[idx]); ok {
+			if rr, ok := e.store.LoadCell(e.specs[idx], e.hashes[idx]); ok {
 				state[idx] = cellDone
 				remaining--
 				e.results[idx] = rr
@@ -577,7 +601,7 @@ func (e *engine) claim() (ClaimStats, error) {
 			if inflight >= workers {
 				continue // every local slot busy; keep scanning for hits
 			}
-			lease, reclaimed, err := e.c.Cache.TryLease(e.hashes[idx], owner, ttl)
+			lease, reclaimed, err := e.store.Claim(e.hashes[idx], owner, ttl)
 			if reclaimed {
 				stats.Reclaimed++
 				e.emit(LeaseReclaimed{Hash: e.hashes[idx], By: owner})
@@ -594,7 +618,7 @@ func (e *engine) claim() (ClaimStats, error) {
 			// Heartbeat from acquisition (not from run start), so a claim
 			// queued behind busy workers cannot be reclaimed as stale.
 			stopHB := make(chan struct{})
-			go func(l *Lease) {
+			go func(l StoreLease) {
 				ticker := time.NewTicker(heartbeat)
 				defer ticker.Stop()
 				for {

@@ -5,10 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
-	"path/filepath"
+	"sort"
 	"strconv"
-	"strings"
 )
 
 // CostModel estimates the wall-clock simulation cost of a RunSpec from
@@ -99,33 +97,37 @@ func (m *CostModel) Observations() int {
 	return n
 }
 
-// CostModel scans the cache directory and builds a model from every
-// readable cell that recorded its wall cost. Cells written before costs
-// existed (or corrupt ones) are skipped, never an error: the model is
-// best-effort by design, and a campaign with no usable costs simply
-// plans in expansion order.
-func (c *Cache) CostModel() (*CostModel, error) {
-	entries, err := os.ReadDir(c.dir)
+// CostModel implements CellStore: the model is folded from the
+// campaign manifest's recorded wall costs — no cell file is read.
+// Cells stored before costs existed carry WallSec 0, which Observe
+// ignores; the model stays best-effort by design, and a campaign with
+// no usable costs simply plans in expansion order.
+func (c *DirStore) CostModel() (*CostModel, error) {
+	snap, err := c.Snapshot()
 	if err != nil {
-		return nil, fmt.Errorf("exp: scanning cache for costs: %w", err)
+		return nil, err
 	}
+	return CostModelFromSnapshot(snap), nil
+}
+
+// CostModelFromSnapshot folds a manifest snapshot into a cost model,
+// in sorted-hash order: float accumulation is order-dependent in its
+// last ulp, and budget admission (a pure function of the model) must
+// not flicker with map iteration order. Shared by every CellStore
+// implementation that answers CostModel from Snapshot (the HTTP store
+// included).
+func CostModelFromSnapshot(snap StoreSnapshot) *CostModel {
+	hashes := make([]string, 0, len(snap.Cells))
+	for h := range snap.Cells {
+		hashes = append(hashes, h)
+	}
+	sort.Strings(hashes)
 	m := NewCostModel()
-	for _, ent := range entries {
-		name := ent.Name()
-		if !strings.HasSuffix(name, ".json") {
-			continue // leases, tombstones, temp files
-		}
-		data, err := os.ReadFile(filepath.Join(c.dir, name))
-		if err != nil {
-			continue
-		}
-		var e cacheEntry
-		if json.Unmarshal(data, &e) != nil || e.Format != CacheFormatVersion {
-			continue
-		}
+	for _, h := range hashes {
+		e := snap.Cells[h]
 		m.Observe(e.Spec, e.WallSec)
 	}
-	return m, nil
+	return m
 }
 
 // costCSVHeader is the stable column set of WriteCostCSV: one row per

@@ -7,65 +7,65 @@ import (
 	"repro/internal/journal"
 )
 
-// The campaign journal: every claimant of a cached campaign — an
+// The campaign journal: every claimant of a stored campaign — an
 // in-process sweep, a -claim worker, each member of a -procs fleet —
-// attaches a JournalRecorder that streams its event stream to
-// <cache>/journal/<owner>.jsonl. The journal directory lives inside the
-// cache directory because the cache is already the campaign's shared
-// substrate: whatever filesystem the claimants coordinate through also
-// carries their history, and a watcher that can see the cells can see
-// the timeline (rates, ETAs, per-claimant activity) with no extra
-// plumbing. See internal/journal for the record schema and crash
-// semantics.
+// attaches a JournalRecorder that streams its event stream into the
+// campaign store. For a DirStore that means append-only JSONL files at
+// <dir>/journal/<owner>.jsonl — the store is already the campaign's
+// shared substrate, so whatever filesystem the claimants coordinate
+// through also carries their history; for an HTTP store the records
+// travel to the ompss-sweepd coordinator, which journals them into its
+// backing directory, so a watcher that can see the cells can see the
+// timeline with no extra plumbing. See internal/journal for the record
+// schema and crash semantics.
 
-// JournalDirName is the journal subdirectory of a campaign cache.
+// JournalDirName is the journal subdirectory of a campaign store.
 const JournalDirName = "journal"
 
-// JournalDir is where this cache's claimants journal their events.
-func (c *Cache) JournalDir() string { return filepath.Join(c.dir, JournalDirName) }
+// JournalDir is where this store's claimants journal their events.
+func (c *DirStore) JournalDir() string { return filepath.Join(c.dir, JournalDirName) }
 
 // DefaultOwner is the host:pid owner tag used when a claimant does not
 // pick one — the same tag that names leases, claim stats and journal
 // files, so one claimant is one identity everywhere.
 func DefaultOwner() string { return defaultOwner() }
 
-// JournalRecorder is an Observer that persists campaign events to an
-// append-only journal. Event delivery is already serialized by the
-// engine; the recorder's own mutex only guards the lazy open and Err
-// against concurrent readers.
+// JournalRecorder is an Observer that persists campaign events through
+// its store's AppendJournal. Event delivery is already serialized by
+// the engine; the recorder's own mutex only guards Err against
+// concurrent readers.
 //
-// The journal file is opened lazily, on the first record worth keeping:
-// a fully warm render (every event a warm pre-scan hit) journals
-// nothing and creates no file, so repeated report-only invocations do
-// not accumulate phantom claimant files — the journal directory, like
-// each file in it, grows with campaign activity, not with invocations.
+// Nothing is written until the first record worth keeping: a fully
+// warm render (every event a warm pre-scan hit) journals nothing and
+// creates no file, so repeated report-only invocations do not
+// accumulate phantom claimant files — the journal, like each file in
+// it, grows with campaign activity, not with invocations.
 //
 // Journal failures do not abort the campaign — the journal is history,
 // not results, and a full disk under the journal must not kill a
-// half-day sweep whose cache stores still succeed. The first failure
-// (open or append) is retained (Err) for the caller to surface; after
-// an open failure the recorder goes quiet, after an append failure
-// subsequent appends are still attempted.
+// half-day sweep whose cell stores still succeed. The first failure is
+// retained (Err) for the caller to surface; subsequent records are
+// still offered to the store, which decides whether to keep trying
+// (DirStore goes quiet per owner after an open failure).
 type JournalRecorder struct {
-	dir   string
+	store CellStore
 	owner string
 
 	mu sync.Mutex
-	w  *journal.Writer // nil until the first recorded event
-	// err is the first open/append failure (nil while healthy).
+	// err is the first append failure (nil while healthy).
 	err error
 }
 
-// NewJournalRecorder returns a recording observer for the cache's
-// journal under the given owner ("" = DefaultOwner). No file is
-// created until the campaign produces history worth keeping. Callers
-// compose it with their other observers via MultiObserver and Close it
-// after the campaign.
-func NewJournalRecorder(c *Cache, owner string) *JournalRecorder {
+// NewJournalRecorder returns a recording observer over any CellStore
+// under the given owner ("" = DefaultOwner). Nothing is written until
+// the campaign produces history worth keeping. Callers compose it with
+// their other observers via MultiObserver and Close it after the
+// campaign.
+func NewJournalRecorder(s CellStore, owner string) *JournalRecorder {
 	if owner == "" {
 		owner = defaultOwner()
 	}
-	return &JournalRecorder{dir: c.JournalDir(), owner: owner}
+	return &JournalRecorder{store: s, owner: owner}
 }
 
 // OnEvent implements Observer: one journal record per campaign event.
@@ -79,11 +79,11 @@ func (j *JournalRecorder) OnEvent(ev Event) {
 			WallSec: ev.Result.Wall.Seconds()}
 	case CellCached:
 		if ev.Warm {
-			// A pre-scan hit is no new history — the cell file already
-			// proves completion — and journaling the warm set would grow
-			// the journal by the whole grid on every warm re-render.
-			// Cached records are kept for *late* hits only (a peer stored
-			// the cell while this campaign ran).
+			// A pre-scan hit is no new history — the cell already proves
+			// completion — and journaling the warm set would grow the
+			// journal by the whole grid on every warm re-render. Cached
+			// records are kept for *late* hits only (a peer stored the
+			// cell while this campaign ran).
 			return
 		}
 		rec = journal.Record{Type: journal.TypeCached, Index: ev.Index, Hash: ev.Hash}
@@ -102,26 +102,18 @@ func (j *JournalRecorder) OnEvent(ev Event) {
 	default:
 		return
 	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.w == nil {
-		if j.err != nil {
-			return // the journal never opened; stay quiet
-		}
-		w, err := journal.Open(j.dir, j.owner)
-		if err != nil {
+	rec.Owner = j.owner
+	if err := j.store.AppendJournal(j.owner, rec); err != nil {
+		j.mu.Lock()
+		if j.err == nil {
 			j.err = err
-			return
 		}
-		j.w = w
-	}
-	if err := j.w.Append(rec); err != nil && j.err == nil {
-		j.err = err
+		j.mu.Unlock()
 	}
 }
 
-// Err returns the first open or append failure, nil while every record
-// landed (or none was needed).
+// Err returns the first append failure, nil while every record landed
+// (or none was needed).
 func (j *JournalRecorder) Err() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -129,15 +121,20 @@ func (j *JournalRecorder) Err() error {
 }
 
 // Path returns the journal file this recorder appends to (which exists
-// only once something has been recorded).
-func (j *JournalRecorder) Path() string { return journal.FilePath(j.dir, j.owner) }
-
-// Close closes the underlying journal file, if one was ever opened.
-func (j *JournalRecorder) Close() error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.w == nil {
-		return nil
+// only once something has been recorded), or "" for stores whose
+// journal is not a local file (HTTP stores journal on the daemon).
+func (j *JournalRecorder) Path() string {
+	if ds, ok := j.store.(*DirStore); ok {
+		return journal.FilePath(ds.JournalDir(), j.owner)
 	}
-	return j.w.Close()
+	return ""
+}
+
+// Close releases this owner's journal resources in the store (for a
+// DirStore, the lazily opened file; a later append would reopen it).
+func (j *JournalRecorder) Close() error {
+	if ds, ok := j.store.(*DirStore); ok {
+		return ds.closeJournal(j.owner)
+	}
+	return nil
 }

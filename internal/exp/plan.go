@@ -91,16 +91,16 @@ func (p CostPlanner) Plan(pending []PlanCell) []PlanCell {
 
 // NewPlanner resolves a planner name (the ompss-sweep -plan flag):
 // "order" (or "") is the expansion-order default; "cost" loads a cost
-// model from the campaign cache (nil cache, or a cache with no recorded
+// model from the campaign store (nil store, or a store with no recorded
 // costs, degrades to expansion order).
-func NewPlanner(name string, cache *Cache) (Planner, error) {
+func NewPlanner(name string, store CellStore) (Planner, error) {
 	switch name {
 	case "", "order":
 		return OrderPlanner{}, nil
 	case "cost":
 		var model *CostModel
-		if cache != nil {
-			m, err := cache.CostModel()
+		if store != nil {
+			m, err := store.CostModel()
 			if err != nil {
 				return nil, err
 			}

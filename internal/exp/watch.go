@@ -191,15 +191,17 @@ func (j JournalStatus) OwnersLine() string {
 	return strings.Join(parts, ", ")
 }
 
-// Watcher polls one grid's progress over the cache directory. The grid
+// Watcher polls one grid's progress over a CellStore. The grid
 // expansion and the per-spec canonicalization + SHA-256 are paid once at
 // construction — a watcher polls for hours on paper-size campaigns, and
-// the hashes never change between polls. A Watcher is not safe for
-// concurrent use: it memoizes per-poll state (the uncached set, the
-// cost model) so a Status + JournalStatus poll pair stats each cell
-// once and only re-reads the cache's cost data when a new cell landed.
+// the hashes never change between polls. Progress comes from the
+// store's manifest snapshot, so an idle poll reads zero cell files
+// (for a DirStore, one stat of manifest.jsonl; for an HTTP store, one
+// rev-checked request). A Watcher is not safe for concurrent use: it
+// memoizes per-poll state (the uncached set, the cost model) so the
+// store's cost data is only re-folded when a new cell landed.
 type Watcher struct {
-	cache  *Cache
+	store  CellStore
 	specs  []RunSpec
 	hashes []string
 	// TTL, when set, is the lease staleness threshold used to flag
@@ -218,10 +220,6 @@ type Watcher struct {
 	scanned   bool
 	model     *CostModel
 	modelDone int
-	// tail incrementally reads the campaign journal: each JournalStatus
-	// poll reads only the bytes appended since the last one, instead of
-	// every claimant's full history every tick.
-	tail *journal.Tailer
 	// leaseObs tracks each lease's last distinct heartbeat mtime, so
 	// Status can age an unmoving heartbeat on the watcher's own clock
 	// across polls — immune to cross-host skew, because only local
@@ -236,8 +234,9 @@ type leaseObs struct {
 	seed   time.Duration // snapshot age it carried at that instant
 }
 
-// Watcher validates the grid and precomputes its spec hashes.
-func (c *Cache) Watcher(g Grid) (*Watcher, error) {
+// NewWatcher validates the grid and precomputes its spec hashes over
+// any CellStore.
+func NewWatcher(s CellStore, g Grid) (*Watcher, error) {
 	g.fillDefaults()
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -248,26 +247,34 @@ func (c *Cache) Watcher(g Grid) (*Watcher, error) {
 		specs[i].fillDefaults()
 		hashes[i] = specs[i].Hash()
 	}
-	return &Watcher{cache: c, specs: specs, hashes: hashes}, nil
+	return &Watcher{store: s, specs: specs, hashes: hashes}, nil
 }
 
-// Status snapshots the campaign: which runs are settled on disk and
-// which leases are outstanding. Done counts cell files by existence
-// (not full validation — this is observability, not resolution; a
-// corrupt cell will be caught and re-simulated by whichever claimant
-// next touches it).
+// Watcher is the DirStore convenience form of NewWatcher.
+func (c *DirStore) Watcher(g Grid) (*Watcher, error) { return NewWatcher(c, g) }
+
+// Status snapshots the campaign: which runs are settled in the store
+// and which leases are outstanding. Done counts cells by manifest
+// membership (not full validation — this is observability, not
+// resolution; a corrupt cell will be caught and re-simulated by
+// whichever claimant next touches it), so a poll is grid-size map
+// lookups against the store snapshot, no cell I/O.
 func (w *Watcher) Status() (CampaignStatus, error) {
 	st := CampaignStatus{Runs: len(w.hashes), TTL: w.TTL}
+	snap, err := w.store.Snapshot()
+	if err != nil {
+		return CampaignStatus{}, err
+	}
 	w.uncached = w.uncached[:0]
 	for i, h := range w.hashes {
-		if _, err := os.Stat(w.cache.path(h)); err == nil {
+		if _, ok := snap.Cells[h]; ok {
 			st.Done++
 		} else {
 			w.uncached = append(w.uncached, i)
 		}
 	}
 	w.scanned = true
-	leases, err := w.cache.LeaseStatuses()
+	leases, err := w.store.LeaseStatuses()
 	if err != nil {
 		return CampaignStatus{}, err
 	}
@@ -311,23 +318,18 @@ func (w *Watcher) Status() (CampaignStatus, error) {
 }
 
 // JournalStatus reads the campaign journal and projects rates and an
-// ETA for the runs the grid still misses. A cache without a journal
+// ETA for the runs the grid still misses. A store without a journal
 // (pre-journal campaigns, or a grid that never ran) returns nil with no
 // error — the watcher simply has no history to show. The journal is
-// tailed, not re-read: the watcher keeps a byte offset per claimant
-// file, so a poll reads only what was appended since the previous one —
-// zero bytes when nothing happened — instead of every claimant's full
-// history every tick. The uncached set comes from the preceding Status
-// scan (re-scanned here only if Status was never called), and the cost
-// model — a read of every cell file — is rebuilt only when a new cell
-// has landed since it was last built: estimates change exactly when
-// cells do, and hour-long watches over shared filesystems should not
-// re-read a whole cache per poll.
+// tailed by the store, not re-read: a poll reads only what was appended
+// since the previous one — zero bytes when nothing happened — instead
+// of every claimant's full history every tick. The uncached set comes
+// from the preceding Status scan (re-scanned here only if Status was
+// never called), and the cost model is re-folded from the store's
+// manifest only when a new cell has landed since it was last built:
+// estimates change exactly when cells do.
 func (w *Watcher) JournalStatus() (*JournalStatus, error) {
-	if w.tail == nil {
-		w.tail = journal.NewTailer(filepath.Join(w.cache.Dir(), JournalDirName))
-	}
-	recs, stats, err := w.tail.Poll()
+	recs, stats, err := w.store.PollJournal()
 	if err != nil {
 		return nil, err
 	}
@@ -366,7 +368,7 @@ func (w *Watcher) JournalStatus() (*JournalStatus, error) {
 	}
 	done := len(w.hashes) - len(w.uncached)
 	if w.model == nil || done != w.modelDone {
-		model, err := w.cache.CostModel()
+		model, err := w.store.CostModel()
 		if err != nil {
 			return nil, err
 		}
@@ -393,9 +395,9 @@ func (w *Watcher) JournalStatus() (*JournalStatus, error) {
 	return js, nil
 }
 
-// Status is the one-shot convenience form of Watcher + Status.
-func (c *Cache) Status(g Grid) (CampaignStatus, error) {
-	w, err := c.Watcher(g)
+// Status is the one-shot convenience form of NewWatcher + Status.
+func (c *DirStore) Status(g Grid) (CampaignStatus, error) {
+	w, err := NewWatcher(c, g)
 	if err != nil {
 		return CampaignStatus{}, err
 	}

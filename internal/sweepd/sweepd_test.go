@@ -1,0 +1,230 @@
+package sweepd
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/exp/storetest"
+	"repro/ompss"
+)
+
+// startDaemon wires the full stack under test: a DirStore, a Server
+// over it, an httptest listener, and an HTTPStore client dialed at it.
+func startDaemon(t *testing.T, janitorEvery time.Duration) (*exp.DirStore, *Server, *httptest.Server, *HTTPStore) {
+	t.Helper()
+	ds, err := exp.OpenDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(ds, janitorEvery)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		ds.Close()
+	})
+	client, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return ds, srv, ts, client
+}
+
+// TestHTTPStoreConformance runs the exact battery DirStore passes
+// against the whole relay stack — client, wire format, server, backing
+// store. The janitor is parked so lease-timing subtests measure the
+// claim protocol, not server-side expiry.
+func TestHTTPStoreConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) storetest.Env {
+		ds, _, _, client := startDaemon(t, time.Hour)
+		return storetest.Env{
+			Store:      client,
+			CellReads:  ds.CellReads, // the daemon's reads are the ones that count
+			JournalDir: ds.JournalDir(),
+		}
+	})
+}
+
+// TestOpenStoreHTTPScheme proves the init() registration: a plain
+// exp.OpenStore of an http URL reaches the daemon.
+func TestOpenStoreHTTPScheme(t *testing.T) {
+	_, _, ts, _ := startDaemon(t, time.Hour)
+	s, err := exp.OpenStore(ts.URL)
+	if err != nil {
+		t.Fatalf("OpenStore(%s): %v", ts.URL, err)
+	}
+	defer s.Close()
+	if _, ok := s.(*HTTPStore); !ok {
+		t.Fatalf("OpenStore(http URL) = %T, want *HTTPStore", s)
+	}
+	if _, err := s.Snapshot(); err != nil {
+		t.Fatalf("Snapshot over OpenStore'd client: %v", err)
+	}
+}
+
+// TestJanitorExpiresAbandonedLease covers the server-side half of crash
+// recovery: a remote claimant that stops heartbeating loses its token
+// table entry and its lease file, so the cell is claimable again even
+// before any rival shows up to break the lease itself.
+func TestJanitorExpiresAbandonedLease(t *testing.T) {
+	ds, srv, _, client := startDaemon(t, 20*time.Millisecond)
+	hash := exp.RunSpec{App: "matmul-hyb", Scheduler: "bf", SMPWorkers: 2, GPUs: 1, Seed: 1}.Hash()
+	lease, _, err := client.Claim(hash, "ghost", 100*time.Millisecond)
+	if err != nil || lease == nil {
+		t.Fatalf("Claim: lease=%v err=%v", lease, err)
+	}
+	// No refresh: the janitor must release the underlying lease.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		leases, err := ds.LeaseStatuses()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(leases) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("janitor never released the abandoned lease")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	srv.lmu.Lock()
+	held := len(srv.leases)
+	srv.lmu.Unlock()
+	if held != 0 {
+		t.Errorf("janitor left %d token entries behind", held)
+	}
+	// The ghost's late heartbeat finds its token gone.
+	if err := lease.Refresh(); err == nil {
+		t.Error("Refresh after janitor expiry succeeded, want an error")
+	}
+	// And the cell is claimable again, cleanly (the lease file is gone,
+	// so this is a fresh grant, not a stale reclaim).
+	l2, _, err := client.Claim(hash, "next", time.Minute)
+	if err != nil || l2 == nil {
+		t.Fatalf("Claim after expiry: lease=%v err=%v", l2, err)
+	}
+	l2.Release()
+}
+
+// TestWatchStream drives the SSE endpoint: the stream opens with the
+// current state and emits a new status event when a cell lands, and an
+// idle stream costs the backing store zero cell reads.
+func TestWatchStream(t *testing.T) {
+	ds, srv, ts, client := startDaemon(t, time.Hour)
+	srv.WatchTick = 20 * time.Millisecond
+
+	resp, err := http.Get(ts.URL + "/v1/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+
+	events := make(chan watchEvent, 16)
+	go func() {
+		defer close(events)
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var ev watchEvent
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				continue
+			}
+			events <- ev
+		}
+	}()
+	next := func(what string) watchEvent {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatalf("stream closed waiting for %s", what)
+			}
+			return ev
+		case <-time.After(10 * time.Second):
+			t.Fatalf("no SSE event within 10s waiting for %s", what)
+		}
+		panic("unreachable")
+	}
+
+	first := next("the opening event")
+	if first.Cells != 0 {
+		t.Fatalf("opening event reports %d cells, want 0", first.Cells)
+	}
+
+	// An idle stream must not scan cells while it waits.
+	before := ds.CellReads()
+	time.Sleep(5 * srv.WatchTick)
+	if after := ds.CellReads(); after != before {
+		t.Errorf("idle watch stream read %d cell files, want 0", after-before)
+	}
+
+	// A cell stored through the API surfaces as a status event.
+	sp := exp.RunSpec{App: "matmul-hyb", Scheduler: "bf", SMPWorkers: 2, GPUs: 1, Seed: 7}
+	rr := exp.RunResult{Spec: sp, Result: ompss.Result{Scheduler: "bf", SMPWorkers: 2, GPUs: 1, Tasks: 1}}
+	if err := client.StoreCell(rr); err != nil {
+		t.Fatalf("StoreCell: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ev := next("the cells=1 event")
+		if ev.Cells == 1 {
+			if ev.Rev <= first.Rev {
+				t.Errorf("event rev did not advance: %d -> %d", first.Rev, ev.Rev)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never saw the stored cell on the stream")
+		}
+	}
+}
+
+// TestCellHashValidation: the server must reject both malformed hashes
+// (they feed filename arithmetic) and spec/hash mismatches (they would
+// poison a cell for every claimant of that spec).
+func TestCellHashValidation(t *testing.T) {
+	_, _, ts, client := startDaemon(t, time.Hour)
+
+	resp, err := http.Get(ts.URL + "/v1/cells/not-a-hash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("GET malformed hash: status %d, want 400", resp.StatusCode)
+	}
+
+	sp := exp.RunSpec{App: "matmul-hyb", Scheduler: "bf", SMPWorkers: 2, GPUs: 1, Seed: 1}
+	other := sp
+	other.Seed = 2
+	body, _ := json.Marshal(exp.CellData{Spec: sp})
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/cells/"+other.Hash(), strings.NewReader(string(body)))
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("PUT mismatched spec: status %d, want 400", resp2.StatusCode)
+	}
+	// Nothing was stored under either hash.
+	if _, ok := client.LoadCell(sp, sp.Hash()); ok {
+		t.Error("mismatched PUT stored a cell under the spec hash")
+	}
+	if _, ok := client.LoadCell(other, other.Hash()); ok {
+		t.Error("mismatched PUT stored a cell under the path hash")
+	}
+}
