@@ -50,6 +50,18 @@
 // the claimants journaled — live rates per claimant and a cost-model
 // ETA over the uncached rest.
 //
+// After the campaign, `-replay URL` dissects it from the journals
+// alone: per-claimant busy timelines, lease contention, reclaim
+// storms, the wall-cost histogram, and an exactly-once audit — all
+// deterministic, so two invocations render byte-identical text, CSV
+// (-csv) and JSON (-json). -what-if-plan/-what-if-procs/-budget
+// re-plan the recorded campaign with its journaled wall costs and
+// report the projected makespan delta without running a single
+// simulation. Long campaigns bound their journal with -journal-rotate
+// (claimants spill closed segments at the byte threshold) and
+// -compact-journal (folds closed segments into a checkpoint); both
+// leave every journal reader's output unchanged.
+//
 // Usage:
 //
 //	ompss-sweep                              # default 96-run campaign
@@ -67,6 +79,10 @@
 //	ompss-sweep -store http://coord:8427 -claim  # join a fleet over the network
 //	ompss-sweep -watch /shared/c             # tail a campaign from anywhere
 //	ompss-sweep -watch http://coord:8427     # same, via the coordinator
+//	ompss-sweep -replay /shared/c            # post-mortem forensics timeline
+//	ompss-sweep -replay /shared/c -what-if-plan cost -what-if-procs 8
+//	ompss-sweep -cache /shared/c -procs 4 -journal-rotate 1048576  # bounded journal
+//	ompss-sweep -cache /shared/c -compact-journal  # fold closed segments
 //	ompss-sweep -cost-csv costs.csv -cache .sweep-cache  # per-run wall costs
 //	ompss-sweep -list-apps                   # registered applications
 package main
@@ -116,6 +132,11 @@ func main() {
 		leaseTTL    = flag.Duration("lease-ttl", exp.DefaultLeaseTTL, "claim-mode lease staleness threshold (crashed workers' cells are reclaimed after this)")
 		watchDir    = flag.String("watch", "", "tail this campaign store — a directory, dir:// URL or http:// coordinator — (cells done, leases outstanding) instead of sweeping; uses the grid flags for the total")
 		watchEvery  = flag.Duration("watch-interval", time.Second, "poll interval for -watch")
+		replayDir   = flag.String("replay", "", "render this campaign store's forensics timeline from its journals (per-claimant Gantt, contention, reclaim storms, cost histogram, exactly-once audit) and exit; -csv/-json write the per-cell table / full report")
+		whatIfPlan  = flag.String("what-if-plan", "", "with -replay: re-plan the recorded campaign under this planner (order or cost) using journaled wall costs and report the projected wall-time delta — zero simulations")
+		whatIfProcs = flag.Int("what-if-procs", 0, "with -replay: what-if claimant count (0 = the recorded claimant count); -budget replays the admission rule too")
+		rotateBytes = flag.Int64("journal-rotate", 0, "rotate this process's campaign journal file once it would exceed `bytes` (0 = never; dir stores only — http claimants journal at the coordinator, see ompss-sweepd -journal-rotate)")
+		compactJrnl = flag.Bool("compact-journal", false, "fold the store's closed journal segments into a checkpoint (see internal/journal) and exit; requires -store or -cache")
 		csvPath     = flag.String("csv", "", "write per-cell CSV to this file (- for stdout)")
 		jsonPath    = flag.String("json", "", "write per-cell JSON to this file (- for stdout)")
 		costCSV     = flag.String("cost-csv", "", "write per-run wall-clock cost CSV to this file (- for stdout; execution facts, not deterministic)")
@@ -161,6 +182,9 @@ func main() {
 		if *claim || *procs > 1 {
 			fatal(fmt.Errorf("-watch is an observer, not a worker: drop -claim/-procs"))
 		}
+		if *replayDir != "" {
+			fatal(fmt.Errorf("-watch tails a live campaign, -replay dissects a finished one; pass one"))
+		}
 		if *watchEvery < 100*time.Millisecond {
 			// The watch directory is typically a shared filesystem; a
 			// zero/negative interval would busy-loop ReadDir+Stat against
@@ -168,6 +192,21 @@ func main() {
 			fatal(fmt.Errorf("-watch-interval %v is below the 100ms minimum", *watchEvery))
 		}
 		watch(*watchDir, grid, *watchEvery, *leaseTTL)
+		return
+	}
+
+	if *replayDir != "" {
+		if *claim || *procs > 1 {
+			fatal(fmt.Errorf("-replay is a reader, not a worker: drop -claim/-procs"))
+		}
+		replay(*replayDir, replayOptions{
+			csvPath:   *csvPath,
+			jsonPath:  *jsonPath,
+			plan:      *whatIfPlan,
+			workers:   *whatIfProcs,
+			budget:    *budgetFlag,
+			noSummary: *noSummary,
+		})
 		return
 	}
 
@@ -187,6 +226,35 @@ func main() {
 			fatal(err)
 		}
 		defer store.Close()
+	}
+	if *rotateBytes != 0 {
+		if *rotateBytes < 0 {
+			fatal(fmt.Errorf("-journal-rotate must be non-negative, got %d", *rotateBytes))
+		}
+		if store == nil {
+			fatal(fmt.Errorf("-journal-rotate requires -store (or -cache): the journal lives in the store"))
+		}
+		// Only dir stores rotate locally; an http claimant's journal is
+		// written (and rotated) by the coordinator, which has its own
+		// -journal-rotate flag. The flag is still forwarded to -procs
+		// workers, so every fleet member rotates at the same threshold.
+		if ds, ok := store.(*exp.DirStore); ok {
+			ds.SetJournalRotateBytes(*rotateBytes)
+		}
+	}
+	if *compactJrnl {
+		if store == nil {
+			fatal(fmt.Errorf("-compact-journal requires -store (or -cache): the journal lives in the store"))
+		}
+		if *claim || *procs > 1 {
+			fatal(fmt.Errorf("-compact-journal is a maintenance action, not a worker mode: drop -claim/-procs"))
+		}
+		stats, err := store.CompactJournal()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ompss-sweep: journal compacted: %v store=%s\n", stats, store.Description())
+		return
 	}
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
@@ -521,6 +589,86 @@ func watch(target string, grid exp.Grid, interval, ttl time.Duration) {
 	}
 }
 
+// replayOptions carries the -replay mode's rendering and what-if
+// knobs (the -csv/-json flags are reused for the forensics outputs).
+type replayOptions struct {
+	csvPath, jsonPath string
+	plan              string
+	workers           int
+	budget            time.Duration
+	noSummary         bool
+}
+
+// replay renders a campaign's forensics report from its journals alone
+// — no cell reads, no clock reads, no simulation — so the same store
+// produces byte-identical output on every invocation, from any host.
+// With what-if options it also re-plans the recorded campaign under a
+// different planner/worker-count/budget, priced with the journaled
+// wall costs.
+func replay(target string, opt replayOptions) {
+	if !strings.Contains(target, "://") {
+		// A bare path names a directory; like -watch, a forensics read
+		// must not create (and then happily dissect) an empty store.
+		if _, err := os.Stat(target); err != nil {
+			fatal(fmt.Errorf("-replay %s: %w", target, err))
+		}
+	}
+	store, err := exp.OpenStore(target)
+	if err != nil {
+		fatal(err)
+	}
+	defer store.Close()
+	recs, stats, err := store.PollJournal()
+	if err != nil {
+		fatal(err)
+	}
+	if stats.Files == 0 {
+		fatal(fmt.Errorf("-replay %s: no campaign journal to replay (only store-backed campaigns journal)", target))
+	}
+	rep := exp.NewReplayReport(store.Description(), recs, stats)
+	if opt.plan != "" || opt.workers > 0 || opt.budget > 0 {
+		wi, err := exp.ComputeWhatIf(rep.Timeline, exp.WhatIfOptions{
+			Plan: opt.plan, Workers: opt.workers, Budget: opt.budget,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		rep.WhatIf = wi
+	}
+	if opt.csvPath != "" {
+		if err := writeReport(opt.csvPath, rep.WriteCSV); err != nil {
+			fatal(err)
+		}
+	}
+	if opt.jsonPath != "" {
+		if err := writeReport(opt.jsonPath, rep.WriteJSON); err != nil {
+			fatal(err)
+		}
+	}
+	if !opt.noSummary {
+		if err := rep.WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeReport is writeTo for the forensics writers (which close over
+// their report instead of taking a *SweepResult).
+func writeReport(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // claimWorkerArgs reproduces the coordinator's grid-defining flags for a
 // worker process, forcing claim mode and muting per-worker rendering
 // (the coordinator renders once, from the merged cache). Every flag is
@@ -533,6 +681,10 @@ func claimWorkerArgs(fl *flag.FlagSet) []string {
 		"procs": true, "claim": true, "csv": true, "json": true,
 		"cost-csv": true, "cost-json": true,
 		"watch": true, "watch-interval": true,
+		"replay": true, "what-if-plan": true, "what-if-procs": true,
+		"compact-journal": true,
+		// -journal-rotate is deliberately forwarded: every fleet member
+		// rotates its own journal file at the coordinator's threshold.
 		"quiet": true, "no-summary": true, "list-apps": true,
 	}
 	args := []string{"-claim", "-quiet", "-no-summary"}

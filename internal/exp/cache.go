@@ -70,6 +70,9 @@ type DirStore struct {
 	journals map[string]*journal.Writer
 	jerrs    map[string]error
 	tail     *journal.Tailer
+	// jrotate is the journal rotation threshold handed to lazily opened
+	// writers (0 = unbounded files; see SetJournalRotateBytes).
+	jrotate int64
 }
 
 // Cache is the historical name of DirStore, kept as an alias so every
@@ -292,7 +295,7 @@ func (c *DirStore) AppendJournal(owner string, rec journal.Record) error {
 	w := c.journals[owner]
 	if w == nil {
 		var err error
-		w, err = journal.Open(c.JournalDir(), owner)
+		w, err = journal.OpenRotating(c.JournalDir(), owner, c.jrotate)
 		if err != nil {
 			c.jerrs[owner] = err
 			return err
@@ -300,6 +303,28 @@ func (c *DirStore) AppendJournal(owner string, rec journal.Record) error {
 		c.journals[owner] = w
 	}
 	return w.Append(rec)
+}
+
+// SetJournalRotateBytes bounds the journal files this store's writers
+// append: once an active file would exceed n bytes it is rotated aside
+// as a closed segment (see journal.OpenRotating). Only writers opened
+// after the call are affected, so set it before the campaign starts;
+// n <= 0 (the default) never rotates. Readers need no configuration
+// either way.
+func (c *DirStore) SetJournalRotateBytes(n int64) {
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	c.jrotate = n
+}
+
+// CompactJournal implements CellStore: it folds this store's closed
+// journal segments (rotation spill-over) and any prior checkpoint into
+// a fresh checkpoint file and deletes them. Safe while claimants
+// append and rotate; run one compactor at a time per directory.
+func (c *DirStore) CompactJournal() (journal.CompactStats, error) {
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	return journal.Compact(c.JournalDir())
 }
 
 // closeJournal closes and forgets one owner's journal writer (the

@@ -32,6 +32,7 @@ const (
 	stragglerPlanEnv   = "EXP_STRAGGLER_TEST_PLAN"
 	journalWorkerEnv   = "EXP_JOURNAL_TEST_WORKER_DIR"
 	journalOwnerEnv    = "EXP_JOURNAL_TEST_OWNER"
+	journalRotateEnv   = "EXP_JOURNAL_TEST_ROTATE"
 )
 
 // TestMain re-execs the test binary as a claim worker when a subprocess
@@ -86,6 +87,17 @@ func journalWorkerMain(dir, owner string) int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
+	}
+	if v := os.Getenv(journalRotateEnv); v != "" {
+		// The rotation crash battery runs the worker with a tiny
+		// threshold so a SIGKILL reliably lands with rotated segments
+		// (and possibly a rotation) in flight.
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		cache.SetJournalRotateBytes(n)
 	}
 	rec := NewJournalRecorder(cache, owner)
 	defer rec.Close()

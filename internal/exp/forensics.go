@@ -1,0 +1,642 @@
+package exp
+
+// Post-mortem campaign forensics, rendered from journals alone. Where
+// -watch answers "where is the campaign now", -replay answers "what
+// happened": per-claimant busy timelines, which cells were fought
+// over, when reclaims clustered, how the wall costs distributed, and
+// whether exactly-once held. Everything here is a pure fold over the
+// journal records — no store reads, no clock reads, no simulation —
+// so the same journal renders the same report byte for byte, forever.
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/journal"
+)
+
+// ReplayReport is a finished (or abandoned) campaign's history,
+// derived from the merged journal. Build it with NewReplayReport;
+// render it with WriteText, WriteCSV or WriteJSON.
+type ReplayReport struct {
+	// Store describes where the journal came from (a store
+	// description; "" is fine).
+	Store string
+	// Stats is the journal read accounting the records arrived with.
+	Stats journal.ReadStats
+	// Timeline is the replayed history every section below derives
+	// from.
+	Timeline *journal.Timeline
+	// Contended lists every cell more than one lease event touched,
+	// by expansion index.
+	Contended []Contention
+	// Reclaims lists every reclaim event in time order. Reclaims that
+	// were compacted away survive only as counters (Timeline.Owners,
+	// Cell.Reclaimed), not as events here.
+	Reclaims []ReclaimEvent
+	// WhatIf is the optional re-planning projection (nil = not asked
+	// for); see ComputeWhatIf.
+	WhatIf *WhatIf
+}
+
+// Contention is one cell that saw more than one lease event: claimed
+// more than once, or reclaimed at all. On a healthy uncontended
+// campaign this list is empty.
+type Contention struct {
+	Hash   string `json:"hash"`
+	Index  int    `json:"index"`
+	Claims int    `json:"claims"`
+	// Reclaims counts stale-lease breaks on this cell.
+	Reclaims int `json:"reclaims"`
+	// Owners are the distinct claimants whose lease events named the
+	// cell, sorted.
+	Owners []string `json:"owners,omitempty"`
+	// FirstT and LastT bound the cell's lease events in time (Unix
+	// seconds; both 0 when the events were compacted away and only
+	// the counters survive).
+	FirstT float64 `json:"first_t,omitempty"`
+	LastT  float64 `json:"last_t,omitempty"`
+}
+
+// ReclaimEvent is one stale-lease break as journaled.
+type ReclaimEvent struct {
+	// T is the reclaim time (Unix seconds).
+	T float64 `json:"t"`
+	// By is the owner that broke the lease; Hash names the cell.
+	By   string `json:"by"`
+	Hash string `json:"hash,omitempty"`
+}
+
+// NewReplayReport folds time-ordered journal records (as returned by
+// ReadDir / PollJournal) into a forensics report. The records are
+// consumed during construction; the report holds only derived state.
+func NewReplayReport(store string, recs []journal.Record, stats journal.ReadStats) *ReplayReport {
+	r := &ReplayReport{
+		Store:    store,
+		Stats:    stats,
+		Timeline: journal.Replay(recs),
+	}
+	// Lease-event windows and reclaim events come from the raw
+	// records; the per-cell counters they decorate come from the
+	// timeline, so contention detected before a compaction is still
+	// listed after it (window-less) rather than vanishing.
+	type window struct {
+		first, last float64
+		owners      map[string]bool
+	}
+	windows := make(map[string]*window)
+	touch := func(hash, owner string, t float64) {
+		w := windows[hash]
+		if w == nil {
+			w = &window{first: t, last: t, owners: make(map[string]bool)}
+			windows[hash] = w
+		}
+		if t < w.first {
+			w.first = t
+		}
+		if t > w.last {
+			w.last = t
+		}
+		if owner != "" {
+			w.owners[owner] = true
+		}
+	}
+	for _, rec := range recs {
+		switch rec.Type {
+		case journal.TypeClaimed:
+			touch(rec.Hash, rec.Owner, rec.T)
+		case journal.TypeReclaimed:
+			by := rec.By
+			if by == "" {
+				by = rec.Owner
+			}
+			touch(rec.Hash, by, rec.T)
+			r.Reclaims = append(r.Reclaims, ReclaimEvent{T: rec.T, By: by, Hash: rec.Hash})
+		}
+	}
+	sort.SliceStable(r.Reclaims, func(i, j int) bool {
+		if r.Reclaims[i].T != r.Reclaims[j].T {
+			return r.Reclaims[i].T < r.Reclaims[j].T
+		}
+		if r.Reclaims[i].By != r.Reclaims[j].By {
+			return r.Reclaims[i].By < r.Reclaims[j].By
+		}
+		return r.Reclaims[i].Hash < r.Reclaims[j].Hash
+	})
+	for _, c := range r.Timeline.CellsByIndex() {
+		if c.Claimed <= 1 && c.Reclaimed == 0 {
+			continue
+		}
+		ct := Contention{Hash: c.Hash, Index: c.Index, Claims: c.Claimed, Reclaims: c.Reclaimed}
+		if w := windows[c.Hash]; w != nil {
+			ct.FirstT, ct.LastT = w.first, w.last
+			for o := range w.owners {
+				ct.Owners = append(ct.Owners, o)
+			}
+			sort.Strings(ct.Owners)
+		}
+		r.Contended = append(r.Contended, ct)
+	}
+	return r
+}
+
+// ganttWidth is the character width of the per-claimant timeline
+// bars.
+const ganttWidth = 60
+
+// offset renders a Unix-seconds instant as a +offset from the
+// timeline's first record, the only time base a deterministic report
+// can print.
+func (r *ReplayReport) offset(t float64) string {
+	return fmt.Sprintf("+%.3fs", t-r.Timeline.First)
+}
+
+// histogramLabel names CostHistogram bucket i, e.g. "<10ms" or
+// ">=10s".
+func histogramLabel(i int) string {
+	bounds := journal.HistogramBounds
+	if i < len(bounds) {
+		return "<" + time.Duration(bounds[i]*float64(time.Second)).String()
+	}
+	return ">=" + time.Duration(bounds[len(bounds)-1]*float64(time.Second)).String()
+}
+
+// ganttRow renders one claimant's busy/idle bar: '#' where a cell
+// attributed to the owner was being simulated (its started→done
+// window), '.' where the owner's journal was open but idle, ' '
+// outside the owner's activity. Cells done before any start record
+// (or with compacted-away starts) mark a single column.
+func (r *ReplayReport) ganttRow(owner string) string {
+	tl := r.Timeline
+	span := tl.Span()
+	col := func(t float64) int {
+		if span <= 0 {
+			return 0
+		}
+		c := int((t - tl.First) / span * ganttWidth)
+		if c < 0 {
+			c = 0
+		}
+		if c >= ganttWidth {
+			c = ganttWidth - 1
+		}
+		return c
+	}
+	row := make([]byte, ganttWidth)
+	for i := range row {
+		row[i] = ' '
+	}
+	o := tl.Owners[owner]
+	if o != nil && o.Last >= o.First && o.First != 0 {
+		for i := col(o.First); i <= col(o.Last); i++ {
+			row[i] = '.'
+		}
+	}
+	for _, c := range tl.Cells {
+		if c.DoneOwner != owner || c.DoneT == 0 {
+			continue
+		}
+		start := c.Started
+		if start == 0 || start > c.DoneT {
+			start = c.DoneT
+		}
+		for i := col(start); i <= col(c.DoneT); i++ {
+			row[i] = '#'
+		}
+	}
+	return string(row)
+}
+
+// reclaimStorms buckets the reclaim events over the campaign span and
+// returns the bucket counts plus the peak bucket's index (-1 when
+// there were no reclaim events).
+func (r *ReplayReport) reclaimStorms(buckets int) ([]int, int) {
+	counts := make([]int, buckets)
+	tl := r.Timeline
+	span := tl.Span()
+	peak := -1
+	for _, ev := range r.Reclaims {
+		i := 0
+		if span > 0 {
+			i = int((ev.T - tl.First) / span * float64(buckets))
+			if i < 0 {
+				i = 0
+			}
+			if i >= buckets {
+				i = buckets - 1
+			}
+		}
+		counts[i]++
+		if peak < 0 || counts[i] > counts[peak] {
+			peak = i
+		}
+	}
+	return counts, peak
+}
+
+// WriteText renders the full forensics report as the -replay terminal
+// output.
+func (r *ReplayReport) WriteText(w io.Writer) error {
+	tl := r.Timeline
+	var b strings.Builder
+	fmt.Fprintf(&b, "replay: store=%s records=%d", r.Store, r.Stats.Records)
+	if tl.Compacted > 0 {
+		fmt.Fprintf(&b, " compacted=%d", tl.Compacted)
+	}
+	if skipped := r.Stats.Skipped(); skipped > 0 {
+		fmt.Fprintf(&b, " skipped_lines=%d", skipped)
+	}
+	fmt.Fprintf(&b, " span=%.3fs\n", tl.Span())
+	fmt.Fprintf(&b, "cells: %d done, %d cached-only, %d skipped-only, %d double-done; cost=%.3fs\n",
+		tl.Done, tl.CachedOnly, tl.SkippedOnly, tl.DoubleDone, tl.CostSec)
+
+	// Per-claimant Gantt: the fleet's shape at a glance — who worked
+	// when, who idled, who died early.
+	names := tl.OwnerNames()
+	fmt.Fprintf(&b, "\ntimeline: %d claimants over %.3fs ('#' simulating, '.' idle)\n", len(names), tl.Span())
+	pad := 0
+	for _, n := range names {
+		if len(n) > pad {
+			pad = len(n)
+		}
+	}
+	for _, n := range names {
+		o := tl.Owners[n]
+		fmt.Fprintf(&b, "  %-*s |%s| done=%d cost=%.3fs", pad, n, r.ganttRow(n), o.Done, o.CostSec)
+		if o.Opens > 1 {
+			fmt.Fprintf(&b, " opens=%d", o.Opens)
+		}
+		b.WriteByte('\n')
+	}
+
+	// Contention: cells that more than one lease event touched.
+	if len(r.Contended) == 0 {
+		fmt.Fprintf(&b, "\ncontention: none\n")
+	} else {
+		fmt.Fprintf(&b, "\ncontention: %d cells\n", len(r.Contended))
+		for _, c := range r.Contended {
+			fmt.Fprintf(&b, "  cell %d %.12s claims=%d reclaims=%d", c.Index, c.Hash, c.Claims, c.Reclaims)
+			if len(c.Owners) > 0 {
+				fmt.Fprintf(&b, " owners=%s", strings.Join(c.Owners, ","))
+			}
+			if c.LastT != 0 {
+				fmt.Fprintf(&b, " window=[%s,%s]", r.offset(c.FirstT), r.offset(c.LastT))
+			}
+			b.WriteByte('\n')
+		}
+	}
+
+	// Reclaim storms: reclaims bucketed over the span, so a burst
+	// (one dead host shedding its whole share at the TTL) stands out
+	// from background noise.
+	if len(r.Reclaims) == 0 {
+		fmt.Fprintf(&b, "reclaims: none\n")
+	} else {
+		const buckets = 12
+		counts, peak := r.reclaimStorms(buckets)
+		fmt.Fprintf(&b, "reclaims: %d total, peak %d in one %.3fs bucket at %s\n",
+			len(r.Reclaims), counts[peak], tl.Span()/buckets,
+			r.offset(tl.First+tl.Span()*float64(peak)/buckets))
+		for _, ev := range r.Reclaims {
+			fmt.Fprintf(&b, "  %s by=%s cell=%.12s\n", r.offset(ev.T), ev.By, ev.Hash)
+		}
+	}
+
+	// Wall-cost histogram over the simulated cells.
+	fmt.Fprintf(&b, "cost histogram (%d simulated cells):\n", tl.Done)
+	for i, n := range tl.CostHistogram() {
+		fmt.Fprintf(&b, "  %-7s %d\n", histogramLabel(i), n)
+	}
+
+	// Exactly-once violations, with the surviving attribution.
+	if tl.DoubleDone > 0 {
+		fmt.Fprintf(&b, "double-done: %d cells simulated more than once\n", tl.DoubleDone)
+		for _, c := range tl.CellsByIndex() {
+			if c.Done > 1 {
+				fmt.Fprintf(&b, "  cell %d %.12s done=%d attributed=%s at %s wall=%.3fs\n",
+					c.Index, c.Hash, c.Done, c.DoneOwner, r.offset(c.DoneT), c.WallSec)
+			}
+		}
+	} else {
+		fmt.Fprintf(&b, "double-done: none (exactly-once held)\n")
+	}
+
+	if r.WhatIf != nil {
+		b.WriteByte('\n')
+		b.WriteString(r.WhatIf.Format())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// replayCSVHeader is the stable -replay -csv column set: one row per
+// cell, expansion order. Times are offsets from the first journal
+// record (deterministic across hosts and reruns; empty = never
+// observed).
+var replayCSVHeader = []string{
+	"index", "hash", "state", "done", "cached", "skipped",
+	"claims", "reclaims", "owner", "started_s", "done_s", "completed_s", "wall_s",
+}
+
+// WriteCSV renders the per-cell forensics table.
+func (r *ReplayReport) WriteCSV(w io.Writer) error {
+	tl := r.Timeline
+	cw := csv.NewWriter(w)
+	if err := cw.Write(replayCSVHeader); err != nil {
+		return err
+	}
+	off := func(t float64) string {
+		if t == 0 {
+			return ""
+		}
+		return ftoa(t - tl.First)
+	}
+	for _, c := range tl.CellsByIndex() {
+		state := "unresolved"
+		switch {
+		case c.Done > 1:
+			state = "double-done"
+		case c.Done == 1:
+			state = "done"
+		case c.Cached > 0:
+			state = "cached"
+		case c.Skipped > 0:
+			state = "skipped"
+		}
+		wall := ""
+		if c.Done > 0 {
+			wall = ftoa(c.WallSec)
+		}
+		row := []string{
+			fmt.Sprint(c.Index), c.Hash, state,
+			fmt.Sprint(c.Done), fmt.Sprint(c.Cached), fmt.Sprint(c.Skipped),
+			fmt.Sprint(c.Claimed), fmt.Sprint(c.Reclaimed),
+			c.DoneOwner, off(c.Started), off(c.DoneT), off(c.Completed), wall,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// replayJSON is the -replay -json document.
+type replayJSON struct {
+	Store        string          `json:"store,omitempty"`
+	SpanSec      float64         `json:"span_s"`
+	Records      int             `json:"records"`
+	Compacted    int             `json:"compacted,omitempty"`
+	SkippedLines int             `json:"skipped_lines,omitempty"`
+	Done         int             `json:"done"`
+	CachedOnly   int             `json:"cached_only"`
+	SkippedOnly  int             `json:"skipped_only"`
+	DoubleDone   int             `json:"double_done"`
+	CostSec      float64         `json:"cost_s"`
+	Owners       []journal.Owner `json:"owners,omitempty"`
+	Cells        []journal.Cell  `json:"cells,omitempty"`
+	Contended    []Contention    `json:"contended,omitempty"`
+	Reclaims     []ReclaimEvent  `json:"reclaims,omitempty"`
+	Histogram    map[string]int  `json:"cost_histogram"`
+	WhatIf       *WhatIf         `json:"what_if,omitempty"`
+}
+
+// WriteJSON renders the whole report as one indented JSON document.
+// Cell and owner timestamps stay absolute here (Unix seconds, as
+// journaled); consumers doing cross-campaign comparison need the real
+// times, and determinism only requires the same journal to produce
+// the same bytes, which it does.
+func (r *ReplayReport) WriteJSON(w io.Writer) error {
+	tl := r.Timeline
+	doc := replayJSON{
+		Store:        r.Store,
+		SpanSec:      tl.Span(),
+		Records:      r.Stats.Records,
+		Compacted:    tl.Compacted,
+		SkippedLines: r.Stats.Skipped(),
+		Done:         tl.Done,
+		CachedOnly:   tl.CachedOnly,
+		SkippedOnly:  tl.SkippedOnly,
+		DoubleDone:   tl.DoubleDone,
+		CostSec:      tl.CostSec,
+		Contended:    r.Contended,
+		Reclaims:     r.Reclaims,
+		Histogram:    make(map[string]int),
+		WhatIf:       r.WhatIf,
+	}
+	for _, name := range tl.OwnerNames() {
+		doc.Owners = append(doc.Owners, *tl.Owners[name])
+	}
+	for _, c := range tl.CellsByIndex() {
+		doc.Cells = append(doc.Cells, *c)
+	}
+	for i, n := range tl.CostHistogram() {
+		doc.Histogram[histogramLabel(i)] = n
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WhatIfOptions parameterizes a what-if re-plan of a recorded
+// campaign.
+type WhatIfOptions struct {
+	// Plan is the planner to re-plan under: "order" (grid expansion
+	// order) or "cost" (most expensive first, by recorded wall cost).
+	// Empty defaults to "order", or to "cost" when a budget is set
+	// (budgeted campaigns always claim in cost order — same rule as
+	// the live CLI).
+	Plan string
+	// Workers is the simulated claimant count (0 = the number of
+	// claimants that simulated at least one cell in the recording).
+	Workers int
+	// Budget, when positive, admits cells in plan order while the
+	// admitted recorded cost fits, then hard-stops — mirroring the
+	// live budget's first-overflow rule.
+	Budget time.Duration
+}
+
+// WhatIf is a zero-simulation projection: what the recorded campaign's
+// wall time would have been under a different plan, worker count or
+// budget, priced entirely with the wall costs the journal recorded.
+type WhatIf struct {
+	Plan      string  `json:"plan"`
+	Workers   int     `json:"workers"`
+	BudgetSec float64 `json:"budget_s,omitempty"`
+	// Cells is the number of simulated cells with recorded costs (the
+	// schedulable work); Admitted of them fit the budget, Skipped did
+	// not (their summed recorded cost is SkippedCostSec).
+	Cells          int     `json:"cells"`
+	Admitted       int     `json:"admitted"`
+	Skipped        int     `json:"skipped"`
+	SkippedCostSec float64 `json:"skipped_cost_s,omitempty"`
+	// RecordedMakespanSec is the recorded assignment's modeled
+	// makespan: the busiest recorded claimant's summed wall cost —
+	// the apples-to-apples baseline for ProjectedMakespanSec, which
+	// models the re-planned schedule the same way (greedy
+	// least-loaded assignment, no lease/startup overhead either
+	// side). RecordedSpanSec is the measured journal span, reported
+	// for scale but not compared against the projection.
+	RecordedMakespanSec  float64 `json:"recorded_makespan_s"`
+	RecordedSpanSec      float64 `json:"recorded_span_s"`
+	ProjectedMakespanSec float64 `json:"projected_makespan_s"`
+	// DeltaSec is projected minus recorded-modeled: negative means
+	// the what-if schedule finishes sooner.
+	DeltaSec float64 `json:"delta_s"`
+}
+
+// Format renders the projection as stable text lines.
+func (wi *WhatIf) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "what-if: plan=%s workers=%d", wi.Plan, wi.Workers)
+	if wi.BudgetSec > 0 {
+		fmt.Fprintf(&b, " budget=%.3fs", wi.BudgetSec)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  cells: %d with recorded costs, %d admitted, %d skipped", wi.Cells, wi.Admitted, wi.Skipped)
+	if wi.Skipped > 0 {
+		fmt.Fprintf(&b, " (%.3fs of recorded cost)", wi.SkippedCostSec)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  recorded:  makespan=%.3fs modeled (measured span %.3fs)\n",
+		wi.RecordedMakespanSec, wi.RecordedSpanSec)
+	fmt.Fprintf(&b, "  projected: makespan=%.3fs\n", wi.ProjectedMakespanSec)
+	pct := ""
+	if wi.RecordedMakespanSec > 0 {
+		pct = fmt.Sprintf(" (%+.1f%%)", wi.DeltaSec/wi.RecordedMakespanSec*100)
+	}
+	fmt.Fprintf(&b, "  delta: %+.3fs%s — projected from journaled costs, zero simulations\n", wi.DeltaSec, pct)
+	return b.String()
+}
+
+// ComputeWhatIf re-plans a recorded campaign without running anything:
+// the simulated cells (the only ones with recorded wall costs) are
+// re-ordered under opt.Plan, admitted against opt.Budget by the live
+// budget's rule (charge on admission, hard stop at the first cell
+// that would overflow), dealt to opt.Workers claimants greedily
+// (each cell to the least-loaded worker, in plan order), and the
+// resulting makespan is compared with the recorded assignment modeled
+// the same way. Cells the recording never simulated (cached-only,
+// budget-skipped) have no recorded cost and are excluded from both
+// sides.
+func ComputeWhatIf(tl *journal.Timeline, opt WhatIfOptions) (*WhatIf, error) {
+	plan := opt.Plan
+	if plan == "" {
+		if opt.Budget > 0 {
+			plan = "cost"
+		} else {
+			plan = "order"
+		}
+	}
+	switch plan {
+	case "order", "cost":
+	default:
+		return nil, fmt.Errorf("exp: what-if plan must be order or cost, got %q", plan)
+	}
+	if opt.Budget > 0 && plan != "cost" {
+		return nil, fmt.Errorf("exp: budgeted campaigns claim in cost order; drop plan %q", plan)
+	}
+	if opt.Budget < 0 {
+		return nil, fmt.Errorf("exp: what-if budget must be non-negative, got %v", opt.Budget)
+	}
+	if opt.Workers < 0 {
+		return nil, fmt.Errorf("exp: what-if workers must be non-negative, got %d", opt.Workers)
+	}
+
+	// The schedulable work: every cell the recording simulated, with
+	// its recorded (first-done) wall cost.
+	var cells []*journal.Cell
+	recorded := make(map[string]float64) // owner -> summed recorded cost
+	for _, c := range tl.Cells {
+		if c.Done == 0 {
+			continue
+		}
+		cells = append(cells, c)
+		recorded[c.DoneOwner] += c.WallSec
+	}
+	workers := opt.Workers
+	if workers == 0 {
+		workers = len(recorded)
+	}
+	if workers == 0 {
+		workers = 1
+	}
+
+	switch plan {
+	case "order":
+		sort.Slice(cells, func(i, j int) bool {
+			if cells[i].Index != cells[j].Index {
+				return cells[i].Index < cells[j].Index
+			}
+			return cells[i].Hash < cells[j].Hash
+		})
+	case "cost":
+		sort.Slice(cells, func(i, j int) bool {
+			if cells[i].WallSec != cells[j].WallSec {
+				return cells[i].WallSec > cells[j].WallSec
+			}
+			if cells[i].Index != cells[j].Index {
+				return cells[i].Index < cells[j].Index
+			}
+			return cells[i].Hash < cells[j].Hash
+		})
+	}
+
+	wi := &WhatIf{
+		Plan:            plan,
+		Workers:         workers,
+		BudgetSec:       opt.Budget.Seconds(),
+		Cells:           len(cells),
+		RecordedSpanSec: tl.Span(),
+	}
+	for _, cost := range recorded {
+		if cost > wi.RecordedMakespanSec {
+			wi.RecordedMakespanSec = cost
+		}
+	}
+
+	// Admission, then greedy list scheduling over the admitted cells
+	// in plan order: each to the least-loaded worker, makespan = the
+	// busiest worker's load.
+	loads := make([]float64, workers)
+	admitting := true
+	for _, c := range cells {
+		if admitting && opt.Budget > 0 {
+			spent := 0.0
+			for _, l := range loads {
+				spent += l
+			}
+			if spent+c.WallSec > opt.Budget.Seconds() {
+				// First overflow ends admission for good, exactly like
+				// the live budget: a cheap cell later in the plan must
+				// not sneak in after an expensive one was refused.
+				admitting = false
+			}
+		}
+		if !admitting {
+			wi.Skipped++
+			wi.SkippedCostSec += c.WallSec
+			continue
+		}
+		wi.Admitted++
+		min := 0
+		for i, l := range loads {
+			if l < loads[min] {
+				min = i
+			}
+		}
+		loads[min] += c.WallSec
+	}
+	for _, l := range loads {
+		if l > wi.ProjectedMakespanSec {
+			wi.ProjectedMakespanSec = l
+		}
+	}
+	wi.DeltaSec = wi.ProjectedMakespanSec - wi.RecordedMakespanSec
+	return wi, nil
+}

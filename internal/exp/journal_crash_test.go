@@ -6,6 +6,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"testing"
 	"time"
 
@@ -160,5 +161,173 @@ func TestJournalCrashSafety(t *testing.T) {
 	}
 	if sum != total {
 		t.Errorf("per-owner done counts sum to %d, want %d", sum, total)
+	}
+}
+
+// TestJournalRotationCrashSafety is the rotation arm of the SIGKILL
+// battery: a worker journaling with a tiny rotation threshold is
+// killed while it demonstrably holds leases and has already spilled
+// closed segments — so the kill can land mid-append or mid-rotation.
+// The crash-left directory must replay cleanly, compact into a
+// checkpoint without losing anything, and a restarted claimant under
+// the same owner (same threshold) must finish the grid with
+// exactly-once completion visible through both ReadDir and a Tailer
+// over the checkpoint + fresh segments + active files.
+func TestJournalRotationCrashSafety(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses and waits out lease TTLs")
+	}
+	dir := t.TempDir()
+	const owner = "crash-rotating-worker"
+	const rotateBytes = 220 // a couple of records per segment
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-test.run=^$")
+	cmd.Env = append(os.Environ(),
+		journalWorkerEnv+"="+dir,
+		journalOwnerEnv+"="+owner,
+		journalRotateEnv+"="+strconv.Itoa(rotateBytes))
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	defer cmd.Wait()
+
+	// Kill once the worker holds a lease AND at least one rotated
+	// segment exists: the journal is then mid-history across several
+	// files, with the active file hot.
+	jdir := filepath.Join(dir, JournalDirName)
+	stem := journal.SanitizeOwner(owner)
+	segments := func() []string {
+		matches, _ := filepath.Glob(filepath.Join(jdir, stem+".0*.jsonl"))
+		return matches
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		leases, _ := globLeases(dir)
+		if len(leases) > 0 && len(segments()) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never rotated a segment while holding a lease (segments: %v)", segments())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// The crash-left directory replays cleanly: whatever the kill tore
+	// is skipped and counted, every closed segment's records survive,
+	// and no completion was invented.
+	recs, _, err := journal.ReadDir(jdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := journal.Replay(recs)
+	o := dead.Owners[owner]
+	if o == nil || o.Opens != 1 || o.Claimed == 0 {
+		t.Fatalf("dead session replay: %+v (records: %d)", o, len(recs))
+	}
+	if dead.Done != 0 {
+		t.Errorf("dead worker journaled %d completions before its first 5s cell could finish", dead.Done)
+	}
+
+	// Compacting the crash-left segments (active file untouched) must
+	// preserve the replay exactly.
+	cstats, err := journal.Compact(jdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cstats.Checkpoint == "" || cstats.Segments == 0 {
+		t.Fatalf("compaction folded nothing over the crashed segments: %v", cstats)
+	}
+	recs, _, err = journal.ReadDir(jdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compacted := journal.Replay(recs)
+	if co := compacted.Owners[owner]; co == nil || co.Opens != o.Opens || co.Claimed != o.Claimed {
+		t.Fatalf("compaction changed the dead session: %+v vs %+v", co, o)
+	}
+
+	// Restart under the same owner and threshold: the writer must
+	// resume its segment sequence past the checkpoint's folded names,
+	// reclaim the dead leases, and finish the grid.
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.SetJournalRotateBytes(rotateBytes)
+	rec := NewJournalRecorder(cache, owner)
+	defer rec.Close()
+	camp := Campaign{
+		Grid:     crashGrid(),
+		Cache:    cache,
+		Parallel: 2,
+		Observer: rec,
+		Claim: &ClaimOptions{
+			Owner:     owner,
+			TTL:       400 * time.Millisecond,
+			Heartbeat: 50 * time.Millisecond,
+			Poll:      25 * time.Millisecond,
+		},
+		run: fakeRun,
+	}
+	_, camps, err := camp.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Err(); err != nil {
+		t.Fatalf("restarted recorder error: %v", err)
+	}
+	total := crashGrid().NumRuns()
+	if camps.Simulated != total {
+		t.Errorf("survivor stats %v, want simulated=%d", camps, total)
+	}
+
+	// Rotation stayed in force across the restart: every rotated
+	// segment is bounded by the threshold plus at most one record.
+	for _, seg := range segments() {
+		if fi, err := os.Stat(seg); err == nil && fi.Size() > 2*rotateBytes {
+			t.Errorf("segment %s is %d bytes, threshold %d — rotation stopped bounding the journal",
+				filepath.Base(seg), fi.Size(), rotateBytes)
+		}
+	}
+
+	// Exactly-once through ReadDir: checkpoint + post-restart segments
+	// + active file merge to one completion per cell, both sessions
+	// visible.
+	recs, stats, err := journal.ReadDir(jdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := journal.Replay(recs)
+	o = tl.Owners[owner]
+	if o == nil || o.Opens != 2 {
+		t.Fatalf("owner after restart: %+v, want both sessions (opens=2)", o)
+	}
+	if tl.Done != total || tl.DoubleDone != 0 {
+		t.Errorf("replay done=%d double=%d, want exactly-once over the %d-run grid",
+			tl.Done, tl.DoubleDone, total)
+	}
+
+	// And through a Tailer, the -watch path: a fresh tailer over the
+	// compacted-plus-live directory merges to the same history.
+	tail := journal.NewTailer(jdir)
+	trecs, tstats, err := tail.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trecs) != len(recs) || tstats.Records != stats.Records || tstats.Skipped() != stats.Skipped() {
+		t.Errorf("tailer merge: %d records %v, want %d records %v (ReadDir)",
+			len(trecs), tstats, len(recs), stats)
+	}
+	if ttl := journal.Replay(trecs); ttl.Done != total || ttl.DoubleDone != 0 {
+		t.Errorf("tailer replay done=%d double=%d, want exactly-once", ttl.Done, ttl.DoubleDone)
 	}
 }

@@ -24,6 +24,7 @@ func TestDirStoreConformance(t *testing.T) {
 			Store:      ds,
 			CellReads:  ds.CellReads,
 			JournalDir: ds.JournalDir(),
+			SetRotate:  ds.SetJournalRotateBytes,
 		}
 	})
 }

@@ -32,6 +32,10 @@ type Env struct {
 	// JournalDir is the backing journal directory. The suite writes
 	// torn garbage here to simulate a SIGKILLed claimant.
 	JournalDir string
+	// SetRotate configures the backing store's journal rotation
+	// threshold, wherever the writers live (the daemon's DirStore for a
+	// relay store). Nil skips the rotation subtest.
+	SetRotate func(bytes int64)
 }
 
 // Factory builds a fresh, empty store environment per subtest; cleanup
@@ -48,6 +52,7 @@ func Run(t *testing.T, open Factory) {
 	t.Run("TornJournalTolerated", func(t *testing.T) { testTornJournal(t, open(t)) })
 	t.Run("SnapshotTracksStores", func(t *testing.T) { testSnapshot(t, open(t)) })
 	t.Run("IdlePollsReadNoCells", func(t *testing.T) { testIdlePolls(t, open(t)) })
+	t.Run("RotationCompactionInvariant", func(t *testing.T) { testRotationCompaction(t, open(t)) })
 }
 
 // spec returns the i-th of a family of distinct, hashable specs. The
@@ -243,6 +248,78 @@ func testJournalAppendPoll(t *testing.T, env Env) {
 	}
 	if len(recs2) != len(recs) {
 		t.Errorf("idle poll changed the timeline: %d vs %d records", len(recs2), len(recs))
+	}
+	// Compacting a journal with no closed segments is a clean no-op.
+	cstats, err := s.CompactJournal()
+	if err != nil {
+		t.Fatalf("CompactJournal on an uncompactable journal: %v", err)
+	}
+	if cstats.Checkpoint != "" || cstats.Segments != 0 {
+		t.Errorf("no-op compaction did %+v", cstats)
+	}
+	recs3, _, err := s.PollJournal()
+	if err != nil {
+		t.Fatalf("PollJournal after no-op compaction: %v", err)
+	}
+	if len(recs3) != len(recs) {
+		t.Errorf("no-op compaction changed the timeline: %d vs %d records", len(recs3), len(recs))
+	}
+}
+
+// testRotationCompaction is the cross-host rotation contract: with a
+// rotation threshold set on the backing store, appends spill into
+// closed segments, and CompactJournal through the store API folds them
+// without changing what Replay of PollJournal reports.
+func testRotationCompaction(t *testing.T, env Env) {
+	if env.SetRotate == nil {
+		t.Skip("store exposes no rotation hook")
+	}
+	s := env.Store
+	env.SetRotate(300)
+	const perOwner = 15
+	for i := 0; i < perOwner; i++ {
+		for _, owner := range []string{"w1", "w2"} {
+			rec := journal.Record{
+				Type: journal.TypeDone, Index: i, Hash: spec(i).Hash(),
+				WallSec: 0.25, T: float64(1000 + i),
+			}
+			if err := s.AppendJournal(owner, rec); err != nil {
+				t.Fatalf("AppendJournal(%s): %v", owner, err)
+			}
+		}
+	}
+	recs, stats, err := s.PollJournal()
+	if err != nil {
+		t.Fatalf("PollJournal: %v", err)
+	}
+	if stats.Files <= 2 {
+		t.Fatalf("rotation produced no segments: %d files for 2 owners", stats.Files)
+	}
+	before := journal.Replay(recs)
+
+	cstats, err := s.CompactJournal()
+	if err != nil {
+		t.Fatalf("CompactJournal: %v", err)
+	}
+	if cstats.Checkpoint == "" || cstats.Segments == 0 {
+		t.Fatalf("compaction folded nothing: %+v", cstats)
+	}
+	recs, stats, err = s.PollJournal()
+	if err != nil {
+		t.Fatalf("PollJournal after compaction: %v", err)
+	}
+	after := journal.Replay(recs)
+	if after.Done != before.Done || after.CostSec != before.CostSec ||
+		after.DoubleDone != before.DoubleDone || len(after.Owners) != len(before.Owners) {
+		t.Errorf("compaction changed the replay: done %d->%d cost %g->%g double %d->%d owners %d->%d",
+			before.Done, after.Done, before.CostSec, after.CostSec,
+			before.DoubleDone, after.DoubleDone, len(before.Owners), len(after.Owners))
+	}
+	if after.Compacted == 0 {
+		t.Error("replay does not report any compacted records")
+	}
+	if stats.Files > 3 {
+		t.Errorf("compaction left %d files, want the active files plus one checkpoint", stats.Files)
 	}
 }
 

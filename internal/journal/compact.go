@@ -1,0 +1,356 @@
+// Journal rotation spills an owner's history into closed segment files
+// (see Writer); this file is the other half of the size bound: a
+// compactor that folds closed segments into a single checkpoint record
+// so a long campaign's journal directory converges to one small file
+// per live claimant plus one checkpoint.
+//
+// Naming conventions inside a journal directory:
+//
+//	<owner>.jsonl            active file, appended by one claimant
+//	<owner>.NNNNNN.jsonl     closed segment, rotated aside by that claimant
+//	checkpoint-NNNNNN.jsonl  one checkpoint record, written by a compactor
+//
+// Segment and checkpoint files keep the .jsonl suffix so readers merge
+// them with no configuration; the six-digit sequence sorts segments
+// before the active file ('0' < any letter), preserving the
+// equal-timestamp tie-break order of the unrotated file.
+//
+// Crash safety is the superseded-set protocol: a checkpoint record
+// lists, in Folds, every file it stands for; readers drop any file
+// named in any present checkpoint's Folds. The compactor writes the
+// checkpoint (temp file + rename) before deleting the folded files, so
+// a compactor killed between the two leaves both the checkpoint and
+// the dead files — readers ignore the dead files, and the next
+// compaction pass deletes them. At most one compactor should run
+// against a directory at a time (the daemon, or one operator command);
+// concurrent claimant appends and rotations are always safe.
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// checkpointPrefix is the file-name prefix of checkpoint files.
+const checkpointPrefix = "checkpoint-"
+
+// Checkpoint is the compacted payload of a checkpoint record: the
+// replayed state of every record in the files it folds, in exactly the
+// shape Replay would have produced from them. Adding it was additive
+// (schema version unchanged); a reader that predates checkpoints
+// parses the record and drops the payload, losing only the compacted
+// history's totals.
+type Checkpoint struct {
+	// Folds lists the journal file names (no directory) this
+	// checkpoint supersedes. Readers ignore any file named in any
+	// present checkpoint's Folds; the compactor deletes them after the
+	// checkpoint is durably in place.
+	Folds []string `json:"folds"`
+	// Records is the cumulative count of raw records folded into this
+	// checkpoint, including those inherited from prior checkpoints.
+	Records int `json:"records"`
+	// Malformed and VersionSkew carry the folded files' skip counts so
+	// read accounting survives compaction (torn tails in closed
+	// segments can never heal and fold into Malformed).
+	Malformed   int `json:"malformed,omitempty"`
+	VersionSkew int `json:"version_skew,omitempty"`
+	// First and Last bound the folded records in time.
+	First float64 `json:"first,omitempty"`
+	Last  float64 `json:"last,omitempty"`
+	// CostSec is the summed wall cost of the folded done records.
+	CostSec float64 `json:"cost_s,omitempty"`
+	// Cells, Owners and Completions are the folded replay state,
+	// sorted (by hash, name, and time) for deterministic output.
+	Cells       []Cell       `json:"cells,omitempty"`
+	Owners      []Owner      `json:"owners,omitempty"`
+	Completions []Completion `json:"completions,omitempty"`
+}
+
+// CompactStats reports what one Compact pass did.
+type CompactStats struct {
+	// Checkpoint is the checkpoint file name written ("" when the pass
+	// only garbage-collected, or found nothing to do).
+	Checkpoint string
+	// Segments and Checkpoints count the folded files deleted.
+	Segments    int
+	Checkpoints int
+	// Records is the cumulative raw-record count the new checkpoint
+	// stands for (see Checkpoint.Records; 0 on a GC-only pass).
+	Records int
+	// BytesRemoved is the summed size of the deleted files.
+	BytesRemoved int64
+}
+
+func (s CompactStats) String() string {
+	if s.Checkpoint == "" && s.Segments == 0 && s.Checkpoints == 0 {
+		return "nothing to compact"
+	}
+	return fmt.Sprintf("checkpoint=%s segments=%d checkpoints=%d records=%d bytes_removed=%d",
+		s.Checkpoint, s.Segments, s.Checkpoints, s.Records, s.BytesRemoved)
+}
+
+// splitSegmentName decomposes a closed-segment file name
+// (<stem>.NNNNNN.jsonl) into its owner stem and sequence number.
+func splitSegmentName(name string) (stem string, seq int, ok bool) {
+	base, found := strings.CutSuffix(name, suffix)
+	if !found || len(base) < 8 || base[len(base)-7] != '.' {
+		return "", 0, false
+	}
+	digits := base[len(base)-6:]
+	n := 0
+	for _, d := range digits {
+		if d < '0' || d > '9' {
+			return "", 0, false
+		}
+		n = n*10 + int(d-'0')
+	}
+	return base[:len(base)-7], n, true
+}
+
+// checkpointSeq extracts the sequence number of a checkpoint file name
+// (checkpoint-NNNNNN.jsonl).
+func checkpointSeq(name string) (int, bool) {
+	base, found := strings.CutSuffix(name, suffix)
+	if !found {
+		return 0, false
+	}
+	digits, found := strings.CutPrefix(base, checkpointPrefix)
+	if !found || len(digits) != 6 {
+		return 0, false
+	}
+	n := 0
+	for _, d := range digits {
+		if d < '0' || d > '9' {
+			return 0, false
+		}
+		n = n*10 + int(d-'0')
+	}
+	return n, true
+}
+
+// supersededBy folds the checkpoint fold lists of recs into sup.
+func supersededBy(recs []Record, sup map[string]bool) {
+	for _, r := range recs {
+		if r.Type == TypeCheckpoint && r.Checkpoint != nil {
+			for _, name := range r.Checkpoint.Folds {
+				sup[name] = true
+			}
+		}
+	}
+}
+
+// Compact folds every closed segment (and prior checkpoint) in a
+// journal directory into a fresh checkpoint file, then deletes the
+// folded files. Active per-owner files are never touched, so Compact
+// is safe to run while claimants append and rotate; run at most one
+// Compact against a directory at a time. Replay over the directory is
+// unchanged by compaction (same cells, owners, totals, windowed
+// rates); only the raw claim/reclaim record detail inside the folded
+// span is reduced to counters. A missing directory, or one with
+// nothing to fold, is a no-op, not an error.
+func Compact(dir string) (CompactStats, error) {
+	var stats CompactStats
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return stats, nil
+		}
+		return stats, fmt.Errorf("journal: reading directory: %w", err)
+	}
+	var segNames, ckNames []string
+	sizes := make(map[string]int64)
+	maxSeq := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		if fi, err := e.Info(); err == nil {
+			sizes[name] = fi.Size()
+		}
+		if seq, ok := checkpointSeq(name); ok {
+			ckNames = append(ckNames, name)
+			if seq > maxSeq {
+				maxSeq = seq
+			}
+		} else if _, _, ok := splitSegmentName(name); ok {
+			segNames = append(segNames, name)
+		}
+	}
+	sort.Strings(segNames)
+	sort.Strings(ckNames)
+
+	// Everything a present checkpoint folds is dead already, whether
+	// or not a crashed predecessor got around to deleting it.
+	superseded := make(map[string]bool)
+	fileRecs := make(map[string][]Record)
+	fileStats := make(map[string]ReadStats)
+	readFile := func(name string) error {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("journal: reading %s: %w", name, err)
+		}
+		var fs ReadStats
+		fileRecs[name] = parseLines(data, &fs)
+		fileStats[name] = fs
+		return nil
+	}
+	for _, name := range ckNames {
+		if err := readFile(name); err != nil {
+			return stats, err
+		}
+		supersededBy(fileRecs[name], superseded)
+	}
+
+	var liveSegs, liveCks, dead []string
+	for _, name := range segNames {
+		if superseded[name] {
+			dead = append(dead, name)
+		} else {
+			liveSegs = append(liveSegs, name)
+			if err := readFile(name); err != nil {
+				return stats, err
+			}
+		}
+	}
+	for _, name := range ckNames {
+		if superseded[name] {
+			dead = append(dead, name)
+		} else {
+			liveCks = append(liveCks, name)
+		}
+	}
+
+	remove := func(name string) {
+		if os.Remove(filepath.Join(dir, name)) == nil {
+			stats.BytesRemoved += sizes[name]
+			if _, ok := checkpointSeq(name); ok {
+				stats.Checkpoints++
+			} else {
+				stats.Segments++
+			}
+		}
+	}
+
+	if len(liveSegs) == 0 && len(liveCks) <= 1 {
+		// Nothing new to fold: at most garbage-collect what a crashed
+		// predecessor left behind.
+		for _, name := range dead {
+			remove(name)
+		}
+		return stats, nil
+	}
+
+	// Fold the live inputs exactly as a reader would merge them:
+	// sorted file-name order, then a stable time sort.
+	var recs []Record
+	var folded ReadStats
+	names := append(append([]string{}, liveCks...), liveSegs...)
+	sort.Strings(names)
+	for _, name := range names {
+		recs = append(recs, fileRecs[name]...)
+		fs := fileStats[name]
+		folded.Records += len(fileRecs[name])
+		folded.Malformed += fs.Malformed + fs.TruncatedTails
+		folded.VersionSkew += fs.VersionSkew
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].T < recs[j].T })
+	tl := Replay(recs)
+
+	ck := &Checkpoint{
+		Records:     tl.Compacted,
+		Malformed:   folded.Malformed,
+		VersionSkew: folded.VersionSkew,
+		First:       tl.First,
+		Last:        tl.Last,
+		CostSec:     tl.CostSec,
+	}
+	// Raw records folded this pass: everything parsed minus the prior
+	// checkpoints' own meta records (their payloads count via
+	// tl.Compacted above).
+	ck.Records += folded.Records
+	for _, name := range liveCks {
+		ck.Records -= len(fileRecs[name])
+		for _, r := range fileRecs[name] {
+			if r.Type == TypeCheckpoint && r.Checkpoint != nil {
+				ck.Malformed += r.Checkpoint.Malformed
+				ck.VersionSkew += r.Checkpoint.VersionSkew
+			}
+		}
+	}
+	// The new checkpoint stands for every segment and checkpoint file
+	// seen this pass, dead ones included — that keeps the superseded
+	// set closed under crash-interrupted predecessors.
+	ck.Folds = append(append(append([]string{}, liveSegs...), liveCks...), dead...)
+	sort.Strings(ck.Folds)
+	for _, c := range tl.Cells {
+		ck.Cells = append(ck.Cells, *c)
+	}
+	sort.Slice(ck.Cells, func(i, j int) bool { return ck.Cells[i].Hash < ck.Cells[j].Hash })
+	for _, name := range tl.OwnerNames() {
+		ck.Owners = append(ck.Owners, *tl.Owners[name])
+	}
+	ck.Completions = append(ck.Completions, tl.completions...)
+	sort.SliceStable(ck.Completions, func(i, j int) bool {
+		a, b := ck.Completions[i], ck.Completions[j]
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		if a.Owner != b.Owner {
+			return a.Owner < b.Owner
+		}
+		return a.Cost < b.Cost
+	})
+
+	name := fmt.Sprintf("%s%06d%s", checkpointPrefix, maxSeq+1, suffix)
+	if err := writeCheckpointFile(dir, name, Record{
+		V:          Version,
+		T:          tl.Last,
+		Type:       TypeCheckpoint,
+		Owner:      "checkpoint",
+		Checkpoint: ck,
+	}); err != nil {
+		return stats, err
+	}
+	stats.Checkpoint = name
+	stats.Records = ck.Records
+
+	for _, name := range ck.Folds {
+		remove(name)
+	}
+	return stats, nil
+}
+
+// writeCheckpointFile durably writes one checkpoint record as a
+// complete journal file: temp file, fsync, rename. Readers either see
+// the whole checkpoint or none of it, never a torn one.
+func writeCheckpointFile(dir, name string, rec Record) error {
+	f, err := os.CreateTemp(dir, ".checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("journal: writing checkpoint: %w", err)
+	}
+	tmp := f.Name()
+	w := &Writer{f: f, owner: rec.Owner, path: tmp}
+	if err := w.Append(rec); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("journal: syncing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: installing checkpoint: %w", err)
+	}
+	return nil
+}

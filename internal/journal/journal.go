@@ -54,6 +54,13 @@ const (
 	TypeClaimed   = "claimed"
 	TypeReclaimed = "reclaimed"
 	TypeSkipped   = "skipped"
+	// TypeCheckpoint marks a compaction checkpoint: the folded summary
+	// of journal files a compactor deleted (see Compact). It is an
+	// additive record type under schema version 1 — readers that
+	// predate it skip nothing (they parse the record, find no fields
+	// they use, and merely lose the compacted history's totals), so no
+	// version bump.
+	TypeCheckpoint = "checkpoint"
 )
 
 // Record is one journal line. Only V, T, Type and Owner are always
@@ -93,6 +100,9 @@ type Record struct {
 	EstSec float64 `json:"est_s,omitempty"`
 	// By is the owner tag that broke a stale lease (reclaimed).
 	By string `json:"by,omitempty"`
+	// Checkpoint is the compacted payload of a checkpoint record (nil
+	// on every other type).
+	Checkpoint *Checkpoint `json:"checkpoint,omitempty"`
 }
 
 // suffix is the journal file naming convention.
@@ -108,11 +118,25 @@ func FilePath(dir, owner string) string {
 // Writer appends records to one owner's journal file. It is safe for
 // concurrent use by one process; cross-process safety comes from the
 // one-file-per-owner convention, not from locking.
+//
+// A writer opened with OpenRotating additionally bounds its active
+// file: once an append would grow it past the threshold, the file is
+// first renamed aside as a closed segment (<stem>.NNNNNN.jsonl) and a
+// fresh active file is started. Segments keep the .jsonl suffix, so
+// every reader (ReadDir, Tailer) merges them with zero configuration —
+// rotation is lossless until a compactor folds the segments away.
 type Writer struct {
 	mu    sync.Mutex
 	f     *os.File
 	owner string
 	path  string
+	dir   string
+	stem  string
+	// rotateBytes is the active-file size threshold (0 = never rotate);
+	// size tracks the active file, seq the last segment number used.
+	rotateBytes int64
+	size        int64
+	seq         int
 }
 
 // Open creates (if needed) the journal directory and opens the owner's
@@ -121,8 +145,28 @@ type Writer struct {
 // first terminates any torn final line left by a crashed predecessor,
 // so prior records are never corrupted by subsequent appends.
 func Open(dir, owner string) (*Writer, error) {
+	return OpenRotating(dir, owner, 0)
+}
+
+// OpenRotating is Open with size-bounded active files: once an append
+// would grow the active journal past rotateBytes, the file is rotated
+// aside as a closed segment first (see Writer). A record larger than
+// the threshold still rotates and is then written whole — rotation
+// bounds file size per segment, it never refuses a record.
+// rotateBytes <= 0 disables rotation.
+func OpenRotating(dir, owner string, rotateBytes int64) (*Writer, error) {
 	if owner == "" {
 		return nil, errors.New("journal: owner must not be empty")
+	}
+	stem := SanitizeOwner(owner)
+	// The rotation and compaction machinery claims two name patterns in
+	// the journal directory; an owner whose file stem collided with
+	// either would corrupt another writer's rotated history.
+	if _, _, ok := splitSegmentName(stem + suffix); ok {
+		return nil, fmt.Errorf("journal: owner %q collides with the segment namespace", owner)
+	}
+	if _, ok := checkpointSeq(stem + suffix); ok {
+		return nil, fmt.Errorf("journal: owner %q collides with the checkpoint namespace", owner)
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: opening directory: %w", err)
@@ -138,7 +182,44 @@ func Open(dir, owner string) (*Writer, error) {
 		f.Close()
 		return nil, err
 	}
-	w := &Writer{f: f, owner: owner, path: path}
+	w := &Writer{f: f, owner: owner, path: path, dir: dir, stem: stem, rotateBytes: rotateBytes}
+	if fi, err := f.Stat(); err == nil {
+		w.size = fi.Size()
+	}
+	if rotateBytes > 0 {
+		// Resume the segment sequence after the highest one on disk — a
+		// restarted claimant must never rename over a prior segment —
+		// AND after the highest one any present checkpoint folded: a
+		// compactor deletes the segments it folds, but their names live
+		// on in the checkpoint's Folds list, and a fresh segment reusing
+		// such a name would be dropped by every reader as already
+		// compacted.
+		if entries, err := os.ReadDir(dir); err == nil {
+			for _, e := range entries {
+				if s, seq, ok := splitSegmentName(e.Name()); ok && s == stem && seq > w.seq {
+					w.seq = seq
+				}
+				if _, ok := checkpointSeq(e.Name()); !ok {
+					continue
+				}
+				data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+				if err != nil {
+					continue // unreadable checkpoint: Compact will report it
+				}
+				var stats ReadStats
+				for _, r := range parseLines(data, &stats) {
+					if r.Checkpoint == nil {
+						continue
+					}
+					for _, name := range r.Checkpoint.Folds {
+						if s, seq, ok := splitSegmentName(name); ok && s == stem && seq > w.seq {
+							w.seq = seq
+						}
+					}
+				}
+			}
+		}
+	}
 	host, herr := os.Hostname()
 	if herr != nil || host == "" {
 		host = "unknown-host"
@@ -204,10 +285,45 @@ func (w *Writer) Append(r Record) error {
 	line = append(line, '\n')
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("journal: writer for %s lost its file during rotation", w.path)
+	}
+	if w.rotateBytes > 0 && w.size > 0 && w.size+int64(len(line)) > w.rotateBytes {
+		w.rotateLocked()
+	}
 	if _, err := w.f.Write(line); err != nil {
 		return fmt.Errorf("journal: appending to %s: %w", w.path, err)
 	}
+	w.size += int64(len(line))
 	return nil
+}
+
+// rotateLocked renames the active file aside as the next closed
+// segment and starts a fresh active file. The segment name sorts
+// before the active file (digits sort before letters), so the merged
+// timeline's equal-timestamp tie-break — sorted file-name order —
+// keeps segment records ahead of later active-file records, exactly
+// the order the single unrotated file would have had.
+//
+// Failure handling favors the history over the bound: if the rename
+// fails the writer keeps appending to the oversized active file and
+// retries on the next append; if reopening after a successful rename
+// fails, the writer is dead (w.f nil) and every later Append errors
+// rather than silently widening the closed segment.
+func (w *Writer) rotateLocked() {
+	seg := filepath.Join(w.dir, fmt.Sprintf("%s.%06d%s", w.stem, w.seq+1, suffix))
+	if err := os.Rename(w.path, seg); err != nil {
+		return
+	}
+	w.seq++
+	w.f.Close()
+	w.f = nil
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return
+	}
+	w.f = f
+	w.size = 0
 }
 
 // Close closes the journal file. Records already appended stay durable;
@@ -215,6 +331,9 @@ func (w *Writer) Append(r Record) error {
 func (w *Writer) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
 	return w.f.Close()
 }
 

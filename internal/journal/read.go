@@ -45,6 +45,13 @@ func (s ReadStats) String() string {
 // directory is an empty journal, not an error — campaigns that predate
 // journaling stay watchable. Unreadable lines are skipped and counted
 // (see ReadStats); only a directory or file I/O failure is an error.
+//
+// Files superseded by a checkpoint — named in the Folds list of any
+// checkpoint record present (see Compact) — are excluded entirely:
+// their history lives on in the checkpoint, and a compactor crash that
+// left them behind must not double-count it. A checkpoint's folded
+// Malformed/VersionSkew counts are added to the stats, so skip
+// accounting survives compaction.
 func ReadDir(dir string) ([]Record, ReadStats, error) {
 	var stats ReadStats
 	entries, err := os.ReadDir(dir)
@@ -61,14 +68,36 @@ func ReadDir(dir string) ([]Record, ReadStats, error) {
 		}
 	}
 	sort.Strings(names)
-	var recs []Record
+	fileRecs := make(map[string][]Record, len(names))
+	fileStats := make(map[string]ReadStats, len(names))
+	superseded := make(map[string]bool)
 	for _, name := range names {
 		data, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
 			return nil, stats, fmt.Errorf("journal: reading %s: %w", name, err)
 		}
+		var fs ReadStats
+		fileRecs[name] = parseLines(data, &fs)
+		fileStats[name] = fs
+		supersededBy(fileRecs[name], superseded)
+	}
+	var recs []Record
+	for _, name := range names {
+		if superseded[name] {
+			continue
+		}
 		stats.Files++
-		recs = append(recs, parseLines(data, &stats)...)
+		fs := fileStats[name]
+		stats.TruncatedTails += fs.TruncatedTails
+		stats.Malformed += fs.Malformed
+		stats.VersionSkew += fs.VersionSkew
+		for _, r := range fileRecs[name] {
+			if r.Type == TypeCheckpoint && r.Checkpoint != nil {
+				stats.Malformed += r.Checkpoint.Malformed
+				stats.VersionSkew += r.Checkpoint.VersionSkew
+			}
+		}
+		recs = append(recs, fileRecs[name]...)
 	}
 	// Stable: records with equal timestamps keep their per-file append
 	// order (and cross-file, the sorted file-name order).

@@ -7,31 +7,42 @@ import (
 // Cell is one campaign cell's replayed state: a tiny state machine fed
 // by that cell's records in time order. Counters are kept instead of
 // booleans so replay can report protocol violations (a cell simulated
-// twice) rather than silently collapsing them.
+// twice) rather than silently collapsing them. The JSON tags are the
+// checkpoint serialization (see Checkpoint); they never appear in live
+// journal lines.
 type Cell struct {
 	// Hash is the cell's spec content hash (the state-machine key).
-	Hash string
+	Hash string `json:"hash"`
 	// Index is the cell's expansion-order position (from the first
 	// record that named it).
-	Index int
+	Index int `json:"index"`
 	// Started and Completed are the first start / first completion
 	// times (Unix seconds; 0 = never observed).
-	Started   float64
-	Completed float64
+	Started   float64 `json:"started,omitempty"`
+	Completed float64 `json:"completed,omitempty"`
 	// Done counts "done" records for this cell across every claimant.
 	// Exactly-once simulation means Done <= 1 everywhere.
-	Done int
+	Done int `json:"done,omitempty"`
 	// Cached counts "cached" observations. Several claimants legally
 	// observe the same cell cached (each pre-scans the cache), so this
 	// is a view count, not a completion count.
-	Cached int
+	Cached int `json:"cached,omitempty"`
 	// Skipped counts budget skips of this cell.
-	Skipped int
-	// DoneOwner is the owner tag of the claimant that simulated the
-	// cell ("" when no done record was seen).
-	DoneOwner string
-	// WallSec is the simulation's recorded wall cost (done records).
-	WallSec float64
+	Skipped int `json:"skipped,omitempty"`
+	// Claimed and Reclaimed count lease events naming this cell —
+	// Claimed > 1 or Reclaimed > 0 marks a contended cell.
+	Claimed   int `json:"claimed,omitempty"`
+	Reclaimed int `json:"reclaimed,omitempty"`
+	// DoneT is the time of the earliest done record (0 = never
+	// simulated); the attribution fields below stick to it. On a
+	// double-done the first simulation keeps the attribution: later
+	// records only grow Done.
+	DoneT float64 `json:"done_t,omitempty"`
+	// DoneOwner is the owner tag of the claimant whose done record was
+	// earliest ("" when no done record was seen).
+	DoneOwner string `json:"done_owner,omitempty"`
+	// WallSec is the earliest done record's wall cost.
+	WallSec float64 `json:"wall_s,omitempty"`
 }
 
 // Complete reports whether the cell reached a terminal state in the
@@ -39,37 +50,41 @@ type Cell struct {
 func (c *Cell) Complete() bool { return c.Done > 0 || c.Cached > 0 }
 
 // Owner aggregates one claimant's activity across all its sessions.
+// JSON tags are the checkpoint serialization.
 type Owner struct {
 	// Name is the owner tag.
-	Name string
+	Name string `json:"name"`
 	// Opens counts writer sessions: 1 for a claimant that ran once,
 	// more for one restarted after a crash.
-	Opens int
-	// Host and PID are from the most recent open record.
-	Host string
-	PID  int
+	Opens int `json:"opens,omitempty"`
+	// Host and PID are from the most recent open record; OpenT is that
+	// record's time, kept so checkpoint merges preserve "most recent".
+	Host  string  `json:"host,omitempty"`
+	PID   int     `json:"pid,omitempty"`
+	OpenT float64 `json:"open_t,omitempty"`
 	// Claimed, Done, Cached, Reclaimed and Skipped count this owner's
 	// records of each type.
-	Claimed   int
-	Done      int
-	Cached    int
-	Reclaimed int
-	Skipped   int
+	Claimed   int `json:"claimed,omitempty"`
+	Done      int `json:"done,omitempty"`
+	Cached    int `json:"cached,omitempty"`
+	Reclaimed int `json:"reclaimed,omitempty"`
+	Skipped   int `json:"skipped,omitempty"`
 	// CostSec is the summed wall cost of this owner's simulations.
-	CostSec float64
+	CostSec float64 `json:"cost_s,omitempty"`
 	// First and Last bound this owner's records in time.
-	First, Last float64
+	First float64 `json:"first,omitempty"`
+	Last  float64 `json:"last,omitempty"`
 }
 
-// completion is one completion observation — a done record, or a
+// Completion is one completion observation — a done record, or a
 // cell's first cached observation — kept so rates can be computed over
-// a recent window, not just the whole history. owner is set for done
+// a recent window, not just the whole history. Owner is set for done
 // records only (cached observations are fleet progress, not any one
-// claimant's work).
-type completion struct {
-	t     float64
-	cost  float64
-	owner string
+// claimant's work). JSON tags are the checkpoint serialization.
+type Completion struct {
+	T     float64 `json:"t"`
+	Cost  float64 `json:"cost,omitempty"`
+	Owner string  `json:"owner,omitempty"`
 }
 
 // Timeline is a whole campaign's history replayed from the merged
@@ -97,18 +112,30 @@ type Timeline struct {
 	DoubleDone int
 	// CostSec is the summed wall cost of every done record.
 	CostSec float64
+	// Compacted is the number of raw records folded away into the
+	// checkpoint records this replay consumed (0 on an uncompacted
+	// journal).
+	Compacted int
 
 	// completions backs the windowed rates: one entry per done record
 	// and per cell's first cached observation, in record order.
-	completions []completion
+	completions []Completion
 }
 
 // Replay folds records (as returned by ReadDir: time-ordered) into a
-// campaign timeline.
+// campaign timeline. Checkpoint records — the compacted remains of
+// rotated-away journal segments — are folded first regardless of their
+// position, so live records always land on top of the compacted state
+// exactly as they would have landed on the raw segments.
 func Replay(recs []Record) *Timeline {
 	t := &Timeline{
 		Cells:  make(map[string]*Cell),
 		Owners: make(map[string]*Owner),
+	}
+	for _, r := range recs {
+		if r.Type == TypeCheckpoint && r.Checkpoint != nil {
+			t.fold(r.Checkpoint)
+		}
 	}
 	cell := func(r Record) *Cell {
 		key := r.Hash
@@ -117,12 +144,23 @@ func Replay(recs []Record) *Timeline {
 		}
 		c := t.Cells[key]
 		if c == nil {
-			c = &Cell{Hash: key, Index: r.Index}
+			c = &Cell{Hash: key}
 			t.Cells[key] = c
+		}
+		if r.Type != TypeReclaimed {
+			// Reclaimed records carry no index (it is always zero
+			// there); every other cell record carries the true one, so
+			// refresh on each — a cell first seen through a reclaim, or
+			// through a checkpoint built from one, still ends up
+			// correctly indexed.
+			c.Index = r.Index
 		}
 		return c
 	}
 	for _, r := range recs {
+		if r.Type == TypeCheckpoint {
+			continue // folded above; carries no claimant activity of its own
+		}
 		if t.First == 0 || r.T < t.First {
 			t.First = r.T
 		}
@@ -143,7 +181,9 @@ func Replay(recs []Record) *Timeline {
 		switch r.Type {
 		case TypeOpen:
 			o.Opens++
-			o.Host, o.PID = r.Host, r.PID
+			if r.T >= o.OpenT {
+				o.Host, o.PID, o.OpenT = r.Host, r.PID, r.T
+			}
 		case TypeStarted:
 			if c := cell(r); c != nil && (c.Started == 0 || r.T < c.Started) {
 				c.Started = r.T
@@ -152,11 +192,17 @@ func Replay(recs []Record) *Timeline {
 			o.Done++
 			o.CostSec += r.WallSec
 			t.CostSec += r.WallSec
-			t.completions = append(t.completions, completion{t: r.T, cost: r.WallSec, owner: r.Owner})
+			t.completions = append(t.completions, Completion{T: r.T, Cost: r.WallSec, Owner: r.Owner})
 			if c := cell(r); c != nil {
 				c.Done++
-				c.DoneOwner = r.Owner
-				c.WallSec = r.WallSec
+				// First simulation keeps the attribution: on an
+				// exactly-once violation the later done record must not
+				// re-blame the cell or re-cost the histogram.
+				if c.DoneT == 0 || r.T < c.DoneT {
+					c.DoneT = r.T
+					c.DoneOwner = r.Owner
+					c.WallSec = r.WallSec
+				}
 				if c.Completed == 0 || r.T < c.Completed {
 					c.Completed = r.T
 				}
@@ -168,7 +214,7 @@ func Replay(recs []Record) *Timeline {
 				if c.Cached == 1 && c.Done == 0 {
 					// Only a cell's first cached observation is campaign
 					// progress; every further claimant seeing it is not.
-					t.completions = append(t.completions, completion{t: r.T})
+					t.completions = append(t.completions, Completion{T: r.T})
 				}
 				if c.Completed == 0 || r.T < c.Completed {
 					c.Completed = r.T
@@ -176,8 +222,14 @@ func Replay(recs []Record) *Timeline {
 			}
 		case TypeClaimed:
 			o.Claimed++
+			if c := cell(r); c != nil {
+				c.Claimed++
+			}
 		case TypeReclaimed:
 			o.Reclaimed++
+			if c := cell(r); c != nil {
+				c.Reclaimed++
+			}
 		case TypeSkipped:
 			o.Skipped++
 			if c := cell(r); c != nil {
@@ -199,6 +251,76 @@ func Replay(recs []Record) *Timeline {
 		}
 	}
 	return t
+}
+
+// fold merges one checkpoint's compacted state into the timeline. The
+// merge rules mirror what replaying the folded raw records would have
+// produced: earliest-wins for Started/Completed and the done
+// attribution, sums for counters, most-recent-open-wins for Host/PID.
+func (t *Timeline) fold(ck *Checkpoint) {
+	if ck.First != 0 && (t.First == 0 || ck.First < t.First) {
+		t.First = ck.First
+	}
+	if ck.Last > t.Last {
+		t.Last = ck.Last
+	}
+	t.Compacted += ck.Records
+	t.CostSec += ck.CostSec
+	for i := range ck.Cells {
+		cc := &ck.Cells[i]
+		c := t.Cells[cc.Hash]
+		if c == nil {
+			dup := *cc
+			t.Cells[cc.Hash] = &dup
+			continue
+		}
+		if c.Index == 0 {
+			// A zero index on the in-progress side may mean "only seen
+			// reclaimed so far"; the checkpoint's index is at least as
+			// informed. (Both zero is a genuine index 0 — harmless.)
+			c.Index = cc.Index
+		}
+		if cc.Started != 0 && (c.Started == 0 || cc.Started < c.Started) {
+			c.Started = cc.Started
+		}
+		if cc.Completed != 0 && (c.Completed == 0 || cc.Completed < c.Completed) {
+			c.Completed = cc.Completed
+		}
+		if cc.Done > 0 && (c.Done == 0 || cc.DoneT < c.DoneT) {
+			c.DoneT, c.DoneOwner, c.WallSec = cc.DoneT, cc.DoneOwner, cc.WallSec
+		}
+		c.Done += cc.Done
+		c.Cached += cc.Cached
+		c.Skipped += cc.Skipped
+		c.Claimed += cc.Claimed
+		c.Reclaimed += cc.Reclaimed
+	}
+	for i := range ck.Owners {
+		oo := &ck.Owners[i]
+		o := t.Owners[oo.Name]
+		if o == nil {
+			dup := *oo
+			t.Owners[oo.Name] = &dup
+			continue
+		}
+		if oo.OpenT >= o.OpenT {
+			o.Host, o.PID, o.OpenT = oo.Host, oo.PID, oo.OpenT
+		}
+		o.Opens += oo.Opens
+		o.Claimed += oo.Claimed
+		o.Done += oo.Done
+		o.Cached += oo.Cached
+		o.Reclaimed += oo.Reclaimed
+		o.Skipped += oo.Skipped
+		o.CostSec += oo.CostSec
+		if oo.First != 0 && (o.First == 0 || oo.First < o.First) {
+			o.First = oo.First
+		}
+		if oo.Last > o.Last {
+			o.Last = oo.Last
+		}
+	}
+	t.completions = append(t.completions, ck.Completions...)
 }
 
 // Span is the timeline's wall-clock extent in seconds.
@@ -249,9 +371,9 @@ func (t *Timeline) RatesWindow(now, window float64) (cellsPerSec, costPerSec flo
 	}
 	n, cost := 0, 0.0
 	for _, c := range t.completions {
-		if c.t >= start {
+		if c.T >= start {
 			n++
-			cost += c.cost
+			cost += c.Cost
 		}
 	}
 	return float64(n) / span, cost / span
@@ -282,8 +404,8 @@ func (t *Timeline) OwnerRatesWindow(now, window float64) map[string]float64 {
 		return out
 	}
 	for _, c := range t.completions {
-		if c.owner != "" && c.t >= start {
-			out[c.owner] += 1 / span
+		if c.Owner != "" && c.T >= start {
+			out[c.Owner] += 1 / span
 		}
 	}
 	return out
@@ -298,6 +420,22 @@ func (t *Timeline) OwnerNames() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// CellsByIndex lists the cells sorted by expansion index (ties by
+// hash), for deterministic rendering.
+func (t *Timeline) CellsByIndex() []*Cell {
+	cells := make([]*Cell, 0, len(t.Cells))
+	for _, c := range t.Cells {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Index != cells[j].Index {
+			return cells[i].Index < cells[j].Index
+		}
+		return cells[i].Hash < cells[j].Hash
+	})
+	return cells
 }
 
 // HistogramBounds are the wall-cost bucket upper bounds (seconds) used

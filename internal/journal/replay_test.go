@@ -124,15 +124,39 @@ func TestRatesWindow(t *testing.T) {
 }
 
 // TestReplayDoubleDone: two done records for one hash is the
-// exactly-once violation the counter exists for.
+// exactly-once violation the counter exists for — and the first
+// simulation keeps the attribution: the later record must not re-blame
+// the cell's owner or replace its wall cost (it used to overwrite
+// both, so the cell blamed the wrong claimant and the histogram
+// bucketed the wrong cost).
 func TestReplayDoubleDone(t *testing.T) {
-	recs := []Record{
-		rec(TypeDone, "a", 0, "h", 1),
-		rec(TypeDone, "b", 0, "h", 2),
-	}
-	tl := Replay(recs)
+	first := rec(TypeDone, "a", 0, "h", 1)
+	first.WallSec = 2
+	second := rec(TypeDone, "b", 0, "h", 2)
+	second.WallSec = 60
+	tl := Replay([]Record{first, second})
 	if tl.Done != 1 || tl.DoubleDone != 1 {
 		t.Errorf("done=%d double=%d, want 1/1", tl.Done, tl.DoubleDone)
+	}
+	c := tl.Cells["h"]
+	if c.Done != 2 {
+		t.Errorf("cell done = %d, want 2", c.Done)
+	}
+	if c.DoneOwner != "a" || c.WallSec != 2 || c.DoneT != 1 {
+		t.Errorf("attribution = %q/%g at t=%g, want first-done a/2 at t=1", c.DoneOwner, c.WallSec, c.DoneT)
+	}
+	if c.Completed != 1 {
+		t.Errorf("completed = %g, want earliest done time 1", c.Completed)
+	}
+	// The histogram must price the cell by its first simulation: one
+	// cell in the <10s bucket, none in overflow.
+	got := tl.CostHistogram()
+	if got[4] != 1 || got[5] != 0 {
+		t.Errorf("histogram = %v, want the 2s first-done cost bucketed, not the 60s rerun", got)
+	}
+	// Both done records still count as owner activity and fleet cost.
+	if tl.CostSec != 62 || tl.Owners["b"].Done != 1 {
+		t.Errorf("fleet cost = %g (owners b done = %d), want 62/1", tl.CostSec, tl.Owners["b"].Done)
 	}
 }
 

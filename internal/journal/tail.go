@@ -27,18 +27,25 @@ import (
 // of such a tail (counted in ReadStats.TruncatedTails) and the line is
 // re-examined once the file grows.
 //
+// Rotation and compaction are transparent: rotated segments are just
+// more .jsonl files, and files superseded by a checkpoint's Folds list
+// (see Compact) are dropped from the merge — once superseded, always
+// superseded, so a compactor deleting files mid-poll never makes the
+// timeline go backwards.
+//
 // A Tailer is not safe for concurrent use.
 type Tailer struct {
 	dir   string
 	files map[string]*tailFile
 
-	// merged is the cached timeline, rebuilt only when a poll consumed
-	// new records or a journal file disappeared.
+	// superseded accumulates every file name any consumed checkpoint
+	// record folded. Membership is permanent: journal files never come
+	// back from the dead.
+	superseded map[string]bool
+	// merged is the cached timeline, rebuilt only when a poll changed
+	// some file's consumed state (new records or skips, a replaced or
+	// vanished file, a newly superseded one).
 	merged []Record
-	// consumed accumulates the skip counts of consumed lines; pending
-	// torn tails are added per poll (they are re-counted until resolved,
-	// matching ReadDir's behavior on the same directory).
-	consumed ReadStats
 	// lastPollBytes is the number of journal-file bytes the most recent
 	// Poll read.
 	lastPollBytes int64
@@ -58,13 +65,31 @@ type tailFile struct {
 	pendingTorn bool
 	// recs are the records consumed from this file, in append order.
 	recs []Record
+	// skips are this file's consumed skip counts and folded checkpoint
+	// stats. Keeping them per file — not on the Tailer — lets a
+	// replaced or vanished file take its skips with it, preserving the
+	// ReadDir equivalence of the returned stats.
+	skips ReadStats
+	// folds accumulates the fold lists of checkpoint records consumed
+	// from this file.
+	folds []string
+}
+
+// reset forgets everything consumed from the file, as if it had never
+// been read: the file was replaced wholesale (or vanished) and its old
+// contents no longer exist on disk.
+func (tf *tailFile) reset() {
+	tf.offset, tf.size, tf.pendingTorn = 0, 0, false
+	tf.recs = tf.recs[:0]
+	tf.skips = ReadStats{}
+	tf.folds = nil
 }
 
 // NewTailer returns a Tailer over a journal directory. The directory
 // need not exist yet — like ReadDir, a missing directory is an empty
 // journal, not an error.
 func NewTailer(dir string) *Tailer {
-	return &Tailer{dir: dir, files: make(map[string]*tailFile)}
+	return &Tailer{dir: dir, files: make(map[string]*tailFile), superseded: make(map[string]bool)}
 }
 
 // LastPollBytes reports how many journal-file bytes the most recent
@@ -97,39 +122,66 @@ func (t *Tailer) Poll() ([]Record, ReadStats, error) {
 	seen := make(map[string]bool, len(names))
 	for _, name := range names {
 		seen[name] = true
+		if t.superseded[name] {
+			continue
+		}
 		tf := t.files[name]
 		if tf == nil {
 			tf = &tailFile{}
 			t.files[name] = tf
 		}
-		grew, err := t.pollFile(name, tf)
+		changed, err := t.pollFile(name, tf)
 		if err != nil {
 			return nil, ReadStats{}, err
 		}
-		if grew {
+		if changed {
 			dirty = true
 		}
 	}
-	stats := t.consumed
-	stats.Files = len(names)
-	for _, name := range names {
-		if t.files[name].pendingTorn {
-			stats.TruncatedTails++
-		}
-	}
-	// A vanished file takes its records with it, as a ReadDir of the
-	// directory now would.
+	// A vanished file takes its records (and skips) with it, as a
+	// ReadDir of the directory now would.
 	for name := range t.files {
 		if !seen[name] {
 			delete(t.files, name)
 			dirty = true
 		}
 	}
+	// Fold newly consumed checkpoint fold lists into the superseded
+	// set, then drop superseded files we were still tailing — their
+	// history now lives in the checkpoint. Collect before deleting so
+	// a superseded checkpoint's own folds are not lost.
+	for _, tf := range t.files {
+		for _, name := range tf.folds {
+			t.superseded[name] = true
+		}
+	}
+	for name := range t.files {
+		if t.superseded[name] {
+			delete(t.files, name)
+			dirty = true
+		}
+	}
+
+	var stats ReadStats
+	for name, tf := range t.files {
+		if !seen[name] {
+			continue
+		}
+		stats.Files++
+		stats.TruncatedTails += tf.skips.TruncatedTails
+		stats.Malformed += tf.skips.Malformed
+		stats.VersionSkew += tf.skips.VersionSkew
+		if tf.pendingTorn {
+			stats.TruncatedTails++
+		}
+	}
 
 	if dirty || t.merged == nil {
 		t.merged = t.merged[:0]
 		for _, name := range names {
-			t.merged = append(t.merged, t.files[name].recs...)
+			if tf := t.files[name]; tf != nil {
+				t.merged = append(t.merged, tf.recs...)
+			}
 		}
 		sort.SliceStable(t.merged, func(i, j int) bool { return t.merged[i].T < t.merged[j].T })
 	}
@@ -137,41 +189,53 @@ func (t *Tailer) Poll() ([]Record, ReadStats, error) {
 	return t.merged, stats, nil
 }
 
-// pollFile advances one file's tail state, reporting whether it consumed
-// anything new (records or skip-counted lines).
+// pollFile advances one file's tail state, reporting whether its
+// consumed state changed: new records or skip-counted lines, or a
+// replaced/vanished file whose old contents were dropped.
 func (t *Tailer) pollFile(name string, tf *tailFile) (bool, error) {
 	path := filepath.Join(t.dir, name)
+	changed := false
 	fi, err := os.Stat(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return false, nil // deleted between ReadDir and Stat; next poll forgets it
+			// Deleted between ReadDir and Stat. Drop what it had — the
+			// caller's vanish sweep only catches files gone by the
+			// directory listing, and serving records from a file that
+			// no longer exists is exactly the stale-merge bug.
+			if tf.offset > 0 || len(tf.recs) > 0 || tf.skips != (ReadStats{}) || tf.pendingTorn {
+				tf.reset()
+				return true, nil
+			}
+			return false, nil
 		}
 		return false, fmt.Errorf("journal: stat %s: %w", name, err)
 	}
 	sz := fi.Size()
 	if sz < tf.offset {
 		// The file shrank — journals are append-only, so it was replaced
-		// wholesale. Start over from byte zero.
-		tf.offset, tf.size, tf.pendingTorn = 0, 0, false
-		tf.recs = tf.recs[:0]
+		// wholesale. Start over from byte zero; dropping the old records
+		// is itself a change even if the replacement is empty (the
+		// sz == tf.size fast path below would otherwise hide it).
+		tf.reset()
+		changed = true
 	}
 	if sz == tf.size {
-		return false, nil // unchanged since last poll: zero bytes to read
+		return changed, nil // unchanged since last poll: zero bytes to read
 	}
 	tf.size = sz
 	if sz == tf.offset {
 		tf.pendingTorn = false
-		return false, nil
+		return changed, nil
 	}
 
 	f, err := os.Open(path)
 	if err != nil {
-		return false, fmt.Errorf("journal: reading %s: %w", name, err)
+		return changed, fmt.Errorf("journal: reading %s: %w", name, err)
 	}
 	defer f.Close()
 	buf := make([]byte, sz-tf.offset)
 	if _, err := io.ReadFull(io.NewSectionReader(f, tf.offset, sz-tf.offset), buf); err != nil {
-		return false, fmt.Errorf("journal: reading %s: %w", name, err)
+		return changed, fmt.Errorf("journal: reading %s: %w", name, err)
 	}
 	t.lastPollBytes += int64(len(buf))
 
@@ -182,25 +246,29 @@ func (t *Tailer) pollFile(name string, tf *tailFile) (bool, error) {
 	tail := buf[consumed:]
 	tf.pendingTorn = len(bytes.TrimSpace(tail)) > 0
 	if consumed == 0 {
-		return false, nil
+		return changed, nil
 	}
-	grew := false
 	for _, line := range bytes.Split(buf[:consumed-1], []byte("\n")) {
 		if len(bytes.TrimSpace(line)) == 0 {
 			continue
 		}
-		grew = true
+		changed = true
 		var r Record
 		if err := json.Unmarshal(line, &r); err != nil || r.Type == "" {
-			t.consumed.Malformed++
+			tf.skips.Malformed++
 			continue
 		}
 		if r.V != Version {
-			t.consumed.VersionSkew++
+			tf.skips.VersionSkew++
 			continue
+		}
+		if r.Type == TypeCheckpoint && r.Checkpoint != nil {
+			tf.folds = append(tf.folds, r.Checkpoint.Folds...)
+			tf.skips.Malformed += r.Checkpoint.Malformed
+			tf.skips.VersionSkew += r.Checkpoint.VersionSkew
 		}
 		tf.recs = append(tf.recs, r)
 	}
 	tf.offset += int64(consumed)
-	return grew, nil
+	return changed, nil
 }

@@ -154,3 +154,140 @@ func TestTailerHoldsTornTail(t *testing.T) {
 		t.Errorf("completed tail: %d records, stats %+v, want the one record and no truncated tail", len(recs), stats)
 	}
 }
+
+// TestTailerTruncateToEmpty: a journal file replaced with an empty one
+// must drop out of the merged timeline on the next poll. The shrink
+// path used to reset the tail state to size 0 and then hit the
+// "unchanged size" fast path without reporting a change, so Poll kept
+// serving the vanished records forever.
+func TestTailerTruncateToEmpty(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Type: TypeDone, Hash: "h", T: 10}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	tl := NewTailer(dir)
+	recs, _, err := tl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 { // open + done
+		t.Fatalf("first poll: %d records, want 2", len(recs))
+	}
+
+	if err := os.Truncate(filepath.Join(dir, "alpha.jsonl"), 0); err != nil {
+		t.Fatal(err)
+	}
+	recs, stats, err := tl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("after truncate-to-empty: still serving %d stale records: %+v", len(recs), recs)
+	}
+	want, wantStats, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 0 || stats != wantStats {
+		t.Errorf("ReadDir equivalence broken: poll stats %+v, ReadDir %+v (%d records)", stats, wantStats, len(want))
+	}
+}
+
+// TestTailerVanishedFileDropsRecords: a deleted journal file must take
+// its records with it even when the deletion lands between the
+// directory listing and the per-file stat.
+func TestTailerVanishedFileDropsRecords(t *testing.T) {
+	dir := t.TempDir()
+	for _, owner := range []string{"alpha", "beta"} {
+		w, err := Open(dir, owner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(Record{Type: TypeDone, Hash: "h-" + owner, T: 10}); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+	}
+	tl := NewTailer(dir)
+	if _, _, err := tl.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "beta.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+	recs, stats, err := tl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantStats, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, want) {
+		t.Errorf("poll after vanish = %+v, want ReadDir's %+v", recs, want)
+	}
+	if stats != wantStats {
+		t.Errorf("stats after vanish = %+v, want ReadDir's %+v", stats, wantStats)
+	}
+}
+
+// TestTailerSkipStatsRewoundOnReplace: skip counts (malformed, version
+// skew) consumed from a file must be rewound when the file is replaced
+// or vanishes. They used to accumulate on the Tailer itself, so a
+// replaced file's skips were double-counted against ReadDir forever.
+func TestTailerSkipStatsRewoundOnReplace(t *testing.T) {
+	dir := t.TempDir()
+	appendRaw(t, dir, "alpha.jsonl", []byte("garbage line\n"+`{"v":999,"t":1,"type":"done","owner":"alpha"}`+"\n"))
+	appendRaw(t, dir, "beta.jsonl", []byte(`{"v":1,"t":2,"type":"done","owner":"beta","index":0}`+"\n"))
+
+	tl := NewTailer(dir)
+	_, stats, err := tl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Malformed != 1 || stats.VersionSkew != 1 {
+		t.Fatalf("first poll stats = %+v, want malformed=1 version_skew=1", stats)
+	}
+
+	// Replace alpha's journal with a clean, shorter file: its old skips
+	// no longer exist on disk.
+	if err := os.WriteFile(filepath.Join(dir, "alpha.jsonl"), []byte(`{"v":1,"t":3,"type":"done","owner":"alpha","index":1}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, stats, err := tl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantStats, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats != wantStats {
+		t.Errorf("stats after replace = %+v, want ReadDir's %+v", stats, wantStats)
+	}
+	if !reflect.DeepEqual(recs, want) {
+		t.Errorf("records after replace = %+v, want ReadDir's %+v", recs, want)
+	}
+
+	// Vanishing the file must rewind the remaining skips too.
+	if err := os.Remove(filepath.Join(dir, "alpha.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err = tl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wantStats, err = ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats != wantStats {
+		t.Errorf("stats after vanish = %+v, want ReadDir's %+v", stats, wantStats)
+	}
+}

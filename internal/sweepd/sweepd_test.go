@@ -48,6 +48,7 @@ func TestHTTPStoreConformance(t *testing.T) {
 			Store:      client,
 			CellReads:  ds.CellReads, // the daemon's reads are the ones that count
 			JournalDir: ds.JournalDir(),
+			SetRotate:  ds.SetJournalRotateBytes, // the daemon's writers rotate
 		}
 	})
 }
