@@ -13,11 +13,32 @@ BENCH_RE = SweepLatency|EngineTaskNs|EngineCellGrid
 # PROFILE_DIR collects pprof artifacts; it is gitignored scratch space.
 PROFILE_DIR ?= profiles
 
-.PHONY: test bench profile bench-baseline bench-gate
+.PHONY: test bench profile bench-baseline bench-gate lint
 
 test:
 	$(GO) build ./...
 	$(GO) test ./...
+
+# lint runs the static gates exactly as CI's lint job does: gofmt, the
+# stock vet, and ompss-vet — the determinism analyzers in internal/lint
+# that enforce the byte-identity invariant (wall-clock reads in
+# virtual-time packages, map-order emission, unseeded randomness,
+# dropped journal errors, typed-nil extension points). staticcheck is
+# included when installed; CI always runs it at a pinned version, so an
+# offline checkout skipping it still cannot merge a violation.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) build -o bin/ompss-vet ./cmd/ompss-vet
+	$(GO) vet -vettool=$(CURDIR)/bin/ompss-vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipped (CI runs it pinned)"; \
+	fi
 
 # bench runs the gated benchmarks exactly as CI does: -benchtime 1x
 # (each is internally iteration-heavy), min of 3 runs taken by

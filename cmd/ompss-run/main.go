@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
 	"repro/internal/apps"
 	"repro/internal/stats"
@@ -122,8 +123,15 @@ func main() {
 
 	res := r.Execute()
 	fmt.Println(res)
-	for taskType, counts := range res.VersionCounts {
-		fmt.Printf("  %s: %v\n", taskType, counts)
+	// Emit in sorted task-type order: VersionCounts is a map, and map
+	// order would shuffle these lines between otherwise identical runs.
+	taskTypes := make([]string, 0, len(res.VersionCounts))
+	for taskType := range res.VersionCounts {
+		taskTypes = append(taskTypes, taskType)
+	}
+	sort.Strings(taskTypes)
+	for _, taskType := range taskTypes {
+		fmt.Printf("  %s: %v\n", taskType, res.VersionCounts[taskType])
 	}
 	if *verify {
 		if err := check(); err != nil {

@@ -58,9 +58,11 @@
 // re-plan the recorded campaign with its journaled wall costs and
 // report the projected makespan delta without running a single
 // simulation. Long campaigns bound their journal with -journal-rotate
-// (claimants spill closed segments at the byte threshold) and
-// -compact-journal (folds closed segments into a checkpoint); both
-// leave every journal reader's output unchanged.
+// (claimants spill closed segments at the byte threshold) and fold the
+// segments away either on demand (-compact-journal) or continuously
+// (-compact-after N: each claimant compacts in-line once N closed
+// segments accumulate, serialized across the fleet by a lock file);
+// all of it leaves every journal reader's output unchanged.
 //
 // Usage:
 //
@@ -83,6 +85,7 @@
 //	ompss-sweep -replay /shared/c -what-if-plan cost -what-if-procs 8
 //	ompss-sweep -cache /shared/c -procs 4 -journal-rotate 1048576  # bounded journal
 //	ompss-sweep -cache /shared/c -compact-journal  # fold closed segments
+//	ompss-sweep -cache /shared/c -procs 4 -journal-rotate 65536 -compact-after 8  # self-compacting fleet
 //	ompss-sweep -cost-csv costs.csv -cache .sweep-cache  # per-run wall costs
 //	ompss-sweep -list-apps                   # registered applications
 package main
@@ -107,43 +110,44 @@ import (
 
 func main() {
 	var (
-		appsFlag    = flag.String("apps", strings.Join(exp.DefaultApps(), ","), "comma-separated app names")
-		schedFlag   = flag.String("schedulers", strings.Join(exp.DefaultSchedulers(), ","), "comma-separated scheduler names")
-		machineFlag = flag.String("machines", "", "comma-separated machine shapes: node, cluster:RxC, cluster:RxC+Gg (default node)")
-		smpFlag     = flag.String("smp", "2,4", "comma-separated SMP worker counts")
-		gpuFlag     = flag.String("gpus", "1,2", "comma-separated GPU counts")
-		lambdaFlag  = flag.String("lambdas", "", "comma-separated versioning learning thresholds (0 = paper default 3)")
-		tolFlag     = flag.String("size-tolerances", "", "comma-separated size-grouping tolerances (0 = exact matching)")
-		ewmaFlag    = flag.String("ewma-alphas", "", "comma-separated EWMA alphas in [0,1] (0 = arithmetic mean)")
-		localFlag   = flag.String("locality", "", "comma-separated bools for the locality-aware extension (default false)")
-		noiseFlag   = flag.String("noise", "0.05", "comma-separated jitter sigmas")
-		replicas    = flag.Int("replicas", 3, "seed replicas per cell")
-		seed        = flag.Int64("seed", 1, "base seed for the replica seeds (0 = default 1)")
-		sizeFlag    = flag.String("size", "tiny", "problem size tier: tiny, quick or full")
-		parallel    = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size (1 = serial)")
-		storeURL    = flag.String("store", "", "campaign store URL: dir:///path or http://host:port (an ompss-sweepd coordinator); skip runs the store has seen, store new ones")
-		cachePath   = flag.String("cache", "", "campaign cache directory (alias for -store dir://DIR)")
-		planFlag    = flag.String("plan", "order", "uncached-cell execution order: order (grid expansion) or cost (most expensive first, from costs recorded in -cache)")
-		budgetFlag  = flag.Duration("budget", 0, "stop claiming new cells once cost-model estimates of the admitted work would exceed this many simulation-seconds (requires -cache; implies -plan cost; skipped cells are reported and left for an unbudgeted resume)")
-		traceDir    = flag.String("trace-dir", "", "write one Paraver .prv/.pcf pair per freshly simulated run into this directory")
-		chromeDir   = flag.String("chrome-trace-dir", "", "write one Chrome trace-event .trace.json per freshly simulated run into this directory")
-		procs       = flag.Int("procs", 1, "spawn this many claim-worker processes over -cache and merge their results")
-		claim       = flag.Bool("claim", false, "run as one claim worker: lease uncached cells of -cache, simulate, store, exit when the grid is fully cached")
-		leaseTTL    = flag.Duration("lease-ttl", exp.DefaultLeaseTTL, "claim-mode lease staleness threshold (crashed workers' cells are reclaimed after this)")
-		watchDir    = flag.String("watch", "", "tail this campaign store — a directory, dir:// URL or http:// coordinator — (cells done, leases outstanding) instead of sweeping; uses the grid flags for the total")
-		watchEvery  = flag.Duration("watch-interval", time.Second, "poll interval for -watch")
-		replayDir   = flag.String("replay", "", "render this campaign store's forensics timeline from its journals (per-claimant Gantt, contention, reclaim storms, cost histogram, exactly-once audit) and exit; -csv/-json write the per-cell table / full report")
-		whatIfPlan  = flag.String("what-if-plan", "", "with -replay: re-plan the recorded campaign under this planner (order or cost) using journaled wall costs and report the projected wall-time delta — zero simulations")
-		whatIfProcs = flag.Int("what-if-procs", 0, "with -replay: what-if claimant count (0 = the recorded claimant count); -budget replays the admission rule too")
-		rotateBytes = flag.Int64("journal-rotate", 0, "rotate this process's campaign journal file once it would exceed `bytes` (0 = never; dir stores only — http claimants journal at the coordinator, see ompss-sweepd -journal-rotate)")
-		compactJrnl = flag.Bool("compact-journal", false, "fold the store's closed journal segments into a checkpoint (see internal/journal) and exit; requires -store or -cache")
-		csvPath     = flag.String("csv", "", "write per-cell CSV to this file (- for stdout)")
-		jsonPath    = flag.String("json", "", "write per-cell JSON to this file (- for stdout)")
-		costCSV     = flag.String("cost-csv", "", "write per-run wall-clock cost CSV to this file (- for stdout; execution facts, not deterministic)")
-		costJSON    = flag.String("cost-json", "", "write per-run wall-clock cost JSON to this file (- for stdout)")
-		quiet       = flag.Bool("quiet", false, "suppress the progress and cache-stats lines")
-		noSummary   = flag.Bool("no-summary", false, "suppress the text summary table")
-		listApps    = flag.Bool("list-apps", false, "list registered applications and exit")
+		appsFlag     = flag.String("apps", strings.Join(exp.DefaultApps(), ","), "comma-separated app names")
+		schedFlag    = flag.String("schedulers", strings.Join(exp.DefaultSchedulers(), ","), "comma-separated scheduler names")
+		machineFlag  = flag.String("machines", "", "comma-separated machine shapes: node, cluster:RxC, cluster:RxC+Gg (default node)")
+		smpFlag      = flag.String("smp", "2,4", "comma-separated SMP worker counts")
+		gpuFlag      = flag.String("gpus", "1,2", "comma-separated GPU counts")
+		lambdaFlag   = flag.String("lambdas", "", "comma-separated versioning learning thresholds (0 = paper default 3)")
+		tolFlag      = flag.String("size-tolerances", "", "comma-separated size-grouping tolerances (0 = exact matching)")
+		ewmaFlag     = flag.String("ewma-alphas", "", "comma-separated EWMA alphas in [0,1] (0 = arithmetic mean)")
+		localFlag    = flag.String("locality", "", "comma-separated bools for the locality-aware extension (default false)")
+		noiseFlag    = flag.String("noise", "0.05", "comma-separated jitter sigmas")
+		replicas     = flag.Int("replicas", 3, "seed replicas per cell")
+		seed         = flag.Int64("seed", 1, "base seed for the replica seeds (0 = default 1)")
+		sizeFlag     = flag.String("size", "tiny", "problem size tier: tiny, quick or full")
+		parallel     = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size (1 = serial)")
+		storeURL     = flag.String("store", "", "campaign store URL: dir:///path or http://host:port (an ompss-sweepd coordinator); skip runs the store has seen, store new ones")
+		cachePath    = flag.String("cache", "", "campaign cache directory (alias for -store dir://DIR)")
+		planFlag     = flag.String("plan", "order", "uncached-cell execution order: order (grid expansion) or cost (most expensive first, from costs recorded in -cache)")
+		budgetFlag   = flag.Duration("budget", 0, "stop claiming new cells once cost-model estimates of the admitted work would exceed this many simulation-seconds (requires -cache; implies -plan cost; skipped cells are reported and left for an unbudgeted resume)")
+		traceDir     = flag.String("trace-dir", "", "write one Paraver .prv/.pcf pair per freshly simulated run into this directory")
+		chromeDir    = flag.String("chrome-trace-dir", "", "write one Chrome trace-event .trace.json per freshly simulated run into this directory")
+		procs        = flag.Int("procs", 1, "spawn this many claim-worker processes over -cache and merge their results")
+		claim        = flag.Bool("claim", false, "run as one claim worker: lease uncached cells of -cache, simulate, store, exit when the grid is fully cached")
+		leaseTTL     = flag.Duration("lease-ttl", exp.DefaultLeaseTTL, "claim-mode lease staleness threshold (crashed workers' cells are reclaimed after this)")
+		watchDir     = flag.String("watch", "", "tail this campaign store — a directory, dir:// URL or http:// coordinator — (cells done, leases outstanding) instead of sweeping; uses the grid flags for the total")
+		watchEvery   = flag.Duration("watch-interval", time.Second, "poll interval for -watch")
+		replayDir    = flag.String("replay", "", "render this campaign store's forensics timeline from its journals (per-claimant Gantt, contention, reclaim storms, cost histogram, exactly-once audit) and exit; -csv/-json write the per-cell table / full report")
+		whatIfPlan   = flag.String("what-if-plan", "", "with -replay: re-plan the recorded campaign under this planner (order or cost) using journaled wall costs and report the projected wall-time delta — zero simulations")
+		whatIfProcs  = flag.Int("what-if-procs", 0, "with -replay: what-if claimant count (0 = the recorded claimant count); -budget replays the admission rule too")
+		rotateBytes  = flag.Int64("journal-rotate", 0, "rotate this process's campaign journal file once it would exceed `bytes` (0 = never; dir stores only — http claimants journal at the coordinator, see ompss-sweepd -journal-rotate)")
+		compactJrnl  = flag.Bool("compact-journal", false, "fold the store's closed journal segments into a checkpoint (see internal/journal) and exit; requires -store or -cache")
+		compactAfter = flag.Int("compact-after", 0, "auto-compact the journal once it holds this many closed `segments`: each claimant folds them in-line after a rotation, racing through a lock file (0 = never; requires -journal-rotate and a dir store)")
+		csvPath      = flag.String("csv", "", "write per-cell CSV to this file (- for stdout)")
+		jsonPath     = flag.String("json", "", "write per-cell JSON to this file (- for stdout)")
+		costCSV      = flag.String("cost-csv", "", "write per-run wall-clock cost CSV to this file (- for stdout; execution facts, not deterministic)")
+		costJSON     = flag.String("cost-json", "", "write per-run wall-clock cost JSON to this file (- for stdout)")
+		quiet        = flag.Bool("quiet", false, "suppress the progress and cache-stats lines")
+		noSummary    = flag.Bool("no-summary", false, "suppress the text summary table")
+		listApps     = flag.Bool("list-apps", false, "list registered applications and exit")
 	)
 	flag.Parse()
 
@@ -240,6 +244,25 @@ func main() {
 		// workers, so every fleet member rotates at the same threshold.
 		if ds, ok := store.(*exp.DirStore); ok {
 			ds.SetJournalRotateBytes(*rotateBytes)
+		}
+	}
+	if *compactAfter != 0 {
+		if *compactAfter < 0 {
+			fatal(fmt.Errorf("-compact-after must be non-negative, got %d", *compactAfter))
+		}
+		if store == nil {
+			fatal(fmt.Errorf("-compact-after requires -store (or -cache): the journal lives in the store"))
+		}
+		if *rotateBytes == 0 {
+			fatal(fmt.Errorf("-compact-after counts closed segments, which only rotation produces: pass -journal-rotate too"))
+		}
+		// Dir stores only, like -journal-rotate: an http claimant's
+		// journal lives at the coordinator, whose ompss-sweepd ticks its
+		// own interval-driven compactor. Forwarded to -procs workers so
+		// the whole fleet shares one threshold (any member's rotation can
+		// trip the fold; the lock file picks the one that runs it).
+		if ds, ok := store.(*exp.DirStore); ok {
+			ds.SetJournalCompactAfter(*compactAfter)
 		}
 	}
 	if *compactJrnl {
@@ -442,6 +465,13 @@ func main() {
 	if journalRec != nil {
 		if jerr := journalRec.Err(); jerr != nil {
 			fmt.Fprintf(os.Stderr, "ompss-sweep: warning: campaign journal incomplete: %v\n", jerr)
+		}
+	}
+	if ds, ok := store.(*exp.DirStore); ok && *compactAfter > 0 {
+		// Auto-compact failures never fail the appends they rode on, so
+		// this exit check is their only surfacing.
+		if _, cerr := ds.JournalAutoCompaction(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "ompss-sweep: warning: journal auto-compaction failed: %v\n", cerr)
 		}
 	}
 

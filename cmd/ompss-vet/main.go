@@ -1,0 +1,28 @@
+// Command ompss-vet is the repo's determinism lint suite as a go vet
+// tool: five analyzers (mapiter, wallclock, seedrand, journalerr,
+// typednil — see internal/lint) that enforce the byte-identity
+// invariant statically, so nondeterminism is caught at analysis time
+// instead of by golden-SHA tests after the fact.
+//
+// Usage:
+//
+//	go vet -vettool=$(path to ompss-vet) ./...   # the canonical CI form
+//	ompss-vet ./...                              # same, re-execs go vet
+//	ompss-vet -mapiter -typednil ./...           # run a subset
+//	make lint                                    # gofmt + go vet + ompss-vet
+//
+// Suppress a deliberate exception on its own line or the line above:
+//
+//	//ompssvet:allow <analyzer> <reason>
+//
+// The reason is mandatory; malformed directives are findings.
+package main
+
+import (
+	"repro/internal/lint"
+	"repro/internal/lint/unitchecker"
+)
+
+func main() {
+	unitchecker.Main(lint.Analyzers...)
+}

@@ -73,6 +73,15 @@ type DirStore struct {
 	// jrotate is the journal rotation threshold handed to lazily opened
 	// writers (0 = unbounded files; see SetJournalRotateBytes).
 	jrotate int64
+	// jcompactAfter is the segment-count auto-compact threshold
+	// (0 = never; see SetJournalCompactAfter); jrotSeen tracks each
+	// writer's last observed rotation count so the policy only pays a
+	// directory scan when a rotation actually produced a new segment;
+	// jcompacts and jcompactErr record what the policy did.
+	jcompactAfter int
+	jrotSeen      map[string]int
+	jcompacts     int
+	jcompactErr   error
 }
 
 // Cache is the historical name of DirStore, kept as an alias so every
@@ -98,6 +107,7 @@ func OpenDirStore(dir string) (*DirStore, error) {
 		manifest: make(map[string]ManifestEntry),
 		journals: make(map[string]*journal.Writer),
 		jerrs:    make(map[string]error),
+		jrotSeen: make(map[string]int),
 	}
 	if err := c.reconcileManifest(); err != nil {
 		return nil, err
@@ -302,7 +312,42 @@ func (c *DirStore) AppendJournal(owner string, rec journal.Record) error {
 		}
 		c.journals[owner] = w
 	}
-	return w.Append(rec)
+	if err := w.Append(rec); err != nil {
+		return err
+	}
+	c.maybeAutoCompactLocked(owner, w)
+	return nil
+}
+
+// maybeAutoCompactLocked applies the segment-count auto-compact policy
+// after a successful append (jmu held): when this append rotated a new
+// closed segment into the directory and the directory now holds at
+// least the threshold's worth of segments, fold them. The lock-file
+// race (see journal.CompactExclusive) makes this safe for a fleet of
+// claimants sharing the directory — losers of the race skip their
+// pass. Failures never fail the append that triggered them: the
+// journal history is intact either way, so the error is parked for
+// JournalAutoCompaction to report.
+func (c *DirStore) maybeAutoCompactLocked(owner string, w *journal.Writer) {
+	if c.jcompactAfter <= 0 {
+		return
+	}
+	rot := w.Rotations()
+	if rot == c.jrotSeen[owner] {
+		return
+	}
+	c.jrotSeen[owner] = rot
+	if journal.SegmentCount(c.JournalDir()) < c.jcompactAfter {
+		return
+	}
+	_, held, err := journal.CompactExclusive(c.JournalDir())
+	if err != nil {
+		c.jcompactErr = err
+		return
+	}
+	if held {
+		c.jcompacts++
+	}
 }
 
 // SetJournalRotateBytes bounds the journal files this store's writers
@@ -315,6 +360,33 @@ func (c *DirStore) SetJournalRotateBytes(n int64) {
 	c.jmu.Lock()
 	defer c.jmu.Unlock()
 	c.jrotate = n
+}
+
+// SetJournalCompactAfter arms the segment-count auto-compact policy:
+// whenever one of this store's journal appends rotates a segment aside
+// and the journal directory then holds at least n closed segments,
+// the store folds them into a checkpoint in-line (mirroring the
+// ompss-sweepd daemon's interval ticker, but driven by the quantity
+// the bound is actually about). Unlike CompactJournal, the in-line
+// pass is claimant-safe: a lock file serializes compactors across the
+// processes sharing the directory. n <= 0 (the default) disables the
+// policy. Pair it with SetJournalRotateBytes — without rotation no
+// segment ever appears and the policy never fires.
+func (c *DirStore) SetJournalCompactAfter(n int) {
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	c.jcompactAfter = n
+}
+
+// JournalAutoCompaction reports what the SetJournalCompactAfter policy
+// has done: completed in-line compaction passes, and the most recent
+// pass failure (nil if none). Auto-compact failures are deliberately
+// not surfaced through AppendJournal — the append they rode on
+// succeeded — so campaign drivers should check here at exit.
+func (c *DirStore) JournalAutoCompaction() (passes int, lastErr error) {
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	return c.jcompacts, c.jcompactErr
 }
 
 // CompactJournal implements CellStore: it folds this store's closed

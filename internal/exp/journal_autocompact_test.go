@@ -1,0 +1,123 @@
+package exp
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/journal"
+)
+
+// TestAutoCompactReaderInvariance drives one rotation-heavy journal
+// stream into two stores — one with the segment-count auto-compact
+// policy armed, one rotation-only — and asserts the policy's two
+// contracts: it actually fires (passes recorded, segments folded), and
+// every journal reader sees the same campaign through it (the
+// byte-identity discipline extends to compaction: folding history must
+// never rewrite it).
+func TestAutoCompactReaderInvariance(t *testing.T) {
+	control, err := OpenDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := OpenDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const threshold = 2
+	for _, c := range []*DirStore{control, auto} {
+		c.SetJournalRotateBytes(192) // a couple of records per segment
+	}
+	auto.SetJournalCompactAfter(threshold)
+
+	// Two claimants interleaving claim/done records with explicit
+	// timestamps, so the two directories replay to identical cell and
+	// owner state (only the writer-session open records carry real
+	// clock readings, and those are excluded from the comparison).
+	owners := []string{"w1", "w2"}
+	for i := 0; i < 120; i++ {
+		owner := owners[i%len(owners)]
+		hash := fmt.Sprintf("%04x", i)
+		for _, rec := range []journal.Record{
+			{Type: journal.TypeClaimed, Index: i, Hash: hash, T: 1000 + float64(2*i)},
+			{Type: journal.TypeDone, Index: i, Hash: hash, WallSec: 1.25, T: 1000 + float64(2*i+1)},
+		} {
+			for _, c := range []*DirStore{control, auto} {
+				if err := c.AppendJournal(owner, rec); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for _, c := range []*DirStore{control, auto} {
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	passes, cerr := auto.JournalAutoCompaction()
+	if cerr != nil {
+		t.Fatalf("auto-compaction error: %v", cerr)
+	}
+	if passes == 0 {
+		t.Fatal("auto-compact policy never fired over a rotation-heavy stream")
+	}
+	if cp, _ := control.JournalAutoCompaction(); cp != 0 {
+		t.Fatalf("unarmed store ran %d compaction passes", cp)
+	}
+	controlSegs := journal.SegmentCount(control.JournalDir())
+	autoSegs := journal.SegmentCount(auto.JournalDir())
+	if controlSegs <= threshold {
+		t.Fatalf("control store spilled only %d segments; fixture is not rotation-heavy", controlSegs)
+	}
+	if autoSegs >= controlSegs {
+		t.Fatalf("auto-compacting store holds %d segments, control %d: nothing was folded", autoSegs, controlSegs)
+	}
+
+	want := replayStore(t, control)
+	got := replayStore(t, auto)
+	if got.Compacted == 0 {
+		t.Fatal("auto store replay folded no checkpoint: compaction left no trace")
+	}
+	if got.Done != want.Done || got.CachedOnly != want.CachedOnly ||
+		got.DoubleDone != want.DoubleDone || got.CostSec != want.CostSec {
+		t.Errorf("replay totals diverge: got done=%d cachedOnly=%d doubleDone=%d cost=%g, want done=%d cachedOnly=%d doubleDone=%d cost=%g",
+			got.Done, got.CachedOnly, got.DoubleDone, got.CostSec,
+			want.Done, want.CachedOnly, want.DoubleDone, want.CostSec)
+	}
+	if !reflect.DeepEqual(sortedCells(got), sortedCells(want)) {
+		t.Errorf("per-cell replay state diverges between compacted and raw journals")
+	}
+	if g, w := got.OwnerNames(), want.OwnerNames(); !reflect.DeepEqual(g, w) {
+		t.Errorf("owner sets diverge: got %v, want %v", g, w)
+	}
+	for _, name := range want.OwnerNames() {
+		g, w := got.Owners[name], want.Owners[name]
+		if g.Done != w.Done || g.Claimed != w.Claimed || g.CostSec != w.CostSec || g.Opens != w.Opens {
+			t.Errorf("owner %s diverges: got done=%d claimed=%d cost=%g opens=%d, want done=%d claimed=%d cost=%g opens=%d",
+				name, g.Done, g.Claimed, g.CostSec, g.Opens, w.Done, w.Claimed, w.CostSec, w.Opens)
+		}
+	}
+}
+
+func replayStore(t *testing.T, c *DirStore) *journal.Timeline {
+	t.Helper()
+	recs, stats, err := journal.ReadDir(c.JournalDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Skipped() != 0 {
+		t.Fatalf("reader skipped records: %v", stats)
+	}
+	return journal.Replay(recs)
+}
+
+func sortedCells(tl *journal.Timeline) []journal.Cell {
+	cells := make([]journal.Cell, 0, len(tl.Cells))
+	for _, c := range tl.Cells {
+		cells = append(cells, *c)
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Hash < cells[j].Hash })
+	return cells
+}

@@ -1,0 +1,115 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// rotateHeavy fills dir with enough tiny-threshold appends to spill a
+// pile of closed segments, returning the record count written.
+func rotateHeavy(t *testing.T, dir string, n int) {
+	t.Helper()
+	w, err := OpenRotating(dir, "writer", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		rec := Record{
+			Type: TypeDone, Index: i,
+			Hash:    fmt.Sprintf("cell-%04d", i),
+			T:       1000 + float64(i),
+			WallSec: 0.5,
+		}
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactExclusive(t *testing.T) {
+	dir := t.TempDir()
+	rotateHeavy(t, dir, 30)
+	segs := SegmentCount(dir)
+	if segs == 0 {
+		t.Fatal("rotation produced no closed segments; threshold too large for the fixture records")
+	}
+	want := Replay(mustReadDir(t, dir))
+
+	// A fresh (live) lock means another compactor is mid-pass: this
+	// call must stand down without touching anything.
+	lock := filepath.Join(dir, compactLockName)
+	if err := os.WriteFile(lock, []byte("other-host:1234\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stats, held, err := CompactExclusive(dir)
+	if err != nil {
+		t.Fatalf("CompactExclusive under a live lock: %v", err)
+	}
+	if held {
+		t.Fatalf("pass ran despite a live lock (stats %v)", stats)
+	}
+	if got := SegmentCount(dir); got != segs {
+		t.Fatalf("stood-down pass changed the directory: %d segments, had %d", got, segs)
+	}
+
+	// Backdating the lock past the TTL turns it into a crashed holder's
+	// remains: the next call breaks it and compacts.
+	stale := time.Now().Add(-compactLockTTL - time.Minute)
+	if err := os.Chtimes(lock, stale, stale); err != nil {
+		t.Fatal(err)
+	}
+	stats, held, err = CompactExclusive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !held {
+		t.Fatal("stale lock was not broken")
+	}
+	if stats.Checkpoint == "" || stats.Segments != segs {
+		t.Fatalf("pass folded %d of %d segments (stats %v)", stats.Segments, segs, stats)
+	}
+	if got := SegmentCount(dir); got != 0 {
+		t.Fatalf("%d segments survived compaction", got)
+	}
+	if _, err := os.Stat(lock); !os.IsNotExist(err) {
+		t.Fatalf("lock not released after the pass (stat err %v)", err)
+	}
+	timelineEqual(t, Replay(mustReadDir(t, dir)), want, "after exclusive compaction")
+}
+
+func TestSegmentCount(t *testing.T) {
+	if got := SegmentCount(filepath.Join(t.TempDir(), "absent")); got != 0 {
+		t.Fatalf("missing directory counts %d segments, want 0", got)
+	}
+	dir := t.TempDir()
+	rotateHeavy(t, dir, 30)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := 0
+	for _, e := range entries {
+		if _, _, ok := splitSegmentName(e.Name()); ok {
+			segs++
+		}
+	}
+	if got := SegmentCount(dir); got != segs || got == 0 {
+		t.Fatalf("SegmentCount = %d, directory holds %d", got, segs)
+	}
+	// The active file, checkpoints and foreign files never count.
+	if _, _, err := CompactExclusive(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := SegmentCount(dir); got != 0 {
+		t.Fatalf("SegmentCount = %d after compaction, want 0", got)
+	}
+}

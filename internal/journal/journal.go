@@ -133,10 +133,12 @@ type Writer struct {
 	dir   string
 	stem  string
 	// rotateBytes is the active-file size threshold (0 = never rotate);
-	// size tracks the active file, seq the last segment number used.
+	// size tracks the active file, seq the last segment number used,
+	// rotations the count of successful rotations this session.
 	rotateBytes int64
 	size        int64
 	seq         int
+	rotations   int
 }
 
 // Open creates (if needed) the journal directory and opens the owner's
@@ -263,6 +265,18 @@ func (w *Writer) Path() string { return w.path }
 // Owner returns the owner tag stamped into this writer's records.
 func (w *Writer) Owner() string { return w.owner }
 
+// Rotations reports how many times this writer has rotated its active
+// file aside this session. The count is an edge signal, not dir state:
+// a caller that polls it after each Append learns exactly when a new
+// closed segment appeared, which is the cheap moment to decide whether
+// the directory has accumulated enough segments to be worth compacting
+// (see CompactExclusive).
+func (w *Writer) Rotations() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.rotations
+}
+
 // Append stamps and writes one record as a single JSON line. The line
 // is written with one write call on an O_APPEND descriptor, so
 // concurrent appenders (or a crash) can tear at most the final line of
@@ -316,6 +330,7 @@ func (w *Writer) rotateLocked() {
 		return
 	}
 	w.seq++
+	w.rotations++
 	w.f.Close()
 	w.f = nil
 	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)

@@ -1,0 +1,59 @@
+// Package analysis is a minimal, dependency-free subset of the
+// golang.org/x/tools/go/analysis API: just enough structure — an
+// Analyzer with a Run function over a type-checked Pass — for the
+// repo's determinism analyzers (internal/lint) and their drivers
+// (internal/lint/unitchecker, internal/lint/analysistest) to share
+// one vocabulary. The container this repo builds in has no module
+// proxy access, so the real x/tools package cannot be vendored; the
+// analyzers are written against this subset so they would port to the
+// upstream API by changing only import paths.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Unlike the x/tools original it
+// carries no flags, facts or dependency graph — every analyzer here is
+// package-local and self-contained, which is all the determinism suite
+// needs.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, enable flags
+	// (-<name> on the ompss-vet command line) and //ompssvet:allow
+	// suppression directives.
+	Name string
+	// Doc is the one-paragraph description shown by -help and the
+	// README's analyzer table.
+	Doc string
+	// Run inspects one type-checked package and reports findings via
+	// pass.Report/Reportf. The returned value is ignored by the
+	// drivers (kept for x/tools signature compatibility).
+	Run func(*Pass) (any, error)
+}
+
+// Pass carries one type-checked package through an Analyzer.Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one finding. The drivers install a collector
+	// that applies //ompssvet:allow suppression and test-file
+	// filtering after the analyzer runs.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

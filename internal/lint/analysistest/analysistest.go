@@ -1,0 +1,236 @@
+// Package analysistest runs an internal/lint/analysis analyzer over
+// fixture packages and checks its findings against expectations
+// written in the fixtures themselves, mirroring the x/tools package of
+// the same name:
+//
+//	testdata/src/<pkg>/*.go        the fixture package(s)
+//	... code ...  // want "regexp"  expected finding on this line
+//
+// A line may carry several `// want "re1" "re2"` patterns (one per
+// expected finding). Lines without a want comment must produce no
+// finding; every want must be matched; //ompssvet:allow suppression is
+// honored because fixtures run through the same internal/lint/driver
+// as the real vet tool.
+//
+// Fixture imports resolve in two steps: a sibling directory under
+// testdata/src satisfies the path first (so fixtures can model the
+// repo's journal/store types without importing the real ones), and
+// anything else falls back to the standard library, type-checked from
+// GOROOT source — no compiled export data or network needed.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/driver"
+)
+
+// Run analyzes each fixture package under testdata/src and reports
+// mismatches between findings and want comments through t. known
+// lists every analyzer name valid in allow directives (pass the full
+// suite's names so fixtures can carry cross-analyzer allows).
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, known []string, pkgpaths ...string) {
+	t.Helper()
+	for _, pkgpath := range pkgpaths {
+		pkgpath := pkgpath
+		t.Run(pkgpath, func(t *testing.T) {
+			t.Helper()
+			runOne(t, testdata, a, known, pkgpath)
+		})
+	}
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, known []string, pkgpath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := &fixtureImporter{
+		testdata: testdata,
+		fset:     fset,
+		std:      importer.ForCompiler(fset, "source", nil),
+		pkgs:     map[string]*fixturePkg{},
+	}
+	fp, err := imp.load(pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	}
+
+	diags, err := driver.Analyze(fset, fp.files, fp.pkg, fp.info, []*analysis.Analyzer{a}, known)
+	if err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, fset, fp.files)
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+		if i := matchWant(wants[key], d.Message); i >= 0 {
+			wants[key] = append(wants[key][:i], wants[key][i+1:]...)
+			continue
+		}
+		t.Errorf("%v: unexpected finding: %s (%s)", p, d.Message, d.Analyzer)
+	}
+	var keys []string
+	for k, ws := range wants {
+		if len(ws) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			t.Errorf("%s: expected finding matching %q, got none", k, w.re)
+		}
+	}
+}
+
+type want struct {
+	re *regexp.Regexp
+}
+
+// collectWants parses `// want "re" ["re"...]` comments into a map
+// keyed by file:line.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]want {
+	t.Helper()
+	wants := map[string][]want{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				rest, ok := strings.CutPrefix(strings.TrimSpace(text), "want ")
+				if !ok {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+				for _, q := range splitQuoted(t, p, rest) {
+					re, err := regexp.Compile(q)
+					if err != nil {
+						t.Fatalf("%v: bad want pattern %q: %v", p, q, err)
+					}
+					wants[key] = append(wants[key], want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted extracts the double-quoted patterns of a want comment.
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		if s[0] != '"' {
+			t.Fatalf("%v: malformed want comment near %q (patterns must be double-quoted)", pos, s)
+		}
+		end := strings.IndexByte(s[1:], '"')
+		if end < 0 {
+			t.Fatalf("%v: unterminated want pattern %q", pos, s)
+		}
+		out = append(out, s[1:1+end])
+		s = s[end+2:]
+	}
+}
+
+func matchWant(ws []want, msg string) int {
+	for i, w := range ws {
+		if w.re.MatchString(msg) {
+			return i
+		}
+	}
+	return -1
+}
+
+// fixturePkg is one type-checked fixture package.
+type fixturePkg struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// fixtureImporter loads packages from testdata/src first and the
+// standard library (from source) second. Fixture loads are memoized so
+// diamond imports type-check once.
+type fixtureImporter struct {
+	testdata string
+	fset     *token.FileSet
+	std      types.Importer
+	pkgs     map[string]*fixturePkg
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	dir := filepath.Join(fi.testdata, "src", filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		fp, err := fi.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.pkg, nil
+	}
+	return fi.std.Import(path)
+}
+
+func (fi *fixtureImporter) load(path string) (*fixturePkg, error) {
+	if fp, ok := fi.pkgs[path]; ok {
+		if fp == nil {
+			return nil, fmt.Errorf("import cycle through fixture %q", path)
+		}
+		return fp, nil
+	}
+	fi.pkgs[path] = nil // cycle guard
+	dir := filepath.Join(fi.testdata, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fi.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture %q has no Go files", path)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	cfg := types.Config{Importer: fi}
+	pkg, err := cfg.Check(path, fi.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	fp := &fixturePkg{files: files, pkg: pkg, info: info}
+	fi.pkgs[path] = fp
+	return fp, nil
+}

@@ -1,0 +1,181 @@
+// Package driver runs a set of internal/lint/analysis analyzers over
+// one type-checked package and applies the suite-wide diagnostic
+// policy that every entry point (go vet -vettool via
+// internal/lint/unitchecker, the analysistest fixture runner) must
+// agree on:
+//
+//   - //ompssvet:allow <analyzer> <reason> suppresses that analyzer's
+//     findings on the directive's line and the line below it (so the
+//     directive can ride at the end of the offending line or stand
+//     alone above it). The reason is mandatory — an unexplained
+//     suppression is itself a finding.
+//   - Findings located in *_test.go files are dropped: the suite
+//     polices the determinism contract of shipped code, and tests
+//     routinely use wall clocks and unseeded randomness legitimately.
+package driver
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Diagnostic is an analyzer finding tagged with its analyzer name, as
+// surfaced to the user.
+type Diagnostic struct {
+	analysis.Diagnostic
+	Analyzer string
+}
+
+// directive is one parsed //ompssvet:allow comment.
+type directive struct {
+	pos      token.Pos
+	analyzer string
+	reason   string
+	bad      string // non-empty: malformed, value is the complaint
+}
+
+// Analyze runs analyzers over one type-checked package and returns the
+// surviving diagnostics in file/position order. known lists every
+// analyzer name that may legitimately appear in an allow directive
+// (typically all registered analyzers, not just the enabled subset),
+// so directives naming unknown analyzers are flagged instead of
+// silently suppressing nothing.
+func Analyze(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer, known []string) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		a := a
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				raw = append(raw, Diagnostic{Diagnostic: d, Analyzer: a.Name})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+
+	dirs := directives(fset, files)
+	knownSet := make(map[string]bool, len(known))
+	for _, n := range known {
+		knownSet[n] = true
+	}
+
+	// allowed maps "<file>:<line>" to the analyzer names suppressed
+	// there. A directive covers its own line and the next one.
+	allowed := make(map[string]map[string]bool)
+	for _, d := range dirs {
+		if d.bad != "" {
+			continue
+		}
+		p := fset.Position(d.pos)
+		for _, line := range []int{p.Line, p.Line + 1} {
+			key := posKey(p.Filename, line)
+			if allowed[key] == nil {
+				allowed[key] = make(map[string]bool)
+			}
+			allowed[key][d.analyzer] = true
+		}
+	}
+
+	var out []Diagnostic
+	for _, d := range raw {
+		p := fset.Position(d.Pos)
+		if strings.HasSuffix(p.Filename, "_test.go") {
+			continue
+		}
+		if allowed[posKey(p.Filename, p.Line)][d.Analyzer] {
+			continue
+		}
+		out = append(out, d)
+	}
+
+	// Directive hygiene: malformed directives and ones naming unknown
+	// analyzers are findings in their own right — a typo'd suppression
+	// that silently suppresses nothing (or worse, looks like it
+	// suppresses something) must not pass a clean vet run.
+	for _, d := range dirs {
+		p := fset.Position(d.pos)
+		if strings.HasSuffix(p.Filename, "_test.go") {
+			continue
+		}
+		switch {
+		case d.bad != "":
+			out = append(out, Diagnostic{
+				Diagnostic: analysis.Diagnostic{Pos: d.pos, Message: d.bad},
+				Analyzer:   "ompssvet",
+			})
+		case len(knownSet) > 0 && !knownSet[d.analyzer]:
+			out = append(out, Diagnostic{
+				Diagnostic: analysis.Diagnostic{
+					Pos:     d.pos,
+					Message: "ompssvet:allow names unknown analyzer " + strconv.Quote(d.analyzer),
+				},
+				Analyzer: "ompssvet",
+			})
+		}
+	}
+
+	sort.SliceStable(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return out, nil
+}
+
+func posKey(file string, line int) string {
+	return file + ":" + strconv.Itoa(line)
+}
+
+// directives scans every line comment for the ompssvet:allow marker.
+// ast.CommentGroup.Text is deliberately avoided: it strips
+// directive-shaped comments, which is exactly what these are.
+func directives(fset *token.FileSet, files []*ast.File) []directive {
+	var out []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // block comments don't carry directives
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "ompssvet:")
+				if !ok {
+					continue
+				}
+				verb, args, _ := strings.Cut(rest, " ")
+				if verb != "allow" {
+					out = append(out, directive{pos: c.Pos(),
+						bad: "unknown ompssvet directive //ompssvet:" + verb + " (only allow exists)"})
+					continue
+				}
+				name, reason, _ := strings.Cut(strings.TrimSpace(args), " ")
+				reason = strings.TrimSpace(reason)
+				if name == "" || reason == "" {
+					out = append(out, directive{pos: c.Pos(),
+						bad: "malformed suppression (want //ompssvet:allow <analyzer> <reason>)"})
+					continue
+				}
+				out = append(out, directive{pos: c.Pos(), analyzer: name, reason: reason})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package driver_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/driver"
+)
+
+// reportAll flags every call expression — a maximal analyzer that
+// makes suppression behavior observable line by line.
+var reportAll = &analysis.Analyzer{
+	Name: "reportall",
+	Doc:  "test analyzer: reports every call",
+	Run: func(pass *analysis.Pass) (any, error) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					pass.Reportf(call.Pos(), "call")
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+// analyze type-checks one in-memory file per (name, src) pair and runs
+// the test analyzer through the shared driver policy.
+func analyze(t *testing.T, files map[string]string, known []string) []driver.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	for name, src := range files {
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
+		}
+		parsed = append(parsed, f)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	cfg := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := cfg.Check("p", fset, parsed, info)
+	if err != nil {
+		t.Fatalf("type-checking: %v", err)
+	}
+	diags, err := driver.Analyze(fset, parsed, pkg, info, []*analysis.Analyzer{reportAll}, known)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return diags
+}
+
+func messages(diags []driver.Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.Analyzer+": "+d.Message)
+	}
+	return out
+}
+
+func TestSuppressionSameLineAndLineAbove(t *testing.T) {
+	src := `package p
+
+func f() {}
+
+func g() {
+	f() //ompssvet:allow reportall same-line suppression
+	//ompssvet:allow reportall line-above suppression
+	f()
+	f()
+}
+`
+	diags := analyze(t, map[string]string{"g.go": src}, []string{"reportall"})
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the unsuppressed call reported, got %v", messages(diags))
+	}
+	if pos := diags[0].Pos; pos == 0 {
+		t.Fatalf("diagnostic lost its position")
+	}
+}
+
+func TestSuppressionIsPerAnalyzer(t *testing.T) {
+	src := `package p
+
+func f() {}
+
+func g() {
+	f() //ompssvet:allow otherchecker a different analyzer's allow does not cover this one
+}
+`
+	diags := analyze(t, map[string]string{"g.go": src}, []string{"reportall", "otherchecker"})
+	if len(diags) != 1 {
+		t.Fatalf("want the call still reported (allow names another analyzer), got %v", messages(diags))
+	}
+}
+
+func TestMalformedDirectiveIsAFinding(t *testing.T) {
+	src := `package p
+
+func f() {}
+
+func g() {
+	//ompssvet:allow reportall
+	f()
+}
+`
+	diags := analyze(t, map[string]string{"g.go": src}, []string{"reportall"})
+	var sawMalformed, sawCall bool
+	for _, m := range messages(diags) {
+		if strings.Contains(m, "malformed suppression") {
+			sawMalformed = true
+		}
+		if strings.Contains(m, "reportall: call") {
+			sawCall = true
+		}
+	}
+	if !sawMalformed {
+		t.Errorf("reason-less directive not reported as malformed: %v", messages(diags))
+	}
+	if !sawCall {
+		t.Errorf("malformed directive must not suppress: %v", messages(diags))
+	}
+}
+
+func TestUnknownAnalyzerDirectiveIsAFinding(t *testing.T) {
+	src := `package p
+
+func g() {
+	//ompssvet:allow mapitre typo'd analyzer name
+	_ = 1
+}
+`
+	diags := analyze(t, map[string]string{"g.go": src}, []string{"reportall"})
+	found := false
+	for _, m := range messages(diags) {
+		if strings.Contains(m, `unknown analyzer "mapitre"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("typo'd analyzer name not flagged: %v", messages(diags))
+	}
+}
+
+func TestUnknownVerbIsAFinding(t *testing.T) {
+	src := `package p
+
+//ompssvet:ignore reportall wrong verb
+func g() {}
+`
+	diags := analyze(t, map[string]string{"g.go": src}, []string{"reportall"})
+	found := false
+	for _, m := range messages(diags) {
+		if strings.Contains(m, "unknown ompssvet directive") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("unknown verb not flagged: %v", messages(diags))
+	}
+}
+
+func TestTestFilesAreSkipped(t *testing.T) {
+	files := map[string]string{
+		"g.go": `package p
+
+func f() {}
+`,
+		"g_test.go": `package p
+
+func h() { f() }
+`,
+	}
+	diags := analyze(t, files, []string{"reportall"})
+	if len(diags) != 0 {
+		t.Fatalf("findings in _test.go files must be dropped, got %v", messages(diags))
+	}
+}

@@ -1,0 +1,109 @@
+// Package lint is the repo's determinism lint suite: five static
+// analyzers that move the byte-identity contract — campaign output
+// identical at any -parallel/-procs/plan/budget-resume combination,
+// exactly-once journals, stable spec hashes — from test-time (golden
+// SHAs, CI gates) to analysis-time. Each analyzer targets a bug class
+// that has actually shipped here or in sibling projects:
+//
+//   - mapiter:    emitting to an output/hash/journal sink while
+//     ranging a map (the mem.dirtyOwner nondeterminism, PR 1)
+//   - wallclock:  wall-clock reads inside virtual-time packages
+//   - seedrand:   process-global math/rand in simulation/planner code
+//   - journalerr: dropped errors on journal appends and cell stores
+//     (a swallowed append is a silent exactly-once violation)
+//   - typednil:   typed-nil concrete pointers assigned to the
+//     campaign extension interfaces (the PR 7 planner hazard)
+//
+// Deliberate exceptions are annotated in place:
+//
+//	//ompssvet:allow <analyzer> <reason>
+//
+// on the offending line or the line above it; the reason is
+// mandatory, and malformed or unknown-analyzer directives are findings
+// themselves. Findings in *_test.go files are never reported.
+//
+// The suite runs as `go vet -vettool=$(BIN)/ompss-vet ./...` (or
+// `make lint`); see cmd/ompss-vet and internal/lint/unitchecker for
+// the driver protocol, and internal/lint/analysistest for the fixture
+// harness every analyzer is tested with.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzers is the full determinism suite in stable order.
+var Analyzers = []*analysis.Analyzer{
+	MapIter,
+	WallClock,
+	SeedRand,
+	JournalErr,
+	TypedNil,
+}
+
+// calleeFunc resolves a call expression to the function or method it
+// statically invokes, or nil for indirect calls through function
+// values, conversions and built-ins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function
+// pkgPath.name (not a method).
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// recvNamed returns the named type of fn's receiver (through one
+// pointer), or nil if fn is not a method on a named type.
+func recvNamed(fn *types.Func) *types.Named {
+	if fn == nil {
+		return nil
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// pkgBase returns the last path element of a package path ("" for a
+// nil package — builtins).
+func pkgBase(pkg *types.Package) string {
+	if pkg == nil {
+		return ""
+	}
+	path := pkg.Path()
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// lastPathElem returns the final element of an import path.
+func lastPathElem(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

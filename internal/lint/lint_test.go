@@ -1,0 +1,38 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+// knownNames lets fixtures carry allow directives for any analyzer in
+// the suite without tripping the unknown-analyzer hygiene check.
+func knownNames() []string {
+	var names []string
+	for _, a := range lint.Analyzers {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+func TestWallClock(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.WallClock, knownNames(), "sim", "app")
+}
+
+func TestSeedRand(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.SeedRand, knownNames(), "sched", "app")
+}
+
+func TestMapIter(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.MapIter, knownNames(), "mapiter")
+}
+
+func TestJournalErr(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.JournalErr, knownNames(), "journalerr")
+}
+
+func TestTypedNil(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.TypedNil, knownNames(), "typednil")
+}

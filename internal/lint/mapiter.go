@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// MapIter flags `range` statements over maps whose body writes to an
+// output, hash or journal sink: Go randomizes map iteration order, so
+// anything emitted from inside such a loop — CSV/JSON rows, journal
+// records, canonical spec-hash bytes, fmt.Fprintf'd report lines —
+// differs between runs, which is exactly the mem.dirtyOwner bug class
+// (PR 1). The fix is structural and therefore easy to verify
+// statically: collect the keys, sort them, and emit from the sorted
+// slice; the collection loop touches no sink and is not flagged.
+var MapIter = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc: "flags map iteration whose body writes to an output/hash/journal sink " +
+		"(map order is randomized; sort the keys, then emit)",
+	Run: runMapIter,
+}
+
+// sinkMethods are method names whose call inside a map-range body
+// means bytes or records leave in iteration order. Write covers
+// io.Writer, hash.Hash, csv.Writer field writes via bufio, etc.;
+// Encode covers json/gob/xml encoders; the journal/store names cover
+// the campaign persistence layer.
+var sinkMethods = map[string]bool{
+	"Write":         true,
+	"WriteString":   true,
+	"WriteByte":     true,
+	"WriteRune":     true,
+	"WriteRecord":   true, // encoding/csv (go1.22+ alias spelling)
+	"WriteAll":      true,
+	"Encode":        true,
+	"EncodeToken":   true,
+	"Append":        true, // journal.Writer
+	"AppendJournal": true, // exp.CellStore
+	"StoreCell":     true, // exp.CellStore
+}
+
+func runMapIter(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.Types[rng.X].Type
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sink := findSinkCall(pass.TypesInfo, rng.Body); sink != nil {
+				name := "a sink"
+				if fn := calleeFunc(pass.TypesInfo, sink); fn != nil {
+					name = fn.Name()
+				}
+				pass.Reportf(rng.Pos(),
+					"map iteration emits through %s in map order, which is randomized: collect and sort the keys, then emit (or //ompssvet:allow mapiter <reason>)",
+					name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// findSinkCall returns the first call in body (including nested
+// closures — they still run per iteration) that writes to a sink, or
+// nil. fmt's Print/Fprint family counts as well as the sink methods:
+// stdout and files are sinks too.
+func findSinkCall(info *types.Info, body *ast.BlockStmt) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Recv() == nil {
+			if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				name := fn.Name()
+				if len(name) > 5 && name[:6] == "Fprint" || len(name) > 4 && name[:5] == "Print" {
+					found = call
+					return false
+				}
+			}
+			return true
+		}
+		if sinkMethods[fn.Name()] {
+			found = call
+			return false
+		}
+		return true
+	})
+	return found
+}

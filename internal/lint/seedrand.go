@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// seedSensitivePkgs names the packages where randomness must be
+// spec-derived: simulation, scheduling, planning and workload
+// generation. A process-global math/rand call there is seeded by the
+// runtime (or by whoever called rand.Seed last), so two claimants of
+// the same campaign — or the same claimant on two runs — would
+// simulate different bytes. Matched on the final import-path element
+// (fixtures use short paths).
+var seedSensitivePkgs = map[string]bool{
+	"sim":        true,
+	"rt":         true,
+	"sched":      true,
+	"versioning": true,
+	"mem":        true,
+	"xfer":       true,
+	"deps":       true,
+	"exp":        true,
+	"apps":       true,
+	"harness":    true,
+	"perfmodel":  true,
+}
+
+// SeedRand flags calls to process-global math/rand (and math/rand/v2)
+// package functions in seed-sensitive packages. Constructors that
+// build an explicitly seeded generator (rand.New, rand.NewSource,
+// rand.NewPCG, ...) are the sanctioned pattern — thread the seed from
+// the RunSpec (the spec hash is itself a deterministic function of
+// the spec) as sched.Random does.
+var SeedRand = &analysis.Analyzer{
+	Name: "seedrand",
+	Doc: "flags process-global math/rand use in simulation/planner packages " +
+		"(thread a spec-derived *rand.Rand instead)",
+	Run: runSeedRand,
+}
+
+// seedRandOK are the math/rand functions that do not consult the
+// global source: constructors for explicitly seeded state.
+var seedRandOK = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runSeedRand(pass *analysis.Pass) (any, error) {
+	if !seedSensitivePkgs[lastPathElem(pass.Pkg.Path())] {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil || seedRandOK[fn.Name()] {
+				return true // methods run on explicit state; constructors build it
+			}
+			pass.Reportf(call.Pos(),
+				"global %s.%s in seed-sensitive package %s is not derived from the run spec: thread a seeded *rand.Rand (or //ompssvet:allow seedrand <reason>)",
+				lastPathElem(path), fn.Name(), pass.Pkg.Name())
+			return true
+		})
+	}
+	return nil, nil
+}

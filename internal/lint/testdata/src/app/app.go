@@ -1,0 +1,12 @@
+// Fixture negative for wallclock and seedrand: package "app" is in
+// neither gated set, so nothing here is a finding.
+package app
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Now() time.Time { return time.Now() }
+
+func Roll() int { return rand.Intn(6) }

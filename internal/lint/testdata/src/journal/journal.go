@@ -1,0 +1,14 @@
+// Fixture mirror of the repo's internal/journal surface, just enough
+// for the journalerr analyzer's receiver-package gate ("journal").
+package journal
+
+type Record struct {
+	Type  string
+	Owner string
+}
+
+type Writer struct{ closed bool }
+
+func (w *Writer) Append(rec Record) error { return nil }
+
+func (w *Writer) Close() error { return nil }

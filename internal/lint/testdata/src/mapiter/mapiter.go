@@ -1,0 +1,71 @@
+// Fixture for the mapiter analyzer: ranging a map is fine until the
+// loop body emits through a sink — then iteration order (randomized)
+// becomes output order.
+package mapiter
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func Emit(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "map iteration emits through Fprintf"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func Print(m map[string]int) {
+	for k := range m { // want "map iteration emits through Println"
+		fmt.Println(k)
+	}
+}
+
+func Hash(h io.Writer, m map[string]bool) {
+	for k := range m { // want "map iteration emits through Write"
+		h.Write([]byte(k))
+	}
+}
+
+func Closure(w io.Writer, m map[string]int) {
+	for k := range m { // want "map iteration emits through Fprintln"
+		emit := func() { fmt.Fprintln(w, k) }
+		emit()
+	}
+}
+
+// EmitSorted is the sanctioned shape: the collection loop touches no
+// sink, and the emitting loop ranges a sorted slice, not the map.
+func EmitSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func PerKeyArtifact(w io.Writer, m map[string]string) {
+	//ompssvet:allow mapiter fixture: each iteration writes an order-free artifact
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%s\n", k, v)
+	}
+}

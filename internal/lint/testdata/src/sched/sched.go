@@ -1,0 +1,30 @@
+// Fixture for the seedrand analyzer: package "sched" is in the
+// seed-sensitive set, so process-global math/rand calls are findings;
+// explicitly seeded generators are the sanctioned pattern.
+package sched
+
+import "math/rand"
+
+func Pick(n int) int {
+	return rand.Intn(n) // want "global rand\.Intn in seed-sensitive package sched"
+}
+
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global rand\.Shuffle"
+}
+
+func Normal() float64 {
+	return rand.NormFloat64() // want "global rand\.NormFloat64"
+}
+
+// Seeded threads explicit state: the constructors and every method on
+// the returned generator are fine.
+func Seeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+func Baseline(n int) int {
+	//ompssvet:allow seedrand control baseline, documented nondeterministic
+	return rand.Intn(n)
+}

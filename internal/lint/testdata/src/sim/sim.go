@@ -1,0 +1,31 @@
+// Fixture for the wallclock analyzer: package "sim" is in the
+// virtual-time set, so wall-clock reads are findings unless allowed.
+package sim
+
+import "time"
+
+func Tick() time.Time {
+	return time.Now() // want "time\.Now in virtual-time package sim"
+}
+
+func Age(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time\.Since in virtual-time package sim"
+}
+
+func Remaining(deadline time.Time) time.Duration {
+	d := time.Until(deadline) // want "time\.Until in virtual-time package sim"
+	return d
+}
+
+func HeartbeatAge(t0 time.Time) time.Duration {
+	//ompssvet:allow wallclock lease heartbeats are wall-clock by design
+	return time.Since(t0)
+}
+
+func InlineAllowed() time.Time {
+	return time.Now() //ompssvet:allow wallclock fixture: same-line suppression
+}
+
+// Virtual-time arithmetic on time.Duration values is fine: only the
+// wall-clock reads are flagged.
+func Advance(clock, dt time.Duration) time.Duration { return clock + dt }

@@ -1,0 +1,117 @@
+// Fixture for the typednil analyzer: possibly-nil concrete pointers
+// reaching the campaign extension interfaces.
+package typednil
+
+type Planner interface{ Plan() }
+type Observer interface{ Observe() }
+type ArtifactSink interface{ Sink() }
+
+type CostPlanner struct{}
+
+func (*CostPlanner) Plan() {}
+
+type traceSink struct{}
+
+func (*traceSink) Sink() {}
+
+type Campaign struct {
+	Planner  Planner
+	Observer Observer
+	Sink     ArtifactSink
+}
+
+// Hazard is the PR 7 shape: conditionally assigned pointer stored
+// through a composite literal field.
+func Hazard(cond bool) Campaign {
+	var p *CostPlanner
+	if cond {
+		p = &CostPlanner{}
+	}
+	return Campaign{Planner: p} // want "p may still be its nil declaration value"
+}
+
+// Direct typed-nil conversion at an assignment site.
+func Direct() Campaign {
+	var c Campaign
+	c.Planner = (*CostPlanner)(nil) // want "typed-nil pointer stored in extension interface Planner"
+	return c
+}
+
+// AssignSite: field assignment of a conditionally-assigned pointer.
+func AssignSite(cond bool) Campaign {
+	var c Campaign
+	var s *traceSink
+	if cond {
+		s = &traceSink{}
+	}
+	c.Sink = s // want "s may still be its nil declaration value"
+	return c
+}
+
+// Arg: the pointer flows into an interface parameter.
+func Arg(cond bool) {
+	var p *CostPlanner
+	if cond {
+		p = &CostPlanner{}
+	}
+	install(p) // want "p may still be its nil declaration value"
+}
+
+func install(p Planner) { _ = p }
+
+// Return: the pointer flows out through an interface result.
+func Return(cond bool) Planner {
+	var p *CostPlanner
+	if cond {
+		p = &CostPlanner{}
+	}
+	return p // want "p may still be its nil declaration value"
+}
+
+// Safe: an unconditional same-block assignment before the use
+// dominates it; no finding.
+func Safe() Campaign {
+	var p *CostPlanner
+	p = &CostPlanner{}
+	return Campaign{Planner: p}
+}
+
+// SafeDecl: initialized non-nil at declaration; never tracked.
+func SafeDecl() Campaign {
+	p := &CostPlanner{}
+	return Campaign{Planner: p}
+}
+
+// SafeIface: an untyped nil assigned to the interface is the correct
+// spelling of "no planner" and is not a finding.
+func SafeIface() Campaign {
+	var c Campaign
+	c.Planner = nil
+	return c
+}
+
+// NonExtension: the hazard shape against a non-extension interface is
+// out of scope (the engine only nil-checks its own extension points).
+type other interface{ Other() }
+
+type impl struct{}
+
+func (*impl) Other() {}
+
+func NonExtension(cond bool) other {
+	var p *impl
+	if cond {
+		p = &impl{}
+	}
+	return p
+}
+
+// Allowed: the caller documents why the typed nil is safe.
+func Allowed(cond bool) Planner {
+	var p *CostPlanner
+	if cond {
+		p = &CostPlanner{}
+	}
+	//ompssvet:allow typednil fixture: caller nil-checks the concrete pointer
+	return p
+}

@@ -1,0 +1,294 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// TypedNil generalizes the PR 7 planner hazard: a concrete pointer
+// that may be nil, stored into one of the campaign extension
+// interfaces, produces a non-nil interface holding a nil pointer —
+// `camp.Planner != nil` passes and the first call panics (or worse,
+// claims a lease it never services). The analyzer flags two shapes:
+//
+//  1. An explicit typed-nil conversion used at an extension-interface
+//     site: `camp.Planner = (*CostPlanner)(nil)`.
+//  2. A local pointer variable declared nil (`var p *CostPlanner`,
+//     `= nil`, or `:= (*T)(nil)`) that reaches an extension-interface
+//     site without any unconditional (same-block, preceding)
+//     reassignment — the classic `var p *T; if cond { p = ... };
+//     camp.Planner = p`.
+//
+// Sites covered: assignments, var initializers, composite-literal
+// fields, return statements and call arguments whose static target
+// type is one of the extension interfaces.
+var TypedNil = &analysis.Analyzer{
+	Name: "typednil",
+	Doc: "flags possibly-nil concrete pointers assigned to campaign extension interfaces " +
+		"(Planner/Observer/ArtifactSink/CellStore): a typed nil makes the interface non-nil",
+	Run: runTypedNil,
+}
+
+// extensionIfaces are the interface type names the campaign engine
+// nil-checks before use; any named interface with one of these names
+// is in scope (the repo's live in internal/exp, fixtures define their
+// own).
+var extensionIfaces = map[string]bool{
+	"Planner":      true,
+	"Observer":     true,
+	"ArtifactSink": true,
+	"CellStore":    true,
+}
+
+func isExtensionIface(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || !extensionIfaces[named.Obj().Name()] {
+		return false
+	}
+	_, ok = named.Underlying().(*types.Interface)
+	return ok
+}
+
+func runTypedNil(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncTypedNil(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// nilVar tracks one local pointer variable declared with a nil value:
+// where it was declared (the statement list identity is the block's
+// position) and every unconditional reassignment in that same list.
+type nilVar struct {
+	block    *ast.BlockStmt // the block whose statement list declares it
+	declPos  token.Pos
+	safeFrom token.Pos // first same-block non-nil reassignment (NoPos = none)
+}
+
+func checkFuncTypedNil(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	vars := map[*types.Var]*nilVar{}
+
+	// Pass 1: find nil-declared pointer locals, block by block, and
+	// their same-block reassignments. Only direct statements of a
+	// block count as unconditional; anything nested (if/for/switch
+	// bodies, closures) does not dominate the uses below it.
+	var scanBlock func(b *ast.BlockStmt)
+	scanStmt := func(b *ast.BlockStmt, stmt ast.Stmt) {
+		switch s := stmt.(type) {
+		case *ast.DeclStmt:
+			gd, ok := s.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					obj, ok := info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					if _, isPtr := obj.Type().Underlying().(*types.Pointer); !isPtr {
+						continue
+					}
+					nilInit := len(vs.Values) == 0
+					if !nilInit && i < len(vs.Values) {
+						nilInit = isNilExpr(info, vs.Values[i])
+					}
+					if nilInit {
+						vars[obj] = &nilVar{block: b, declPos: name.Pos()}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				var obj *types.Var
+				if s.Tok == token.DEFINE {
+					obj, _ = info.Defs[id].(*types.Var)
+					// `p := (*T)(nil)` introduces a tracked nil pointer.
+					if obj != nil && i < len(s.Rhs) && isNilExpr(info, s.Rhs[i]) {
+						if _, isPtr := obj.Type().Underlying().(*types.Pointer); isPtr {
+							vars[obj] = &nilVar{block: b, declPos: id.Pos()}
+						}
+					}
+					continue
+				}
+				obj, _ = info.Uses[id].(*types.Var)
+				nv := vars[obj]
+				if nv == nil {
+					continue
+				}
+				rhsNil := len(s.Rhs) == len(s.Lhs) && isNilExpr(info, s.Rhs[i])
+				if nv.block == b && !rhsNil && nv.safeFrom == token.NoPos {
+					nv.safeFrom = s.Pos()
+				}
+			}
+		}
+	}
+	scanBlock = func(b *ast.BlockStmt) {
+		for _, stmt := range b.List {
+			scanStmt(b, stmt)
+			// Recurse into nested blocks (if/for/switch bodies, bare
+			// blocks, closures). Assignments there never mark a var
+			// safe — from this block's viewpoint they are conditional —
+			// but declarations there are tracked against their own
+			// block by the recursion.
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				if inner, ok := n.(*ast.BlockStmt); ok {
+					scanBlock(inner)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	scanBlock(fd.Body)
+
+	// report pulls the two hazard shapes out of one value expression
+	// checked against an expected type.
+	report := func(expected types.Type, value ast.Expr) {
+		if expected == nil || !isExtensionIface(expected) {
+			return
+		}
+		value = ast.Unparen(value)
+		if isTypedNilConversion(info, value) {
+			pass.Reportf(value.Pos(),
+				"typed-nil pointer stored in extension interface %s: the interface compares non-nil while the pointer is nil (use an untyped nil, or //ompssvet:allow typednil <reason>)",
+				expected.(*types.Named).Obj().Name())
+			return
+		}
+		id, ok := value.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj, _ := info.Uses[id].(*types.Var)
+		nv := vars[obj]
+		if nv == nil {
+			return
+		}
+		if nv.safeFrom != token.NoPos && nv.safeFrom < id.Pos() {
+			return // unconditionally reassigned before this use
+		}
+		pass.Reportf(id.Pos(),
+			"%s may still be its nil declaration value here; storing it in extension interface %s makes the interface non-nil with a nil pointer inside (assign unconditionally first, or //ompssvet:allow typednil <reason>)",
+			id.Name, expected.(*types.Named).Obj().Name())
+	}
+
+	// Pass 2: visit every site where a value meets an expected type.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				if i >= len(s.Rhs) {
+					break
+				}
+				if t := info.Types[lhs].Type; t != nil {
+					report(t, s.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if s.Type == nil {
+				return true
+			}
+			t := info.Types[s.Type].Type
+			for _, v := range s.Values {
+				report(t, v)
+			}
+		case *ast.CompositeLit:
+			st, ok := info.Types[s].Type.(*types.Named)
+			if !ok {
+				return true
+			}
+			fields, ok := st.Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			for _, elt := range s.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				for i := 0; i < fields.NumFields(); i++ {
+					if fields.Field(i).Name() == key.Name {
+						report(fields.Field(i).Type(), kv.Value)
+						break
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			sig, ok := info.Defs[fd.Name].Type().(*types.Signature)
+			if !ok {
+				return true
+			}
+			res := sig.Results()
+			if len(s.Results) != res.Len() {
+				return true
+			}
+			for i, v := range s.Results {
+				report(res.At(i).Type(), v)
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(info, s)
+			if fn == nil {
+				return true
+			}
+			sig := fn.Type().(*types.Signature)
+			for i, arg := range s.Args {
+				if i >= sig.Params().Len() {
+					if sig.Variadic() {
+						break // variadic tail: element type checks omitted
+					}
+					break
+				}
+				report(sig.Params().At(i).Type(), arg)
+			}
+		}
+		return true
+	})
+}
+
+// isNilExpr reports whether e is statically nil: the nil literal or a
+// typed-nil conversion like (*T)(nil).
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if id, ok := e.(*ast.Ident); ok && id.Name == "nil" {
+		_, isNil := info.Uses[id].(*types.Nil)
+		return isNil
+	}
+	return isTypedNilConversion(info, e)
+}
+
+// isTypedNilConversion matches (*T)(nil) and T(nil) conversions.
+func isTypedNilConversion(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return false
+	}
+	if tv, ok := info.Types[call.Fun]; !ok || !tv.IsType() {
+		return false
+	}
+	return isNilExpr(info, call.Args[0])
+}

@@ -1,0 +1,134 @@
+package unitchecker_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoVetProtocol builds the real ompss-vet binary and drives it
+// through the go command exactly as CI does: `go vet -vettool=...` on
+// a scratch module containing one violation, then on a clean one. This
+// is the end-to-end proof of the vet.cfg protocol implementation
+// (flag handshake, export-data type-checking, exit codes).
+func TestGoVetProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and invokes the go command")
+	}
+	tmp := t.TempDir()
+	vettool := filepath.Join(tmp, "ompss-vet")
+	build := exec.Command("go", "build", "-o", vettool, "repro/cmd/ompss-vet")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building ompss-vet: %v\n%s", err, out)
+	}
+
+	write := func(dir, name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	govet := func(dir string) (string, error) {
+		cmd := exec.Command("go", "vet", "-vettool="+vettool, "./...")
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	dirty := filepath.Join(tmp, "dirty")
+	if err := os.Mkdir(dirty, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	write(dirty, "go.mod", "module scratch\n\ngo 1.22\n")
+	write(dirty, "main.go", `package main
+
+import "fmt"
+
+func main() {
+	m := map[string]int{"a": 1}
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+`)
+	out, err := govet(dirty)
+	if err == nil {
+		t.Fatalf("go vet on a mapiter violation succeeded; output:\n%s", out)
+	}
+	if !strings.Contains(out, "map iteration emits through Printf") || !strings.Contains(out, "(mapiter)") {
+		t.Fatalf("missing mapiter finding in go vet output:\n%s", out)
+	}
+
+	clean := filepath.Join(tmp, "clean")
+	if err := os.Mkdir(clean, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	write(clean, "go.mod", "module scratch2\n\ngo 1.22\n")
+	write(clean, "main.go", `package main
+
+import (
+	"fmt"
+	"sort"
+)
+
+func main() {
+	m := map[string]int{"a": 1}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%s=%d\n", k, m[k])
+	}
+}
+`)
+	if out, err := govet(clean); err != nil {
+		t.Fatalf("go vet on clean module failed: %v\n%s", err, out)
+	}
+
+	// Suppressed violation: allow directive with a reason keeps the
+	// run clean; without a reason the directive itself is the finding.
+	allowed := filepath.Join(tmp, "allowed")
+	if err := os.Mkdir(allowed, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	write(allowed, "go.mod", "module scratch3\n\ngo 1.22\n")
+	write(allowed, "main.go", `package main
+
+import "fmt"
+
+func main() {
+	m := map[string]int{"a": 1}
+	//ompssvet:allow mapiter demo artifact, order is cosmetic
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+`)
+	if out, err := govet(allowed); err != nil {
+		t.Fatalf("go vet on allowed module failed: %v\n%s", err, out)
+	}
+
+	malformed := filepath.Join(tmp, "malformed")
+	if err := os.Mkdir(malformed, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	write(malformed, "go.mod", "module scratch4\n\ngo 1.22\n")
+	write(malformed, "main.go", `package main
+
+func main() {
+	//ompssvet:allow mapiter
+	_ = 1
+}
+`)
+	out, err = govet(malformed)
+	if err == nil {
+		t.Fatalf("go vet accepted a reason-less allow directive:\n%s", out)
+	}
+	if !strings.Contains(out, "malformed suppression") {
+		t.Fatalf("missing malformed-directive finding:\n%s", out)
+	}
+}

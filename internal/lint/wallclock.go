@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// virtualTimePkgs names the packages whose notion of time is the
+// simulation clock: a wall-clock read inside them silently breaks
+// -replay timelines and what-if projections, because replayed records
+// would disagree with freshly simulated ones. Matched against the
+// final import-path element so the same analyzer works on the repo
+// (repro/internal/sim) and on its test fixtures (testdata src "sim").
+var virtualTimePkgs = map[string]bool{
+	"sim":        true,
+	"rt":         true,
+	"sched":      true,
+	"versioning": true, // internal/sched/versioning
+	"mem":        true,
+	"xfer":       true,
+	"deps":       true,
+}
+
+// WallClock flags time.Now/time.Since/time.Until inside the
+// virtual-time packages. Legitimate wall-clock uses there (lease
+// heartbeats, janitors — none exist today) must carry
+// //ompssvet:allow wallclock <reason>.
+var WallClock = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "flags wall-clock reads (time.Now/Since/Until) in virtual-time packages " +
+		"(sim, rt, sched, mem, xfer, deps), where simulated time is the only legal clock",
+	Run: runWallClock,
+}
+
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runWallClock(pass *analysis.Pass) (any, error) {
+	if !virtualTimePkgs[lastPathElem(pass.Pkg.Path())] {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"time.%s in virtual-time package %s: wall-clock reads break replay and what-if determinism (use the simulation clock, or //ompssvet:allow wallclock <reason>)",
+				fn.Name(), pass.Pkg.Name())
+			return true
+		})
+	}
+	return nil, nil
+}
