@@ -9,6 +9,7 @@
 //	ompss-run -app matmul -variant hyb -sched versioning -smp 8 -gpus 2
 //	ompss-run -app cholesky -variant potrf-hyb -profile
 //	ompss-run -app pbpi -variant gpu -sched dep -trace /tmp/run.json
+//	ompss-run -app pbpi -sched versioning -chaos 'gpu0:drop@40%'
 //	NX_SCHEDULE=affinity ompss-run -app matmul -variant gpu
 package main
 
@@ -18,8 +19,10 @@ import (
 	"log"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/apps"
+	"repro/internal/chaos"
 	"repro/internal/stats"
 	"repro/ompss"
 )
@@ -37,6 +40,7 @@ func main() {
 		noise   = flag.Float64("noise", 0, "execution-time jitter sigma")
 		lambda  = flag.Int("lambda", 0, "versioning learning threshold (0 = default)")
 		hintsF  = flag.String("hints", "", "versioning XML hints file (loaded if present, saved after the run)")
+		chaosF  = flag.String("chaos", "", "chaos fault-injection spec, e.g. 'gpu0:drop@40%;gpu1:stragglex0.5' (see internal/chaos; percent points trigger a no-chaos baseline pre-run)")
 		profile = flag.Bool("profile", false, "print the profiling store (Table I) after the run")
 		traceF  = flag.String("trace", "", "write a Chrome trace-event JSON file")
 		statsF  = flag.Bool("stats", false, "print per-worker utilization and per-type timing breakdown")
@@ -57,72 +61,102 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	plan, err := chaos.Parse(*chaosF)
+	if err != nil {
+		log.Fatal(err)
+	}
 	r, err := ompss.NewRuntime(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	var check func() error
-	switch *app {
-	case "matmul":
-		c := apps.MatmulConfig{N: *n, Variant: apps.MatmulVariant(defStr(*variant, "hyb")), Verify: *verify}
-		if *verify && *n == 0 {
-			c.N, c.BS = 128, 32
+	build := func(r *ompss.Runtime) func() error {
+		var check func() error
+		switch *app {
+		case "matmul":
+			c := apps.MatmulConfig{N: *n, Variant: apps.MatmulVariant(defStr(*variant, "hyb")), Verify: *verify}
+			if *verify && *n == 0 {
+				c.N, c.BS = 128, 32
+			}
+			a, err := apps.BuildMatmul(r, c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			check = a.Check
+		case "cholesky":
+			c := apps.CholeskyConfig{N: *n, Variant: apps.CholeskyVariant(defStr(*variant, "potrf-hyb")), Verify: *verify}
+			if *verify && *n == 0 {
+				c.N, c.BS = 128, 32
+			}
+			a, err := apps.BuildCholesky(r, c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			check = a.Check
+		case "pbpi":
+			c := apps.PBPIConfig{Elements: *n, Generations: *gens, Variant: apps.PBPIVariant(defStr(*variant, "hyb")), Verify: *verify}
+			if *verify && *n == 0 {
+				c.Elements, c.Segments, c.Loop2Chunks, c.Generations = 1024, 4, 4, 6
+			}
+			a, err := apps.BuildPBPI(r, c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			check = func() error {
+				fmt.Printf("final log-likelihood: %.6f\n", a.LogLik)
+				return nil
+			}
+		case "stencil":
+			c := apps.StencilConfig{N: *n, Variant: apps.StencilVariant(defStr(*variant, "hyb")), Verify: *verify}
+			if *verify && *n == 0 {
+				c.N, c.BS, c.Sweeps = 64, 16, 4
+			}
+			a, err := apps.BuildStencil(r, c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			check = a.Check
+		case "nbody":
+			c := apps.NBodyConfig{N: *n, Variant: apps.NBodyVariant(defStr(*variant, "hyb")), Verify: *verify}
+			if *verify && *n == 0 {
+				c.N, c.BS, c.Steps = 64, 16, 2
+			}
+			a, err := apps.BuildNBody(r, c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			check = a.Check
+		default:
+			log.Fatalf("unknown app %q", *app)
 		}
-		a, err := apps.BuildMatmul(r, c)
-		if err != nil {
+		return check
+	}
+	check := build(r)
+
+	if !plan.Empty() {
+		var horizon time.Duration
+		if plan.NeedsHorizon() {
+			// Percent points are fractions of the no-chaos makespan, so
+			// resolve them against a deterministic baseline pre-run of the
+			// exact same configuration (same seed, same noise, no faults).
+			base, err := ompss.NewRuntime(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			build(base)
+			horizon = base.Execute().Elapsed
+		}
+		if err := plan.Arm(r.Runtime, horizon); err != nil {
 			log.Fatal(err)
 		}
-		check = a.Check
-	case "cholesky":
-		c := apps.CholeskyConfig{N: *n, Variant: apps.CholeskyVariant(defStr(*variant, "potrf-hyb")), Verify: *verify}
-		if *verify && *n == 0 {
-			c.N, c.BS = 128, 32
-		}
-		a, err := apps.BuildCholesky(r, c)
-		if err != nil {
-			log.Fatal(err)
-		}
-		check = a.Check
-	case "pbpi":
-		c := apps.PBPIConfig{Elements: *n, Generations: *gens, Variant: apps.PBPIVariant(defStr(*variant, "hyb")), Verify: *verify}
-		if *verify && *n == 0 {
-			c.Elements, c.Segments, c.Loop2Chunks, c.Generations = 1024, 4, 4, 6
-		}
-		a, err := apps.BuildPBPI(r, c)
-		if err != nil {
-			log.Fatal(err)
-		}
-		check = func() error {
-			fmt.Printf("final log-likelihood: %.6f\n", a.LogLik)
-			return nil
-		}
-	case "stencil":
-		c := apps.StencilConfig{N: *n, Variant: apps.StencilVariant(defStr(*variant, "hyb")), Verify: *verify}
-		if *verify && *n == 0 {
-			c.N, c.BS, c.Sweeps = 64, 16, 4
-		}
-		a, err := apps.BuildStencil(r, c)
-		if err != nil {
-			log.Fatal(err)
-		}
-		check = a.Check
-	case "nbody":
-		c := apps.NBodyConfig{N: *n, Variant: apps.NBodyVariant(defStr(*variant, "hyb")), Verify: *verify}
-		if *verify && *n == 0 {
-			c.N, c.BS, c.Steps = 64, 16, 2
-		}
-		a, err := apps.BuildNBody(r, c)
-		if err != nil {
-			log.Fatal(err)
-		}
-		check = a.Check
-	default:
-		log.Fatalf("unknown app %q", *app)
 	}
 
 	res := r.Execute()
 	fmt.Println(res)
+	if res.FaultsInjected > 0 {
+		fmt.Printf("faults: injected=%d requeued=%d readapt=%.6fs\n",
+			res.FaultsInjected, res.TasksRequeued, res.ReadaptSec)
+	}
 	// Emit in sorted task-type order: VersionCounts is a map, and map
 	// order would shuffle these lines between otherwise identical runs.
 	taskTypes := make([]string, 0, len(res.VersionCounts))

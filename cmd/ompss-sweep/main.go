@@ -119,6 +119,7 @@ func main() {
 		tolFlag      = flag.String("size-tolerances", "", "comma-separated size-grouping tolerances (0 = exact matching)")
 		ewmaFlag     = flag.String("ewma-alphas", "", "comma-separated EWMA alphas in [0,1] (0 = arithmetic mean)")
 		localFlag    = flag.String("locality", "", "comma-separated bools for the locality-aware extension (default false)")
+		chaosFlag    = flag.String("chaos", "", "comma-separated chaos fault-injection specs, e.g. 'none,gpu1:drop@40%' (clauses inside one spec join with ';'; none = no faults; default no chaos axis)")
 		noiseFlag    = flag.String("noise", "0.05", "comma-separated jitter sigmas")
 		replicas     = flag.Int("replicas", 3, "seed replicas per cell")
 		seed         = flag.Int64("seed", 1, "base seed for the replica seeds (0 = default 1)")
@@ -173,6 +174,7 @@ func main() {
 		SizeTolerances: mustFloats(*tolFlag),
 		EWMAAlphas:     mustFloats(*ewmaFlag),
 		LocalityAware:  mustBools(*localFlag),
+		Chaos:          splitList(*chaosFlag),
 		Noise:          mustFloats(*noiseFlag),
 		Size:           size,
 		Replicas:       *replicas,
@@ -449,9 +451,16 @@ func main() {
 		if store != nil && !*quiet {
 			// Machine-greppable resume accounting; CI asserts simulated=0
 			// on a fully warm re-run and after a -procs fan-out. The
-			// "cache:" prefix is part of the stable format.
-			fmt.Fprintf(os.Stderr, "ompss-sweep: cache: simulated=%d cached=%d store=%s\n",
-				res.Simulated, res.CacheHits, store.Description())
+			// "cache:" prefix is part of the stable format; requeued=
+			// appears only when this process's own simulations saw fault
+			// injection (a warm render or a -procs coordinator shows none —
+			// the workers report their own).
+			requeued := ""
+			if res.Requeued > 0 {
+				requeued = fmt.Sprintf(" requeued=%d", res.Requeued)
+			}
+			fmt.Fprintf(os.Stderr, "ompss-sweep: cache: simulated=%d cached=%d%s store=%s\n",
+				res.Simulated, res.CacheHits, requeued, store.Description())
 		}
 	}
 	if camp.Budget != nil {

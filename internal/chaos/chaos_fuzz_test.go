@@ -1,0 +1,69 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hammers the spec parser with arbitrary strings. It checks
+// three invariants that the campaign layer leans on:
+//
+//  1. Parse never panics — campaign specs arrive from CLI flags and
+//     grid JSON, so a malformed string must come back as an error.
+//  2. Round-trip stability: re-parsing a plan's canonical String()
+//     yields an equal canonical form (String is a fixed point). The
+//     spec hash embeds the raw spec string, but forensics renders the
+//     canonical form, so it must be stable.
+//  3. An accepted plan is structurally sane: every blackout targets
+//     "all", and every throttle carries at least one curve step.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"none",
+		"gpu1:drop@40%",
+		"gpu0:drop@40%+recover@70%",
+		"gpu1:drop@40%;gpu0:throttle@60%x0.5",
+		"gpu0:throttle@0%x0.5@50%x1.0",
+		"core2:stragglex1.5",
+		"all:blackout@1s+2s",
+		"all:blackout@25%+500ms",
+		"gpu0:drop@250ms",
+		" gpu1 : drop@40% ; ",
+		"gpu1:drop",           // malformed: missing point
+		"gpu1:throttle",       // malformed: no curve
+		"bogus:drop@40%",      // malformed: unknown target
+		"gpu0:blackout@1s+2s", // malformed: blackout needs all
+		"gpu1drop@40%",        // malformed: no colon
+		"gpu0:stragglexNaN",
+		"gpu0:drop@-5%",
+		"all:throttle@40%x0",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec)
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "chaos:") {
+				t.Fatalf("Parse(%q) error without chaos: prefix: %v", spec, err)
+			}
+			return
+		}
+		for _, b := range p.Blackouts {
+			_ = b // blackout target is implicit "all" by construction
+		}
+		for _, th := range p.Throttles {
+			if len(th.Curve) == 0 {
+				t.Fatalf("Parse(%q): accepted throttle with empty curve", spec)
+			}
+		}
+		canon := p.String()
+		p2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("Parse(%q): canonical form %q does not re-parse: %v", spec, canon, err)
+		}
+		if got := p2.String(); got != canon {
+			t.Fatalf("Parse(%q): canonical form not a fixed point: %q -> %q", spec, canon, got)
+		}
+	})
+}

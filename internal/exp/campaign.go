@@ -143,6 +143,7 @@ func (c *Campaign) Execute() (*SweepResult, ClaimStats, error) {
 		BudgetAdmitted: e.admitted,
 		Simulated:      stats.Simulated,
 		CacheHits:      stats.Hits,
+		Requeued:       stats.Requeued,
 		Wall:           time.Since(start),
 	}, stats, nil
 }
@@ -250,6 +251,22 @@ func (e *engine) emit(ev Event) {
 	e.emitMu.Lock()
 	defer e.emitMu.Unlock()
 	e.c.Observer.OnEvent(ev)
+}
+
+// emitFault delivers the CellFaultInjected event for a freshly simulated
+// cell whose chaos plan fired (see the delivery contract in event.go);
+// no-fault and no-chaos cells deliver nothing.
+func (e *engine) emitFault(idx int, rr RunResult) {
+	if rr.FaultsInjected == 0 {
+		return
+	}
+	e.emit(CellFaultInjected{
+		Index:    idx,
+		Hash:     e.hash(idx),
+		Chaos:    rr.Spec.Chaos,
+		Faults:   rr.FaultsInjected,
+		Requeued: rr.TasksRequeued,
+	})
 }
 
 func (e *engine) hash(idx int) string {
@@ -417,11 +434,13 @@ func (e *engine) pool() (ClaimStats, error) {
 					stats.Hits++
 				} else {
 					stats.Simulated++
+					stats.Requeued += rr.TasksRequeued
 				}
 				mu.Unlock()
 				if hit {
 					e.emit(CellCached{Index: cell.Index, Result: rr, Hash: cell.Hash})
 				} else {
+					e.emitFault(cell.Index, rr)
 					e.emit(CellDone{Index: cell.Index, Result: rr, Hash: cell.Hash})
 				}
 			}
@@ -565,6 +584,8 @@ func (e *engine) claim() (ClaimStats, error) {
 			e.emit(CellCached{Index: c.idx, Result: c.rr, Hash: e.hashes[c.idx]})
 		} else {
 			stats.Simulated++
+			stats.Requeued += c.rr.TasksRequeued
+			e.emitFault(c.idx, c.rr)
 			e.emit(CellDone{Index: c.idx, Result: c.rr, Hash: e.hashes[c.idx]})
 		}
 	}

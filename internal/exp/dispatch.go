@@ -68,6 +68,11 @@ type ClaimStats struct {
 	// BudgetOptions); on a budgeted campaign Simulated + Hits + Skipped
 	// == Runs. Always zero without a budget.
 	Skipped int
+	// Requeued counts tasks that fault injection forced this claimant's
+	// own simulations to fail and re-queue (summed over its locally
+	// simulated runs only, so a fleet's per-claimant counts add up to
+	// the single-process total). Always zero without a chaos axis.
+	Requeued int64
 }
 
 func (s ClaimStats) String() string {
@@ -75,6 +80,9 @@ func (s ClaimStats) String() string {
 		s.Runs, s.Claimed, s.Simulated, s.Hits, s.Reclaimed)
 	if s.Skipped > 0 {
 		out += fmt.Sprintf(" skipped=%d", s.Skipped)
+	}
+	if s.Requeued > 0 {
+		out += fmt.Sprintf(" requeued=%d", s.Requeued)
 	}
 	return out
 }

@@ -44,6 +44,32 @@ func BenchmarkEngineTaskNs(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineTaskNsNoChaos is the heavy cell with an explicitly
+// empty chaos plan: the fault-injection axis must be free when unused.
+// Pinned in BENCH_baseline.json at the same figure as the base
+// benchmark — an empty plan short-circuits before parsing or arming, so
+// any gap between the two is chaos-plumbing overhead on the hot path
+// (and the allocation pin in alloc_test.go must also stay unchanged).
+func BenchmarkEngineTaskNsNoChaos(b *testing.B) {
+	spec := engineHeavyCell()
+	spec.Chaos = ""
+	var tasks int64
+	b.ReportAllocs()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		rr, err := Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tasks += int64(rr.Tasks)
+	}
+	elapsed := time.Since(start)
+	if tasks > 0 {
+		b.ReportMetric(float64(elapsed.Nanoseconds())/float64(tasks), "ns/op")
+		b.ReportMetric(float64(tasks)/elapsed.Seconds(), "tasks/s")
+	}
+}
+
 // BenchmarkEngineCellGrid reports ns per cell over the pinned acceptance
 // grid, simulated serially (ns/op is ns/cell; cells/min is 6e10 divided
 // by it). This is the campaign-facing figure: how fast one claimant

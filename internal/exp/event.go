@@ -18,6 +18,10 @@ package exp
 //     only the per-cell ordering above is guaranteed.
 //   - A cell whose run fails delivers no completion event: the campaign
 //     aborts with the error instead.
+//   - A freshly simulated cell whose chaos plan actually fired (faults
+//     injected > 0) delivers one CellFaultInjected immediately before its
+//     CellDone. Cache hits never deliver it — the faults happened in
+//     whichever campaign simulated the cell.
 //   - A budgeted campaign delivers CellSkipped (in expansion-index
 //     order, before any execution) for every cell it prices out; a
 //     skipped cell gets no other event from this campaign.
@@ -48,6 +52,23 @@ type CellDone struct {
 	// observers that persist events (the campaign journal) need not
 	// re-hash the spec.
 	Hash string
+}
+
+// CellFaultInjected reports that a freshly simulated cell's chaos plan
+// fired: at least one fault event (dropout, recovery, throttle step,
+// straggler, blackout edge) was injected into the run. Delivered
+// immediately before the cell's CellDone, so persistent observers (the
+// campaign journal) can record the fault forensics next to the result.
+type CellFaultInjected struct {
+	Index int
+	// Hash is the spec's content hash ("" without a cache).
+	Hash string
+	// Chaos is the cell's chaos spec as swept (the compact grammar form).
+	Chaos string
+	// Faults counts the injected fault events; Requeued the tasks the
+	// faults forced the runtime to fail and re-queue.
+	Faults   int64
+	Requeued int64
 }
 
 // CellCached reports a cell satisfied from the campaign cache — stored
@@ -97,12 +118,13 @@ type LeaseReclaimed struct {
 	By string
 }
 
-func (CellStarted) campaignEvent()    {}
-func (CellDone) campaignEvent()       {}
-func (CellCached) campaignEvent()     {}
-func (CellSkipped) campaignEvent()    {}
-func (LeaseClaimed) campaignEvent()   {}
-func (LeaseReclaimed) campaignEvent() {}
+func (CellStarted) campaignEvent()       {}
+func (CellDone) campaignEvent()          {}
+func (CellFaultInjected) campaignEvent() {}
+func (CellCached) campaignEvent()        {}
+func (CellSkipped) campaignEvent()       {}
+func (LeaseClaimed) campaignEvent()      {}
+func (LeaseReclaimed) campaignEvent()    {}
 
 // Observer consumes campaign events. Implementations can rely on the
 // delivery contract at the top of this file.

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/trace"
 	"repro/ompss"
 )
@@ -136,6 +137,12 @@ type RunSpec struct {
 	NoiseSigma float64 `json:"noise"`
 	// Seed seeds the jitter RNG (and any seedable scheduler).
 	Seed int64 `json:"seed"`
+	// Chaos is a fault-injection spec (see internal/chaos): adversarial
+	// machine dynamics — GPU dropout, throttling, stragglers, blackouts —
+	// scheduled over virtual time. Empty means no faults. Percent points
+	// (e.g. "gpu1:drop@40%") are relative to the cell's own no-chaos
+	// makespan, measured by a deterministic baseline pre-run.
+	Chaos string `json:"chaos,omitempty"`
 }
 
 // Config is the shared run-spec -> ompss.Config plumbing every
@@ -183,6 +190,9 @@ func (s RunSpec) String() string {
 	if s.LocalityAware {
 		b.WriteString(" locality")
 	}
+	if s.Chaos != "" {
+		fmt.Fprintf(&b, " chaos=%q", s.Chaos)
+	}
 	fmt.Fprintf(&b, " noise=%g seed=%d", s.NoiseSigma, s.Seed)
 	return b.String()
 }
@@ -199,6 +209,11 @@ func (s *RunSpec) fillDefaults() {
 	}
 	if s.SMPWorkers <= 0 {
 		s.SMPWorkers = 1
+	}
+	// "none" is the spelling of "no chaos" in axis lists (an empty string
+	// cannot ride a comma-separated flag); normalize so both hash equal.
+	if s.Chaos == "none" {
+		s.Chaos = ""
 	}
 }
 
@@ -270,8 +285,37 @@ func RunTraced(spec RunSpec) (rr RunResult, tr *trace.Tracer, err error) {
 		return RunResult{}, nil, err
 	}
 	start := time.Now()
+	if spec.Chaos != "" {
+		if err := armChaos(r, spec); err != nil {
+			return RunResult{}, nil, err
+		}
+	}
 	res := r.Execute()
 	return RunResult{Spec: spec, Result: res, Wall: time.Since(start)}, r.Tracer(), nil
+}
+
+// armChaos compiles the spec's chaos plan and schedules it on the
+// runtime. Percent points need a horizon — the same cell's no-chaos
+// makespan — which is measured by a deterministic baseline pre-run
+// (itself a pure function of the spec, so the faulted run stays
+// replayable byte for byte). The baseline's wall cost folds into the
+// faulted run's Wall; its virtual results are discarded.
+func armChaos(r *ompss.Runtime, spec RunSpec) error {
+	plan, err := chaos.Parse(spec.Chaos)
+	if err != nil {
+		return err
+	}
+	var horizon time.Duration
+	if plan.NeedsHorizon() {
+		base := spec
+		base.Chaos = ""
+		br, err := Build(base)
+		if err != nil {
+			return err
+		}
+		horizon = br.Execute().Elapsed
+	}
+	return plan.Arm(r.Runtime, horizon)
 }
 
 // TraceString serializes a run's task trace deterministically (submission

@@ -306,9 +306,9 @@ func TestCSVGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := strings.Join([]string{
-		"app,size,scheduler,machine,smp,gpus,lambda,size_tolerance,ewma_alpha,locality,noise,replicas,tasks,makespan_mean_s,makespan_std_s,makespan_min_s,makespan_p10_s,makespan_median_s,makespan_p90_s,makespan_max_s,makespan_ci95_lo_s,makespan_ci95_hi_s,gflops_mean,tx_mean_bytes",
-		"matmul-hyb,tiny,dep,node,4,2,0,0,0,false,0.05,1,42,0.1,0,0.1,0.1,0.1,0.1,0.1,0.1,0.1,200,1000",
-		"stencil,tiny,dep,node,4,2,0,0,0,false,0.05,1,42,0.1,0,0.1,0.1,0.1,0.1,0.1,0.1,0.1,200,1000",
+		"app,size,scheduler,machine,smp,gpus,lambda,size_tolerance,ewma_alpha,locality,chaos,noise,replicas,tasks,makespan_mean_s,makespan_std_s,makespan_min_s,makespan_p10_s,makespan_median_s,makespan_p90_s,makespan_max_s,makespan_ci95_lo_s,makespan_ci95_hi_s,gflops_mean,tx_mean_bytes,requeued_mean,readapt_max_s",
+		"matmul-hyb,tiny,dep,node,4,2,0,0,0,false,,0.05,1,42,0.1,0,0.1,0.1,0.1,0.1,0.1,0.1,0.1,200,1000,0,0",
+		"stencil,tiny,dep,node,4,2,0,0,0,false,,0.05,1,42,0.1,0,0.1,0.1,0.1,0.1,0.1,0.1,0.1,200,1000,0,0",
 		"",
 	}, "\n")
 	if got := buf.String(); got != want {
@@ -410,6 +410,34 @@ func TestJSONGolden(t *testing.T) {
         "max": 1000,
         "ci95_low": 1000,
         "ci95_high": 1000
+      },
+      "requeued": {
+        "n": 1,
+        "mean": 0,
+        "std": 0,
+        "min": 0,
+        "p10": 0,
+        "p25": 0,
+        "median": 0,
+        "p75": 0,
+        "p90": 0,
+        "max": 0,
+        "ci95_low": 0,
+        "ci95_high": 0
+      },
+      "readapt_s": {
+        "n": 1,
+        "mean": 0,
+        "std": 0,
+        "min": 0,
+        "p10": 0,
+        "p25": 0,
+        "median": 0,
+        "p75": 0,
+        "p90": 0,
+        "max": 0,
+        "ci95_low": 0,
+        "ci95_high": 0
       }
     }
   ]

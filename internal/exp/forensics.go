@@ -39,9 +39,30 @@ type ReplayReport struct {
 	// were compacted away survive only as counters (Timeline.Owners,
 	// Cell.Reclaimed), not as events here.
 	Reclaims []ReclaimEvent
+	// Faults lists every fault-injection record in time order: which
+	// cells ran under a chaos plan that fired, who simulated them, and
+	// how many tasks the faults re-queued. Empty for campaigns without
+	// a chaos axis.
+	Faults []FaultEvent
 	// WhatIf is the optional re-planning projection (nil = not asked
 	// for); see ComputeWhatIf.
 	WhatIf *WhatIf
+}
+
+// FaultEvent is one journaled fault-injection record (a simulated cell
+// whose chaos plan fired).
+type FaultEvent struct {
+	// T is the record time (Unix seconds); Owner the claimant that
+	// simulated the cell.
+	T     float64 `json:"t"`
+	Owner string  `json:"owner,omitempty"`
+	Index int     `json:"index"`
+	Hash  string  `json:"hash,omitempty"`
+	// Chaos is the cell's chaos spec; Faults/Requeued its injection
+	// counters.
+	Chaos    string `json:"chaos,omitempty"`
+	Faults   int64  `json:"faults"`
+	Requeued int64  `json:"requeued"`
 }
 
 // Contention is one cell that saw more than one lease event: claimed
@@ -117,8 +138,22 @@ func NewReplayReport(store string, recs []journal.Record, stats journal.ReadStat
 			}
 			touch(rec.Hash, by, rec.T)
 			r.Reclaims = append(r.Reclaims, ReclaimEvent{T: rec.T, By: by, Hash: rec.Hash})
+		case journal.TypeFault:
+			r.Faults = append(r.Faults, FaultEvent{
+				T: rec.T, Owner: rec.Owner, Index: rec.Index, Hash: rec.Hash,
+				Chaos: rec.Chaos, Faults: rec.Faults, Requeued: rec.Requeued,
+			})
 		}
 	}
+	sort.SliceStable(r.Faults, func(i, j int) bool {
+		if r.Faults[i].T != r.Faults[j].T {
+			return r.Faults[i].T < r.Faults[j].T
+		}
+		if r.Faults[i].Index != r.Faults[j].Index {
+			return r.Faults[i].Index < r.Faults[j].Index
+		}
+		return r.Faults[i].Hash < r.Faults[j].Hash
+	})
 	sort.SliceStable(r.Reclaims, func(i, j int) bool {
 		if r.Reclaims[i].T != r.Reclaims[j].T {
 			return r.Reclaims[i].T < r.Reclaims[j].T
@@ -307,6 +342,23 @@ func (r *ReplayReport) WriteText(w io.Writer) error {
 		}
 	}
 
+	// Fault injection: cells whose chaos plan fired, time order (only
+	// when the campaign had any — no-chaos replays stay byte-identical
+	// to reports rendered before the axis existed).
+	if len(r.Faults) > 0 {
+		var faults, requeued int64
+		for _, f := range r.Faults {
+			faults += f.Faults
+			requeued += f.Requeued
+		}
+		fmt.Fprintf(&b, "faults: %d cells under chaos, %d fault events, %d tasks requeued\n",
+			len(r.Faults), faults, requeued)
+		for _, f := range r.Faults {
+			fmt.Fprintf(&b, "  %s owner=%s cell=%d %.12s chaos=%q faults=%d requeued=%d\n",
+				r.offset(f.T), f.Owner, f.Index, f.Hash, f.Chaos, f.Faults, f.Requeued)
+		}
+	}
+
 	// Wall-cost histogram over the simulated cells.
 	fmt.Fprintf(&b, "cost histogram (%d simulated cells):\n", tl.Done)
 	for i, n := range tl.CostHistogram() {
@@ -402,6 +454,7 @@ type replayJSON struct {
 	Cells        []journal.Cell  `json:"cells,omitempty"`
 	Contended    []Contention    `json:"contended,omitempty"`
 	Reclaims     []ReclaimEvent  `json:"reclaims,omitempty"`
+	Faults       []FaultEvent    `json:"faults,omitempty"`
 	Histogram    map[string]int  `json:"cost_histogram"`
 	WhatIf       *WhatIf         `json:"what_if,omitempty"`
 }
@@ -426,6 +479,7 @@ func (r *ReplayReport) WriteJSON(w io.Writer) error {
 		CostSec:      tl.CostSec,
 		Contended:    r.Contended,
 		Reclaims:     r.Reclaims,
+		Faults:       r.Faults,
 		Histogram:    make(map[string]int),
 		WhatIf:       r.WhatIf,
 	}

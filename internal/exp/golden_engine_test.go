@@ -49,9 +49,14 @@ func goldenKnobGrid() Grid {
 // byte for byte: any change here is a simulation-behaviour change, not a
 // performance change, and needs the spec-hash SimBehaviorVersion bumped
 // plus a deliberate refresh of these constants.
+//
+// Refreshed when the chaos axis added CSV columns (chaos, requeued_mean,
+// readapt_max_s): a rendering change, not a behaviour change — the
+// makespan/gflops/tx values are unchanged, every no-chaos cell renders
+// the new columns as empty/0, and SimBehaviorVersion stays at 1.
 const (
-	goldenMixedCSVSHA = "a0e7295931d5423e2a1f2eb680a654807fad61227ceea7454df2ce1861fd3510"
-	goldenKnobCSVSHA  = "350176af10971a4d784f0d8a1eb37422f17913d5e5b66c713e6cc3083db79333"
+	goldenMixedCSVSHA = "641bfc036123b1108d2c120ec1d2dc52dacaf7dd56185e08ad3c37a5120aaebb"
+	goldenKnobCSVSHA  = "9615b8a3ac20558c6b3c68e5ac3c8b2dd67aa84315775fc316dc521babd267fc"
 )
 
 func sweepCSVSHA(t *testing.T, g Grid, parallel int) string {

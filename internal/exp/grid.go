@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/sched"
 )
 
@@ -31,8 +32,13 @@ type Grid struct {
 	SizeTolerances []float64 `json:"size_tolerances,omitempty"`
 	EWMAAlphas     []float64 `json:"ewma_alphas,omitempty"`
 	LocalityAware  []bool    `json:"locality_aware,omitempty"`
-	Noise          []float64 `json:"noise"`
-	Size           Size      `json:"size"`
+	// Chaos is the fault-injection axis: each value is a chaos spec (see
+	// internal/chaos; "" or "none" = no faults). Empty sweeps only the
+	// no-chaos default. Clauses naming devices a cell's machine lacks are
+	// inert, so one chaos axis can cross varying GPU counts.
+	Chaos []string  `json:"chaos,omitempty"`
+	Noise []float64 `json:"noise"`
+	Size  Size      `json:"size"`
 	// Replicas is the number of seed replicas per cell (default 1).
 	Replicas int `json:"replicas"`
 	// BaseSeed derives replica seeds: seed(i) = BaseSeed + i*stride.
@@ -49,7 +55,7 @@ func (g Grid) isZero() bool {
 	return len(g.Apps) == 0 && len(g.Schedulers) == 0 && len(g.Machines) == 0 &&
 		len(g.SMPWorkers) == 0 && len(g.GPUs) == 0 &&
 		len(g.Lambdas) == 0 && len(g.SizeTolerances) == 0 &&
-		len(g.EWMAAlphas) == 0 && len(g.LocalityAware) == 0 &&
+		len(g.EWMAAlphas) == 0 && len(g.LocalityAware) == 0 && len(g.Chaos) == 0 &&
 		len(g.Noise) == 0 && g.Size == "" && g.Replicas == 0 && g.BaseSeed == 0
 }
 
@@ -117,6 +123,13 @@ func (g Grid) localityAware() []bool {
 	return g.LocalityAware
 }
 
+func (g Grid) chaosSpecs() []string {
+	if len(g.Chaos) == 0 {
+		return []string{""}
+	}
+	return g.Chaos
+}
+
 // Validate checks every axis value against the registries before any
 // simulation starts, so a typo fails fast instead of 40 cells in.
 func (g Grid) Validate() error {
@@ -162,6 +175,11 @@ func (g Grid) Validate() error {
 			return fmt.Errorf("exp: grid EWMA alpha %g must be in [0, 1]", a)
 		}
 	}
+	for _, c := range g.chaosSpecs() {
+		if _, err := chaos.Parse(c); err != nil {
+			return fmt.Errorf("exp: grid chaos axis: %w", err)
+		}
+	}
 	// Machine shapes must be canonical (so equal cells share one cache
 	// hash) and able to host every swept worker-count combination.
 	for _, m := range g.machines() {
@@ -190,7 +208,7 @@ func (g Grid) NumCells() int {
 	return len(g.Apps) * len(g.Schedulers) * len(g.machines()) *
 		len(g.SMPWorkers) * len(g.GPUs) *
 		len(g.lambdas()) * len(g.sizeTolerances()) * len(g.ewmaAlphas()) * len(g.localityAware()) *
-		len(g.Noise)
+		len(g.chaosSpecs()) * len(g.Noise)
 }
 
 // NumRuns is the total number of simulation runs the grid expands to.
@@ -198,8 +216,8 @@ func (g Grid) NumRuns() int { return g.NumCells() * max(1, g.Replicas) }
 
 // Runs expands the grid into its run specs in canonical order: apps
 // outermost, then schedulers, machines, SMP, GPUs, the extension knobs,
-// noise, and seed replicas innermost (so one cell's replicas stay
-// adjacent for aggregation).
+// chaos, noise, and seed replicas innermost (so one cell's replicas
+// stay adjacent for aggregation).
 func (g Grid) Runs() []RunSpec {
 	g.fillDefaults()
 	specs := make([]RunSpec, 0, g.NumRuns())
@@ -212,22 +230,25 @@ func (g Grid) Runs() []RunSpec {
 							for _, tol := range g.sizeTolerances() {
 								for _, alpha := range g.ewmaAlphas() {
 									for _, loc := range g.localityAware() {
-										for _, noise := range g.Noise {
-											for rep := 0; rep < g.Replicas; rep++ {
-												specs = append(specs, RunSpec{
-													App:           app,
-													Size:          g.Size,
-													Scheduler:     sched,
-													Machine:       mach,
-													SMPWorkers:    smp,
-													GPUs:          gpus,
-													Lambda:        lambda,
-													SizeTolerance: tol,
-													EWMAAlpha:     alpha,
-													LocalityAware: loc,
-													NoiseSigma:    noise,
-													Seed:          g.BaseSeed + int64(rep)*replicaSeedStride,
-												})
+										for _, cspec := range g.chaosSpecs() {
+											for _, noise := range g.Noise {
+												for rep := 0; rep < g.Replicas; rep++ {
+													specs = append(specs, RunSpec{
+														App:           app,
+														Size:          g.Size,
+														Scheduler:     sched,
+														Machine:       mach,
+														SMPWorkers:    smp,
+														GPUs:          gpus,
+														Lambda:        lambda,
+														SizeTolerance: tol,
+														EWMAAlpha:     alpha,
+														LocalityAware: loc,
+														Chaos:         cspec,
+														NoiseSigma:    noise,
+														Seed:          g.BaseSeed + int64(rep)*replicaSeedStride,
+													})
+												}
 											}
 										}
 									}

@@ -77,6 +77,9 @@ func (j *JournalRecorder) OnEvent(ev Event) {
 	case CellDone:
 		rec = journal.Record{Type: journal.TypeDone, Index: ev.Index, Hash: ev.Hash,
 			WallSec: ev.Result.Wall.Seconds()}
+	case CellFaultInjected:
+		rec = journal.Record{Type: journal.TypeFault, Index: ev.Index, Hash: ev.Hash,
+			Chaos: ev.Chaos, Faults: ev.Faults, Requeued: ev.Requeued}
 	case CellCached:
 		if ev.Warm {
 			// A pre-scan hit is no new history — the cell already proves

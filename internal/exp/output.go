@@ -14,12 +14,13 @@ import (
 // byte-identical files at any parallelism.
 var csvHeader = []string{
 	"app", "size", "scheduler", "machine", "smp", "gpus",
-	"lambda", "size_tolerance", "ewma_alpha", "locality",
+	"lambda", "size_tolerance", "ewma_alpha", "locality", "chaos",
 	"noise", "replicas", "tasks",
 	"makespan_mean_s", "makespan_std_s", "makespan_min_s", "makespan_p10_s",
 	"makespan_median_s", "makespan_p90_s", "makespan_max_s",
 	"makespan_ci95_lo_s", "makespan_ci95_hi_s",
 	"gflops_mean", "tx_mean_bytes",
+	"requeued_mean", "readapt_max_s",
 }
 
 func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -37,12 +38,13 @@ func WriteCSV(w io.Writer, res *SweepResult) error {
 			c.App, string(c.Size), c.Scheduler, string(c.Machine),
 			strconv.Itoa(c.SMPWorkers), strconv.Itoa(c.GPUs),
 			strconv.Itoa(c.Lambda), ftoa(c.SizeTolerance), ftoa(c.EWMAAlpha),
-			strconv.FormatBool(c.LocalityAware),
+			strconv.FormatBool(c.LocalityAware), c.Chaos,
 			ftoa(c.Noise), strconv.Itoa(c.Replicas), strconv.Itoa(c.Tasks),
 			ftoa(m.Mean), ftoa(m.Std), ftoa(m.Min), ftoa(m.P10),
 			ftoa(m.Median), ftoa(m.P90), ftoa(m.Max),
 			ftoa(m.CI95Low), ftoa(m.CI95High),
 			ftoa(c.GFlops.Mean), ftoa(c.TxBytes.Mean),
+			ftoa(c.Requeued.Mean), ftoa(c.ReadaptSec.Max),
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -148,6 +150,9 @@ func extKnobs(c CellSummary) string {
 	}
 	if c.LocalityAware {
 		parts = append(parts, "loc")
+	}
+	if c.Chaos != "" {
+		parts = append(parts, "chaos")
 	}
 	if len(parts) == 0 {
 		return "-"

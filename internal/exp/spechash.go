@@ -18,7 +18,13 @@ import (
 // v2: string fields are quoted (injective serialization — a field value
 // can no longer fake a `key=value` line), and the CacheFormatVersion and
 // SimBehaviorVersion fingerprints are folded in.
-const SpecHashVersion = 2
+//
+// v3: the chaos fault-injection axis (RunSpec.Chaos) joins the
+// canonical serialization. Even empty-chaos cells hash differently from
+// v2 — deliberate, per the bump policy: shared caches are orphaned
+// wholesale rather than risking a v2 cell aliasing onto a run whose
+// semantics now include the (empty) chaos axis.
+const SpecHashVersion = 3
 
 // SimBehaviorVersion is the frozen simulator-behaviour fingerprint.
 // The spec hash identifies a *simulation outcome*, not just its inputs,
@@ -61,6 +67,7 @@ func (s RunSpec) CanonicalString() string {
 	fmt.Fprintf(&b, "size_tolerance=%s\n", f(s.SizeTolerance))
 	fmt.Fprintf(&b, "ewma_alpha=%s\n", f(s.EWMAAlpha))
 	fmt.Fprintf(&b, "locality_aware=%t\n", s.LocalityAware)
+	fmt.Fprintf(&b, "chaos=%s\n", q(s.Chaos))
 	fmt.Fprintf(&b, "noise=%s\n", f(s.NoiseSigma))
 	fmt.Fprintf(&b, "seed=%d\n", s.Seed)
 	return b.String()

@@ -17,8 +17,8 @@ import (
 // hash a safe cache key for caches shared between processes and hosts.
 func parseCanonical(s string) (RunSpec, error) {
 	lines := strings.Split(s, "\n")
-	if len(lines) != 16 || lines[15] != "" {
-		return RunSpec{}, fmt.Errorf("want 15 lines + trailing newline, got %d: %q", len(lines), s)
+	if len(lines) != 17 || lines[16] != "" {
+		return RunSpec{}, fmt.Errorf("want 16 lines + trailing newline, got %d: %q", len(lines), s)
 	}
 	if lines[0] != fmt.Sprintf("spechash/v%d", SpecHashVersion) {
 		return RunSpec{}, fmt.Errorf("bad header %q", lines[0])
@@ -74,8 +74,9 @@ func parseCanonical(s string) (RunSpec, error) {
 	num(10, "size_tolerance", func(v string) (e error) { spec.SizeTolerance, e = strconv.ParseFloat(v, 64); return })
 	num(11, "ewma_alpha", func(v string) (e error) { spec.EWMAAlpha, e = strconv.ParseFloat(v, 64); return })
 	num(12, "locality_aware", func(v string) (e error) { spec.LocalityAware, e = strconv.ParseBool(v); return })
-	num(13, "noise", func(v string) (e error) { spec.NoiseSigma, e = strconv.ParseFloat(v, 64); return })
-	num(14, "seed", func(v string) (e error) { spec.Seed, e = strconv.ParseInt(v, 10, 64); return })
+	str(13, "chaos", &spec.Chaos)
+	num(14, "noise", func(v string) (e error) { spec.NoiseSigma, e = strconv.ParseFloat(v, 64); return })
+	num(15, "seed", func(v string) (e error) { spec.Seed, e = strconv.ParseInt(v, 10, 64); return })
 	return spec, err
 }
 
@@ -94,19 +95,21 @@ func parseCanonical(s string) (RunSpec, error) {
 //  3. field sensitivity: any two specs differing in one
 //     (default-filled) field hash differently.
 func FuzzCanonicalSpec(f *testing.F) {
-	f.Add("matmul-hyb", "tiny", "versioning", "node", 2, 1, 0, 0.0, 0.0, false, 0.05, int64(1))
-	f.Add("", "", "", "", 0, 0, 0, 0.0, 0.0, false, 0.0, int64(0))
-	f.Add("pbpi-smp", "full", "dep", "cluster:2x6+1g", 20, 4, 6, 0.25, 0.3, true, 0.1, int64(1000004))
+	f.Add("matmul-hyb", "tiny", "versioning", "node", 2, 1, 0, 0.0, 0.0, false, "", 0.05, int64(1))
+	f.Add("", "", "", "", 0, 0, 0, 0.0, 0.0, false, "none", 0.0, int64(0))
+	f.Add("pbpi-smp", "full", "dep", "cluster:2x6+1g", 20, 4, 6, 0.25, 0.3, true,
+		"gpu1:drop@40%;gpu0:throttle@60%x0.5", 0.1, int64(1000004))
 	// Injection attempts: values that mimic canonical lines.
-	f.Add("x\nsize=\"tiny\"", "", "a\"b", "c\\d", -3, -1, -6, -0.5, 2.0, true, -1.0, int64(-9))
-	f.Add("seed=7", "tiny\n", "\n", "=", 1<<30, 99, 7, 1e300, -1e-300, false, 0.5, int64(7))
+	f.Add("x\nsize=\"tiny\"", "", "a\"b", "c\\d", -3, -1, -6, -0.5, 2.0, true, "chaos=\"\"\n", -1.0, int64(-9))
+	f.Add("seed=7", "tiny\n", "\n", "=", 1<<30, 99, 7, 1e300, -1e-300, false, "all:blackout@1s+2s", 0.5, int64(7))
 
 	f.Fuzz(func(t *testing.T, app, size, sched, machine string,
-		smp, gpus, lambda int, tol, alpha float64, locality bool, noise float64, seed int64) {
+		smp, gpus, lambda int, tol, alpha float64, locality bool, chaosSpec string, noise float64, seed int64) {
 		spec := RunSpec{
 			App: app, Size: Size(size), Scheduler: sched, Machine: MachineSpec(machine),
 			SMPWorkers: smp, GPUs: gpus, Lambda: lambda,
 			SizeTolerance: tol, EWMAAlpha: alpha, LocalityAware: locality,
+			Chaos:      chaosSpec,
 			NoiseSigma: noise, Seed: seed,
 		}
 		canon := spec.CanonicalString()
@@ -154,6 +157,7 @@ func FuzzCanonicalSpec(f *testing.F) {
 			"size_tolerance": func(s *RunSpec) { s.SizeTolerance = tol + 1 },
 			"ewma_alpha":     func(s *RunSpec) { s.EWMAAlpha = alpha + 1 },
 			"locality":       func(s *RunSpec) { s.LocalityAware = !locality },
+			"chaos":          func(s *RunSpec) { s.Chaos = filled.Chaos + "x" },
 			"noise":          func(s *RunSpec) { s.NoiseSigma = noise + 1 },
 			"seed":           func(s *RunSpec) { s.Seed = seed + 1 },
 		}

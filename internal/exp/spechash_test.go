@@ -19,31 +19,38 @@ func TestSpecHashGolden(t *testing.T) {
 		{
 			name: "zero-spec-defaults",
 			spec: RunSpec{},
-			want: "0509b63a80f25266254db477bf87b9fabf66bdf05181687cabc0b77592e15dbd",
+			want: "1eaf534cf818320cf418b9ad60efda799152ee75222a3c867b3c2ab0977185f3",
 		},
 		{
 			name: "minimal-app",
 			spec: RunSpec{App: "matmul-hyb", GPUs: 1},
-			want: "8cb68ec9d6dab90365a6f063364d66057a99e54d1f5ed478a99ef138eca80b05",
+			want: "b3f10296c4ec60871980ef2e28eff917f8f96535eda16df0d5403b53d5a4defd",
 		},
 		{
 			name: "core-axes",
 			spec: RunSpec{App: "matmul-hyb", Size: SizeQuick, Scheduler: "bf",
 				SMPWorkers: 4, GPUs: 2, NoiseSigma: 0.05, Seed: 42},
-			want: "5e424cd7631953afbf92b4d98341f4e97fafea54b06cb019b95e771b6125bbb7",
+			want: "2d55e348312302a9601a884be85979b2f783d844281a14701fdfedef6bafbb85",
 		},
 		{
 			name: "extension-knobs",
 			spec: RunSpec{App: "cholesky-potrf-hyb", Scheduler: "versioning",
 				SMPWorkers: 2, GPUs: 2, Lambda: 6, SizeTolerance: 0.25,
 				EWMAAlpha: 0.3, LocalityAware: true, NoiseSigma: 0.1, Seed: 7},
-			want: "761c56b0a9593e327700989ac0ac488d2ad44c0021660a579ef580f178d4969d",
+			want: "09bd824cfebd5b69684f498f7771478bae1df2f70d6c2e5ac7a831be8730972c",
 		},
 		{
 			name: "cluster-machine",
 			spec: RunSpec{App: "pbpi-smp", Scheduler: "dep", Machine: "cluster:2x6+1g",
 				SMPWorkers: 20, GPUs: 4, Seed: 1000004},
-			want: "cbfa26f38c67c08de0dbf0ec3002a79b7c19290c08a54ea2cc43c7b625faf81a",
+			want: "fe9f736683842497ead7f8d6624c6e8d34160050f82902d138296faeeec6cd3b",
+		},
+		{
+			name: "chaos-axis",
+			spec: RunSpec{App: "pbpi-hyb", Scheduler: "versioning",
+				SMPWorkers: 2, GPUs: 2, Chaos: "gpu0:drop@40%",
+				NoiseSigma: 0.05, Seed: 1},
+			want: "33d3b88757c34f927547475ade6a2f8fa00c1b7da03a660ebb67f748e3446b03",
 		},
 	}
 	for _, c := range cases {
@@ -61,7 +68,7 @@ func TestCanonicalStringFormat(t *testing.T) {
 	s := RunSpec{App: "matmul-hyb", Scheduler: "bf", SMPWorkers: 2, GPUs: 1,
 		NoiseSigma: 0.05, Seed: 3}
 	want := strings.Join([]string{
-		"spechash/v2",
+		"spechash/v3",
 		"format=1",
 		"model=1",
 		`app="matmul-hyb"`,
@@ -74,12 +81,55 @@ func TestCanonicalStringFormat(t *testing.T) {
 		"size_tolerance=0",
 		"ewma_alpha=0",
 		"locality_aware=false",
+		`chaos=""`,
 		"noise=0.05",
 		"seed=3",
 		"",
 	}, "\n")
 	if got := s.CanonicalString(); got != want {
 		t.Errorf("CanonicalString:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestSpecHashV2Migration pins the v2 hashes these same specs produced
+// before the chaos axis joined the serialization, and asserts the v3
+// hashes differ — the v2→v3 bump deliberately orphans every cached
+// cell (including no-chaos ones) per the bump policy in spechash.go,
+// and this test makes that invalidation visible rather than silent.
+func TestSpecHashV2Migration(t *testing.T) {
+	v2 := map[string]string{
+		"zero-spec-defaults": "0509b63a80f25266254db477bf87b9fabf66bdf05181687cabc0b77592e15dbd",
+		"minimal-app":        "8cb68ec9d6dab90365a6f063364d66057a99e54d1f5ed478a99ef138eca80b05",
+		"core-axes":          "5e424cd7631953afbf92b4d98341f4e97fafea54b06cb019b95e771b6125bbb7",
+		"extension-knobs":    "761c56b0a9593e327700989ac0ac488d2ad44c0021660a579ef580f178d4969d",
+		"cluster-machine":    "cbfa26f38c67c08de0dbf0ec3002a79b7c19290c08a54ea2cc43c7b625faf81a",
+	}
+	specs := map[string]RunSpec{
+		"zero-spec-defaults": {},
+		"minimal-app":        {App: "matmul-hyb", GPUs: 1},
+		"core-axes": {App: "matmul-hyb", Size: SizeQuick, Scheduler: "bf",
+			SMPWorkers: 4, GPUs: 2, NoiseSigma: 0.05, Seed: 42},
+		"extension-knobs": {App: "cholesky-potrf-hyb", Scheduler: "versioning",
+			SMPWorkers: 2, GPUs: 2, Lambda: 6, SizeTolerance: 0.25,
+			EWMAAlpha: 0.3, LocalityAware: true, NoiseSigma: 0.1, Seed: 7},
+		"cluster-machine": {App: "pbpi-smp", Scheduler: "dep", Machine: "cluster:2x6+1g",
+			SMPWorkers: 20, GPUs: 4, Seed: 1000004},
+	}
+	for name, spec := range specs {
+		if got := spec.Hash(); got == v2[name] {
+			t.Errorf("%s: v3 hash equals the frozen v2 hash %s — the version bump did not invalidate the cache", name, got)
+		}
+	}
+}
+
+// TestSpecHashChaosNormalization: "none" and "" both spell no-chaos and
+// must share one cache cell (fillDefaults normalizes "none" away).
+func TestSpecHashChaosNormalization(t *testing.T) {
+	bare := RunSpec{App: "matmul-hyb", GPUs: 1}
+	none := RunSpec{App: "matmul-hyb", GPUs: 1, Chaos: "none"}
+	if bare.Hash() != none.Hash() {
+		t.Errorf(`Chaos "none" hashes differently from "":`+"\n%s\nvs\n%s",
+			bare.CanonicalString(), none.CanonicalString())
 	}
 }
 
@@ -111,6 +161,7 @@ func TestSpecHashSensitivity(t *testing.T) {
 		"size_tolerance": func(s *RunSpec) { s.SizeTolerance = 0.25 },
 		"ewma_alpha":     func(s *RunSpec) { s.EWMAAlpha = 0.3 },
 		"locality":       func(s *RunSpec) { s.LocalityAware = true },
+		"chaos":          func(s *RunSpec) { s.Chaos = "gpu0:drop@40%" },
 		"noise":          func(s *RunSpec) { s.NoiseSigma = 0.1 },
 		"seed":           func(s *RunSpec) { s.Seed = 2 },
 	}

@@ -38,6 +38,7 @@ type CellSummary struct {
 	SizeTolerance float64     `json:"size_tolerance"`
 	EWMAAlpha     float64     `json:"ewma_alpha"`
 	LocalityAware bool        `json:"locality_aware"`
+	Chaos         string      `json:"chaos,omitempty"`
 	Noise         float64     `json:"noise"`
 	Replicas      int         `json:"replicas"`
 	// Tasks is the per-run task count (identical across replicas — the
@@ -49,6 +50,11 @@ type CellSummary struct {
 	GFlops stats.Dist `json:"gflops"`
 	// TxBytes aggregates total transferred bytes (input+output+device).
 	TxBytes stats.Dist `json:"tx_bytes"`
+	// Requeued aggregates tasks re-queued by fault injection per run,
+	// and ReadaptSec the worst re-adaptation latency in virtual seconds
+	// (both all-zero for no-chaos cells).
+	Requeued   stats.Dist `json:"requeued"`
+	ReadaptSec stats.Dist `json:"readapt_s"`
 }
 
 // SweepResult is a completed sweep: every run in grid-expansion order
@@ -76,6 +82,10 @@ type SweepResult struct {
 	// to a cold one).
 	Simulated int `json:"-"`
 	CacheHits int `json:"-"`
+	// Requeued sums the fault-injection task re-queues across this
+	// process's own simulated runs (see ClaimStats.Requeued) — an
+	// execution fact like Simulated, zero on warm renders.
+	Requeued int64 `json:"-"`
 	// Wall is the host time for the whole sweep (not written to CSV/JSON
 	// outputs, which must be deterministic).
 	Wall time.Duration `json:"-"`
@@ -131,6 +141,7 @@ group:
 			SizeTolerance: spec.SizeTolerance,
 			EWMAAlpha:     spec.EWMAAlpha,
 			LocalityAware: spec.LocalityAware,
+			Chaos:         spec.Chaos,
 			Noise:         spec.NoiseSigma,
 			Replicas:      len(group),
 			Tasks:         group[0].Tasks,
@@ -138,14 +149,20 @@ group:
 		makespans := make([]float64, len(group))
 		gflops := make([]float64, len(group))
 		tx := make([]float64, len(group))
+		requeued := make([]float64, len(group))
+		readapt := make([]float64, len(group))
 		for j, r := range group {
 			makespans[j] = r.Elapsed.Seconds()
 			gflops[j] = r.GFlops
 			tx[j] = float64(r.TotalTxBytes())
+			requeued[j] = float64(r.TasksRequeued)
+			readapt[j] = r.ReadaptSec
 		}
 		c.MakespanSec = stats.NewDist(makespans)
 		c.GFlops = stats.NewDist(gflops)
 		c.TxBytes = stats.NewDist(tx)
+		c.Requeued = stats.NewDist(requeued)
+		c.ReadaptSec = stats.NewDist(readapt)
 		cells = append(cells, c)
 	}
 	return cells

@@ -61,6 +61,11 @@ const (
 	// they use, and merely lose the compacted history's totals), so no
 	// version bump.
 	TypeCheckpoint = "checkpoint"
+	// TypeFault records that a simulated cell's chaos plan fired: the
+	// fault-injection counters next to the cell's done record. Like
+	// TypeCheckpoint it is additive under schema version 1 — older
+	// readers parse it and use no field of it — so no version bump.
+	TypeFault = "fault"
 )
 
 // Record is one journal line. Only V, T, Type and Owner are always
@@ -73,6 +78,7 @@ const (
 //	claimed:   Index, Hash
 //	reclaimed: Hash, By (the owner tag that broke the stale lease)
 //	skipped:   Index, Hash, EstSec (the budget's cost-model estimate)
+//	fault:     Index, Hash, Chaos, Faults, Requeued (fault injection)
 type Record struct {
 	// V is the schema version (see Version). Append stamps it.
 	V int `json:"v"`
@@ -100,6 +106,12 @@ type Record struct {
 	EstSec float64 `json:"est_s,omitempty"`
 	// By is the owner tag that broke a stale lease (reclaimed).
 	By string `json:"by,omitempty"`
+	// Chaos is the cell's chaos spec, and Faults/Requeued count the
+	// injected fault events and fault-forced task re-queues (fault
+	// records).
+	Chaos    string `json:"chaos,omitempty"`
+	Faults   int64  `json:"faults,omitempty"`
+	Requeued int64  `json:"requeued,omitempty"`
 	// Checkpoint is the compacted payload of a checkpoint record (nil
 	// on every other type).
 	Checkpoint *Checkpoint `json:"checkpoint,omitempty"`

@@ -18,11 +18,14 @@ func knownNames() []string {
 }
 
 func TestWallClock(t *testing.T) {
-	analysistest.Run(t, "testdata", lint.WallClock, knownNames(), "sim", "app")
+	analysistest.Run(t, "testdata", lint.WallClock, knownNames(), "sim", "app", "chaos")
 }
 
 func TestSeedRand(t *testing.T) {
-	analysistest.Run(t, "testdata", lint.SeedRand, knownNames(), "sched", "app")
+	// "seed/chaos" carries the chaos fixture under a distinct directory:
+	// the analyzers match the final import-path element, and the
+	// wallclock wants of testdata/src/chaos must not leak into this run.
+	analysistest.Run(t, "testdata", lint.SeedRand, knownNames(), "sched", "app", "seed/chaos")
 }
 
 func TestMapIter(t *testing.T) {

@@ -26,6 +26,7 @@ var seedSensitivePkgs = map[string]bool{
 	"apps":       true,
 	"harness":    true,
 	"perfmodel":  true,
+	"chaos":      true, // fault plans must be pure functions of the spec
 }
 
 // SeedRand flags calls to process-global math/rand (and math/rand/v2)

@@ -1,0 +1,27 @@
+// Fixture for the wallclock analyzer: package "chaos" is in the
+// virtual-time set — fault injection is scheduled purely on the
+// simulation clock, so wall-clock reads are findings unless allowed.
+package chaos
+
+import "time"
+
+func FireAt() time.Time {
+	return time.Now() // want "time\.Now in virtual-time package chaos"
+}
+
+func SinceDrop(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time\.Since in virtual-time package chaos"
+}
+
+func UntilRecovery(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want "time\.Until in virtual-time package chaos"
+}
+
+func DiagnosticStamp() time.Time {
+	//ompssvet:allow wallclock fixture: wall-clock only decorates a log line
+	return time.Now()
+}
+
+// Duration arithmetic on fault offsets is virtual time, not a
+// wall-clock read: nothing to flag.
+func Offset(at, horizon time.Duration) time.Duration { return at + horizon }

@@ -1,0 +1,28 @@
+// Fixture for the seedrand analyzer: import path "seed/chaos" ends in
+// "chaos", which is in the seed-sensitive set — a fault plan must be a
+// pure function of the spec string, so process-global math/rand calls
+// are findings; explicitly seeded generators are the sanctioned
+// pattern.
+package chaos
+
+import "math/rand"
+
+func JitterPoint(n int) int {
+	return rand.Intn(n) // want "global rand\.Intn in seed-sensitive package chaos"
+}
+
+func RandomFactor() float64 {
+	return rand.Float64() // want "global rand\.Float64"
+}
+
+// Seeded fault fuzzing threads explicit state: constructors and the
+// methods on the returned generator are fine.
+func SeededJitter(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+func DocumentedChaosMonkey(n int) int {
+	//ompssvet:allow seedrand fixture: explicitly nondeterministic stress mode
+	return rand.Intn(n)
+}

@@ -20,6 +20,7 @@ var virtualTimePkgs = map[string]bool{
 	"mem":        true,
 	"xfer":       true,
 	"deps":       true,
+	"chaos":      true, // fault injection is scheduled purely in virtual time
 }
 
 // WallClock flags time.Now/time.Since/time.Until inside the
@@ -29,7 +30,7 @@ var virtualTimePkgs = map[string]bool{
 var WallClock = &analysis.Analyzer{
 	Name: "wallclock",
 	Doc: "flags wall-clock reads (time.Now/Since/Until) in virtual-time packages " +
-		"(sim, rt, sched, mem, xfer, deps), where simulated time is the only legal clock",
+		"(sim, rt, sched, mem, xfer, deps, chaos), where simulated time is the only legal clock",
 	Run: runWallClock,
 }
 

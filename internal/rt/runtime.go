@@ -81,6 +81,13 @@ type Runtime struct {
 	TotalFlops float64
 	// TasksSubmitted counts Submit calls.
 	TasksSubmitted int64
+
+	// Fault-injection accounting (see fault.go): chaos events applied,
+	// tasks bounced back to the scheduler by a device drop, and the worst
+	// re-adaptation latency (virtual time from re-queue to completion).
+	FaultsInjected int64
+	TasksRequeued  int64
+	ReadaptMax     time.Duration
 }
 
 // New builds a runtime on a fresh simulation engine.
@@ -123,7 +130,7 @@ func New(cfg Config) *Runtime {
 		panic(fmt.Sprintf("rt: %d GPU workers requested, machine has %d GPUs", cfg.GPUWorkers, len(gpu)))
 	}
 	addWorker := func(dev machine.Device) {
-		w := &Worker{id: len(r.workers), dev: dev, rt: r}
+		w := &Worker{id: len(r.workers), dev: dev, rt: r, speed: 1}
 		w.completeFn = func() { w.complete(w.current) }
 		r.workers = append(r.workers, w)
 	}

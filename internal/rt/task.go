@@ -79,6 +79,11 @@ type Task struct {
 
 	worker  *Worker  // executing worker (assigned at staging time)
 	version *Version // chosen implementation
+
+	// Fault-injection bookkeeping: how many times a device drop bounced
+	// this task back to the scheduler, and when the last bounce happened.
+	requeues   int
+	requeuedAt sim.Time
 	// lastPredWorker is the worker that ran the predecessor whose
 	// completion released this task (dependency-chain locality hint).
 	lastPredWorker *Worker
@@ -102,6 +107,10 @@ func (t *Task) Version() *Version { return t.version }
 
 // Worker returns the worker that executed (or is executing) the task.
 func (t *Task) Worker() *Worker { return t.worker }
+
+// Requeues returns how many times fault injection bounced the task back
+// to the scheduler before it completed.
+func (t *Task) Requeues() int { return t.requeues }
 
 // ExecTime returns the task's execution duration; valid once finished.
 func (t *Task) ExecTime() time.Duration { return t.endAt.Sub(t.startAt) }

@@ -33,6 +33,19 @@ type Worker struct {
 	// per-worker closure replaces a per-task allocation in startExec.
 	completeFn func()
 
+	// execEv is the pending completion event of the running task, kept so
+	// fault injection (DropWorker, SetWorkerSpeed) can cancel or reschedule
+	// an execution in flight. The generation check in sim.EventID.Cancel
+	// makes a stale handle harmless.
+	execEv sim.EventID
+
+	// down marks a device removed by fault injection: the worker neither
+	// dispatches nor prefetches until RecoverWorker re-admits it.
+	down bool
+	// speed is the device's current speed multiplier (1 = nominal,
+	// 0.5 = half speed). Execution durations divide by it.
+	speed float64
+
 	// TasksRun counts completed tasks, for diagnostics.
 	TasksRun int64
 }
@@ -51,6 +64,12 @@ func (w *Worker) Space() machine.SpaceID { return w.dev.Space }
 
 // Idle reports whether the worker has no current task.
 func (w *Worker) Idle() bool { return w.current == nil }
+
+// Down reports whether the device has been removed by fault injection.
+func (w *Worker) Down() bool { return w.down }
+
+// Speed returns the device's current speed multiplier (1 = nominal).
+func (w *Worker) Speed() float64 { return w.speed }
 
 // Current returns the task occupying the worker, if any.
 func (w *Worker) Current() *Task { return w.current }
@@ -72,6 +91,9 @@ func (w *Worker) String() string {
 // poke gives the worker a chance to pull work: dispatch if idle, prefetch
 // if busy with a free prefetch slot.
 func (w *Worker) poke() {
+	if w.down {
+		return
+	}
 	if w.current == nil {
 		w.tryDispatch()
 		return
@@ -86,7 +108,7 @@ func (w *Worker) poke() {
 // current task (it may have been refilled synchronously while a
 // completion event was still unwinding).
 func (w *Worker) tryDispatch() {
-	if w.current != nil {
+	if w.current != nil || w.down {
 		return
 	}
 	if w.next != nil {
@@ -114,7 +136,7 @@ func (w *Worker) tryDispatch() {
 // tryPrefetch asks the scheduler for one look-ahead task and stages its
 // data while the current task occupies the device.
 func (w *Worker) tryPrefetch() {
-	if w.next != nil || w.current == nil {
+	if w.next != nil || w.current == nil || w.down {
 		return
 	}
 	a := w.rt.sched.NextTask(w)
@@ -167,11 +189,36 @@ func (w *Worker) stage(t *Task, v *Version) {
 // device: run it if it occupies (or was promoted into) the current slot,
 // otherwise record that the prefetched task is ready to start instantly.
 func (w *Worker) staged(t *Task) {
+	if w.down {
+		// The device dropped while the task's data was in flight: the
+		// transfers completed, but the task can never run here. Unpin and
+		// hand it back to the scheduler.
+		if w.current == t {
+			w.current = nil
+		} else {
+			w.next = nil
+			w.nextStaged = false
+		}
+		w.failTask(t)
+		w.rt.pokeAll()
+		return
+	}
 	if w.current == t {
 		w.startExec(t)
 	} else {
 		w.nextStaged = true
 	}
+}
+
+// failTask abandons a fully staged (or running) task on a dropped
+// device: its pins release without committing writes (whatever the
+// device computed is lost) and the task re-enters the scheduler. The
+// caller has already cleared the worker's slot.
+func (w *Worker) failTask(t *Task) {
+	for _, a := range t.Accesses {
+		w.rt.dir.Release(a.Obj, w.dev.Space)
+	}
+	w.rt.requeue(t)
 }
 
 // startExec begins the task's execution on the device: its duration comes
@@ -183,13 +230,16 @@ func (w *Worker) startExec(t *Task) {
 	t.startAt = w.rt.eng.Now()
 	dur := t.version.Model.Estimate(t.Work)
 	dur = w.rt.noise.Perturb(dur)
+	if w.speed != 1 {
+		dur = scaleDur(dur, w.speed)
+	}
 	w.busyUntil = t.startAt.Add(dur)
 
 	if w.rt.cfg.RealCompute && t.version.Fn != nil {
 		t.version.Fn(&ExecContext{Task: t, Version: t.version, Worker: w})
 	}
 
-	w.rt.eng.After(dur, w.completeFn)
+	w.execEv = w.rt.eng.After(dur, w.completeFn)
 
 	// Execution frees the link: a prefetch may now overlap it.
 	if w.rt.cfg.Prefetch && w.next == nil {
@@ -203,6 +253,14 @@ func (w *Worker) complete(t *Task) {
 	t.state = StateFinished
 	t.endAt = w.rt.eng.Now()
 	w.TasksRun++
+	if t.requeues > 0 {
+		// Re-adaptation latency: how long the task took to complete after a
+		// fault bounced it back to the scheduler. The campaign reports the
+		// worst case per run.
+		if lat := t.endAt.Sub(t.requeuedAt); lat > w.rt.ReadaptMax {
+			w.rt.ReadaptMax = lat
+		}
+	}
 
 	for _, a := range t.Accesses {
 		if a.Mode.Writes() {

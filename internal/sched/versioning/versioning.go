@@ -79,6 +79,10 @@ type Versioning struct {
 	// finished executions would send the whole burst to one version.
 	assigned map[*verprof.Group]map[string]int64
 
+	// blocked parks ready tasks none of whose compatible workers are up
+	// (fault injection dropped them all); WorkerUp re-decides them.
+	blocked []*rt.Task
+
 	// LearningAssignments and ReliableAssignments count decisions per
 	// phase (diagnostics and tests).
 	LearningAssignments int64
@@ -128,6 +132,17 @@ func (s *Versioning) Init(r *rt.Runtime) {
 // TaskReady implements rt.Scheduler: decide the task's version and worker
 // now, and enqueue it on that worker's own queue.
 func (s *Versioning) TaskReady(t *rt.Task) {
+	// A re-decision (fault re-queue, or a down worker's queue draining)
+	// carries a stale busy-time charge from the first decision: release it
+	// so the dead worker's outstanding work does not distort estimates.
+	if old, ok := s.estOf[t]; ok {
+		s.outstanding[old.worker] -= old.est
+		if s.outstanding[old.worker] < 0 {
+			s.outstanding[old.worker] = 0
+		}
+		delete(s.estOf, t)
+	}
+
 	g := s.store.GroupFor(t.Type.Name, t.DataSetSize, t.Type.VersionNames())
 
 	var choice rt.Assignment
@@ -140,6 +155,13 @@ func (s *Versioning) TaskReady(t *rt.Task) {
 		s.LearningAssignments++
 	}
 	if worker == nil {
+		// Every compatible worker is down: park the task until a recovery
+		// re-admits one. With no fault injection in play this is the old
+		// misconfiguration panic.
+		if s.anyDown() {
+			s.blocked = append(s.blocked, t)
+			return
+		}
 		panic(fmt.Sprintf("versioning: no worker can run task %q (versions %v)", t.Type.Name, t.Type.VersionNames()))
 	}
 
@@ -239,6 +261,9 @@ func (s *Versioning) earliestExecutor(t *rt.Task, g *verprof.Group) (*rt.Worker,
 	var bestV *rt.Version
 	var bestFinish time.Duration
 	for _, w := range s.rtime.Workers() {
+		if w.Down() {
+			continue
+		}
 		v, finish, ok := s.finishOn(t, g, w)
 		if !ok {
 			continue
@@ -257,7 +282,7 @@ func (s *Versioning) earliestExecutor(t *rt.Task, g *verprof.Group) (*rt.Worker,
 		localW, localV := bestW, bestV
 		bestMissing := s.missingBytes(t, bestW)
 		for _, w := range s.rtime.Workers() {
-			if w == bestW {
+			if w == bestW || w.Down() {
 				continue
 			}
 			v, finish, ok := s.finishOn(t, g, w)
@@ -327,7 +352,18 @@ func (s *Versioning) QueueLen(w *rt.Worker) int { return len(s.queues[w.ID()]) }
 
 func (s *Versioning) hasWorkerFor(v *rt.Version) bool {
 	for _, w := range s.rtime.Workers() {
-		if v.RunsOn(w.Kind()) {
+		if !w.Down() && v.RunsOn(w.Kind()) {
+			return true
+		}
+	}
+	return false
+}
+
+// anyDown reports whether fault injection currently holds any worker
+// down (the only legitimate way a decision can come up empty).
+func (s *Versioning) anyDown() bool {
+	for _, w := range s.rtime.Workers() {
+		if w.Down() {
 			return true
 		}
 	}
@@ -341,7 +377,7 @@ func (s *Versioning) leastBusyWorker(v *rt.Version) *rt.Worker {
 	var best *rt.Worker
 	var bestBusy time.Duration
 	for _, w := range s.rtime.Workers() {
-		if !v.RunsOn(w.Kind()) {
+		if w.Down() || !v.RunsOn(w.Kind()) {
 			continue
 		}
 		b := s.outstanding[w.ID()] + time.Duration(len(s.queues[w.ID()])) // queue length as epsilon tie-breaker
@@ -350,6 +386,30 @@ func (s *Versioning) leastBusyWorker(v *rt.Version) *rt.Worker {
 		}
 	}
 	return best
+}
+
+// WorkerDown implements rt.FaultAware: the device is dead, so every
+// assignment queued on it is re-decided among the survivors. TaskReady
+// releases each task's stale busy-time charge, so the dead worker's
+// profile influence drains with its queue (the profile table itself
+// keeps its recorded means — they are still valid if the device comes
+// back).
+func (s *Versioning) WorkerDown(w *rt.Worker) {
+	q := s.queues[w.ID()]
+	s.queues[w.ID()] = nil
+	for _, a := range q {
+		s.TaskReady(a.Task)
+	}
+}
+
+// WorkerUp implements rt.FaultAware: tasks parked for want of a
+// compatible live worker get a fresh decision.
+func (s *Versioning) WorkerUp(w *rt.Worker) {
+	blocked := s.blocked
+	s.blocked = nil
+	for _, t := range blocked {
+		s.TaskReady(t)
+	}
 }
 
 // NextTask implements rt.Scheduler: workers pop their own queue.

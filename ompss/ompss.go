@@ -238,16 +238,19 @@ func (r *Runtime) Execute() Result {
 func (r *Runtime) Result() Result {
 	fb := r.Fabric()
 	return Result{
-		Scheduler:     r.cfg.Scheduler,
-		SMPWorkers:    r.cfg.SMPWorkers,
-		GPUs:          r.cfg.GPUs,
-		Elapsed:       r.Now().Duration(),
-		GFlops:        r.GFlops(),
-		Tasks:         len(r.Tracer().Tasks),
-		InputTxBytes:  fb.TotalBytes[xfer.CatInput],
-		OutputTxBytes: fb.TotalBytes[xfer.CatOutput],
-		DeviceTxBytes: fb.TotalBytes[xfer.CatDevice],
-		VersionCounts: r.Tracer().VersionCounts(),
+		Scheduler:      r.cfg.Scheduler,
+		SMPWorkers:     r.cfg.SMPWorkers,
+		GPUs:           r.cfg.GPUs,
+		Elapsed:        r.Now().Duration(),
+		GFlops:         r.GFlops(),
+		Tasks:          len(r.Tracer().Tasks),
+		InputTxBytes:   fb.TotalBytes[xfer.CatInput],
+		OutputTxBytes:  fb.TotalBytes[xfer.CatOutput],
+		DeviceTxBytes:  fb.TotalBytes[xfer.CatDevice],
+		VersionCounts:  r.Tracer().VersionCounts(),
+		FaultsInjected: r.FaultsInjected,
+		TasksRequeued:  r.TasksRequeued,
+		ReadaptSec:     r.ReadaptMax.Seconds(),
 	}
 }
 
@@ -297,6 +300,12 @@ type Result struct {
 	// VersionCounts maps task type -> version -> executions (Figures 8,
 	// 11, 14, 15).
 	VersionCounts map[string]map[string]int
+	// Fault-injection outcomes (zero unless a chaos plan was armed):
+	// chaos events applied, tasks re-queued by device drops, and the
+	// worst re-adaptation latency in virtual seconds.
+	FaultsInjected int64
+	TasksRequeued  int64
+	ReadaptSec     float64
 }
 
 // TotalTxBytes is the sum of all three transfer categories.
